@@ -1,0 +1,350 @@
+//! The Fever pacemaker (Section 3.3 of the paper).
+//!
+//! Fever has no epochs at all. Initial (even) views are entered when the
+//! local clock reaches `c_v`; on entry the processor sends a *view* message
+//! to the leader, which aggregates `f+1` of them into a VC. Non-initial
+//! views are entered on a QC for the preceding view. Clocks are bumped
+//! forward on QCs and VCs, which keeps the `(f+1)`-st honest gap below Γ —
+//! **provided it starts below Γ**, which is Fever's non-standard assumption.
+//! The simulator grants the assumption by booting all processors at the same
+//! instant with clocks reading zero.
+
+use lumiere_consensus::QuorumCert;
+use lumiere_core::certs::{view_msg_digest, ViewCert};
+use lumiere_core::clock::LocalClock;
+use lumiere_core::messages::PacemakerMessage;
+use lumiere_core::pacemaker::{Pacemaker, PacemakerAction};
+use lumiere_core::schedule::LeaderSchedule;
+use lumiere_crypto::{KeyPair, Pki, Signature};
+use lumiere_types::{Duration, Params, ProcessId, Time, View};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// A processor's Fever pacemaker.
+#[derive(Debug)]
+pub struct Fever {
+    params: Params,
+    gamma: Duration,
+    schedule: LeaderSchedule,
+    id: ProcessId,
+    keys: KeyPair,
+    pki: Pki,
+
+    clock: LocalClock,
+    view: View,
+
+    view_msg_pool: HashMap<i64, BTreeMap<ProcessId, Signature>>,
+    sent_view_msg: HashSet<i64>,
+    formed_vc: HashSet<i64>,
+    seen_vc: HashSet<i64>,
+    observed_qc_views: HashSet<i64>,
+    initial_trigger_fired: HashSet<i64>,
+    booted: bool,
+}
+
+impl Fever {
+    /// Creates the pacemaker for the processor owning `keys`.
+    pub fn new(params: Params, keys: KeyPair, pki: Pki) -> Self {
+        let id = keys.id();
+        Fever {
+            params,
+            gamma: params.fever_gamma(),
+            schedule: LeaderSchedule::half_round_robin(params.n),
+            id,
+            keys,
+            pki,
+            clock: LocalClock::new(Time::ZERO),
+            view: View::SENTINEL,
+            view_msg_pool: HashMap::new(),
+            sent_view_msg: HashSet::new(),
+            formed_vc: HashSet::new(),
+            seen_vc: HashSet::new(),
+            observed_qc_views: HashSet::new(),
+            initial_trigger_fired: HashSet::new(),
+            booted: false,
+        }
+    }
+
+    /// The leader schedule (two consecutive views per leader).
+    pub fn schedule(&self) -> &LeaderSchedule {
+        &self.schedule
+    }
+
+    fn c(&self, view: View) -> Duration {
+        view.clock_time(self.gamma)
+    }
+
+    fn leader(&self, view: View) -> ProcessId {
+        self.schedule.leader(view)
+    }
+
+    fn set_view(&mut self, view: View, out: &mut Vec<PacemakerAction>) {
+        if view > self.view {
+            self.view = view;
+            out.push(PacemakerAction::EnterView {
+                view,
+                leader: self.leader(view),
+            });
+        }
+    }
+
+    fn send_view_msg(&mut self, view: View, now: Time, out: &mut Vec<PacemakerAction>) {
+        if !self.sent_view_msg.insert(view.as_i64()) {
+            return;
+        }
+        let signature = self.keys.sign(view_msg_digest(view));
+        let leader = self.leader(view);
+        if leader == self.id {
+            self.record_view_msg(self.id, view, signature, now, out);
+        } else {
+            out.push(PacemakerAction::SendTo(
+                leader,
+                PacemakerMessage::ViewMsg { view, signature },
+            ));
+        }
+    }
+
+    fn record_view_msg(
+        &mut self,
+        from: ProcessId,
+        view: View,
+        signature: Signature,
+        now: Time,
+        out: &mut Vec<PacemakerAction>,
+    ) {
+        let pool = self.view_msg_pool.entry(view.as_i64()).or_default();
+        pool.insert(from, signature);
+        let sigs: Vec<Signature> = pool.values().copied().collect();
+        if self.leader(view) != self.id
+            || !view.is_initial()
+            || view < self.view
+            || self.formed_vc.contains(&view.as_i64())
+            || sigs.len() < self.params.small_quorum()
+        {
+            return;
+        }
+        let Ok(vc) = ViewCert::aggregate(view, &sigs, &self.params) else {
+            return;
+        };
+        self.formed_vc.insert(view.as_i64());
+        self.seen_vc.insert(view.as_i64());
+        out.push(PacemakerAction::Broadcast(PacemakerMessage::ViewCert(vc)));
+        // The broadcast includes the leader itself: catch up if behind.
+        if view > self.view {
+            self.clock.bump_to(self.c(view), now);
+            self.set_view(view, out);
+        }
+    }
+
+    fn sweep(&mut self, now: Time, out: &mut Vec<PacemakerAction>) {
+        let reading = self.clock.reading(now);
+        if reading >= Duration::ZERO {
+            let max_view = reading.as_micros() / self.gamma.as_micros();
+            let start = self.view.as_i64().max(0);
+            for v in start..=max_view {
+                let view = View::new(v);
+                if !view.is_initial()
+                    || self.initial_trigger_fired.contains(&v)
+                    || view < self.view
+                {
+                    continue;
+                }
+                self.initial_trigger_fired.insert(v);
+                self.set_view(view, out);
+                self.send_view_msg(view, now, out);
+            }
+        }
+        let gamma = self.gamma.as_micros();
+        let reading = self.clock.reading(now);
+        let next_even = 2 * (reading.as_micros() / (2 * gamma) + 1);
+        let target = Duration::from_micros(next_even * gamma);
+        if let Some(at) = self.clock.real_time_at(target, now) {
+            out.push(PacemakerAction::WakeAt(at));
+        }
+    }
+}
+
+impl Pacemaker for Fever {
+    fn name(&self) -> &'static str {
+        "fever"
+    }
+
+    fn boot(&mut self, now: Time) -> Vec<PacemakerAction> {
+        let mut out = Vec::new();
+        if self.booted {
+            return out;
+        }
+        self.booted = true;
+        self.clock = LocalClock::new(now);
+        self.sweep(now, &mut out);
+        out
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: &PacemakerMessage,
+        now: Time,
+    ) -> Vec<PacemakerAction> {
+        let mut out = Vec::new();
+        match msg {
+            PacemakerMessage::ViewMsg { view, signature } => {
+                if signature.signer() == from
+                    && self.pki.verify(signature, view_msg_digest(*view)).is_ok()
+                    && view.is_initial()
+                {
+                    self.record_view_msg(from, *view, *signature, now, &mut out);
+                }
+            }
+            PacemakerMessage::ViewCert(vc) => {
+                let view = vc.view();
+                if view.is_initial()
+                    && self.seen_vc.insert(view.as_i64())
+                    && vc.verify(&self.pki, &self.params).is_ok()
+                    && view > self.view
+                {
+                    self.clock.bump_to(self.c(view), now);
+                    self.set_view(view, &mut out);
+                }
+            }
+            _ => {}
+        }
+        self.sweep(now, &mut out);
+        out
+    }
+
+    fn on_qc(&mut self, qc: &QuorumCert, _formed_locally: bool, now: Time) -> Vec<PacemakerAction> {
+        let mut out = Vec::new();
+        let v = qc.view();
+        if v.as_i64() < 0 {
+            return out;
+        }
+        if v >= self.view && self.observed_qc_views.insert(v.as_i64()) {
+            let next = v.next();
+            self.clock.bump_to(self.c(next), now);
+            self.set_view(next, &mut out);
+        }
+        self.sweep(now, &mut out);
+        out
+    }
+
+    fn on_wake(&mut self, now: Time) -> Vec<PacemakerAction> {
+        let mut out = Vec::new();
+        self.sweep(now, &mut out);
+        out
+    }
+
+    fn current_view(&self) -> View {
+        self.view
+    }
+
+    fn local_clock_reading(&self, now: Time) -> Duration {
+        self.clock.reading(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumiere_core::pacemaker::actions;
+    use lumiere_crypto::keygen;
+
+    fn make(n: usize, who: usize) -> (Fever, Vec<KeyPair>, Params) {
+        let params = Params::new(n, Duration::from_millis(10));
+        let (keys, pki) = keygen(n, 9);
+        (Fever::new(params, keys[who].clone(), pki), keys, params)
+    }
+
+    #[test]
+    fn boot_enters_view_zero_and_sends_a_view_message() {
+        let (mut pm, _, _) = make(4, 1);
+        let out = pm.boot(Time::ZERO);
+        assert_eq!(pm.current_view(), View::new(0));
+        // Processor 1 is not the leader of view 0 (leader is 0), so it sends
+        // a view message to it.
+        assert!(out.iter().any(|a| matches!(
+            a,
+            PacemakerAction::SendTo(to, PacemakerMessage::ViewMsg { view, .. })
+                if *to == ProcessId::new(0) && *view == View::new(0)
+        )));
+    }
+
+    #[test]
+    fn leader_forms_a_vc_from_f_plus_one_view_messages() {
+        let (mut pm, keys, _) = make(4, 0); // p0 leads view 0
+        pm.boot(Time::ZERO); // own view message folded into the pool
+        let msg = PacemakerMessage::ViewMsg {
+            view: View::new(0),
+            signature: keys[1].sign(view_msg_digest(View::new(0))),
+        };
+        let out = pm.on_message(keys[1].id(), &msg, Time::from_millis(1));
+        assert!(out.iter().any(|a| matches!(
+            a,
+            PacemakerAction::Broadcast(PacemakerMessage::ViewCert(vc)) if vc.view() == View::new(0)
+        )));
+    }
+
+    #[test]
+    fn qcs_bump_the_clock_and_advance_views() {
+        let (mut pm, keys, params) = make(4, 1);
+        pm.boot(Time::ZERO);
+        let digest = QuorumCert::vote_digest(View::new(0), 5);
+        let votes: Vec<_> = keys.iter().take(3).map(|k| k.sign(digest)).collect();
+        let qc = QuorumCert::aggregate(View::new(0), 5, &votes, &params).unwrap();
+        let t = Time::from_millis(1);
+        let out = pm.on_qc(&qc, false, t);
+        assert_eq!(pm.current_view(), View::new(1));
+        assert_eq!(
+            pm.local_clock_reading(t),
+            View::new(1).clock_time(params.fever_gamma())
+        );
+        assert!(actions::entered_views(&out).contains(&View::new(1)));
+    }
+
+    #[test]
+    fn a_vc_catches_a_lagging_processor_up() {
+        let (mut pm, keys, params) = make(4, 3);
+        pm.boot(Time::ZERO);
+        let v = View::new(2);
+        let sigs: Vec<_> = keys
+            .iter()
+            .take(2)
+            .map(|k| k.sign(view_msg_digest(v)))
+            .collect();
+        let vc = ViewCert::aggregate(v, &sigs, &params).unwrap();
+        pm.on_message(keys[1].id(), &PacemakerMessage::ViewCert(vc), Time::from_millis(1));
+        assert_eq!(pm.current_view(), v);
+        assert_eq!(
+            pm.local_clock_reading(Time::from_millis(1)),
+            v.clock_time(params.fever_gamma())
+        );
+    }
+
+    #[test]
+    fn without_qcs_the_clock_paces_view_entry() {
+        let (mut pm, _, params) = make(4, 2);
+        pm.boot(Time::ZERO);
+        let gamma = params.fever_gamma();
+        pm.on_wake(Time::ZERO + gamma);
+        assert_eq!(pm.current_view(), View::new(0), "view 1 is not initial");
+        pm.on_wake(Time::ZERO + gamma * 2);
+        assert_eq!(pm.current_view(), View::new(2));
+    }
+
+    #[test]
+    fn view_never_decreases() {
+        let (mut pm, keys, params) = make(4, 0);
+        pm.boot(Time::ZERO);
+        let mut last = pm.current_view();
+        let mut now = Time::ZERO;
+        for i in 0..200i64 {
+            now = now + Duration::from_micros(500);
+            let v = View::new(i % 40);
+            let digest = QuorumCert::vote_digest(v, i as u64);
+            let votes: Vec<_> = keys.iter().take(3).map(|k| k.sign(digest)).collect();
+            let qc = QuorumCert::aggregate(v, i as u64, &votes, &params).unwrap();
+            pm.on_qc(&qc, false, now);
+            assert!(pm.current_view() >= last);
+            last = pm.current_view();
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! The LP22 pacemaker (Section 3.2 of the paper).
+//!
+//! Views are grouped into epochs of `f+1` views with round-robin leaders.
+//! Each epoch begins with a heavy all-to-all synchronization: when a
+//! processor's local clock reaches the epoch boundary it pauses the clock and
+//! broadcasts an *epoch view* message; an EC (`2f+1` such messages) admits it
+//! into the epoch and resets its local clock to the boundary's clock time.
+//! Within the epoch a processor enters non-epoch view `v` when its local
+//! clock reaches `c_v` **or** when it sees a QC for view `v−1` (the
+//! optimistic-responsiveness trick) — but, crucially, seeing a QC does *not*
+//! bump the local clock, which is exactly why a single Byzantine leader can
+//! force an `Ω(nΔ)` stall (Figure 1) and why every epoch stays heavy.
+
+use lumiere_consensus::QuorumCert;
+use lumiere_core::certs::epoch_view_digest;
+use lumiere_core::clock::LocalClock;
+use lumiere_core::messages::PacemakerMessage;
+use lumiere_core::pacemaker::{Pacemaker, PacemakerAction};
+use lumiere_core::schedule::LeaderSchedule;
+use lumiere_crypto::{KeyPair, Pki, Signature};
+use lumiere_types::view::EpochLayout;
+use lumiere_types::{Duration, Epoch, Params, ProcessId, Time, View};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// A processor's LP22 pacemaker.
+#[derive(Debug)]
+pub struct Lp22 {
+    params: Params,
+    layout: EpochLayout,
+    gamma: Duration,
+    schedule: LeaderSchedule,
+    id: ProcessId,
+    keys: KeyPair,
+    pki: Pki,
+
+    clock: LocalClock,
+    view: View,
+    epoch: Epoch,
+
+    epoch_msg_pool: HashMap<i64, BTreeMap<ProcessId, Signature>>,
+    sent_epoch_msg: HashSet<i64>,
+    seen_ec: HashSet<i64>,
+    observed_qc_views: HashSet<i64>,
+    epoch_trigger_fired: HashSet<i64>,
+    paused_at_boundary: Option<View>,
+    booted: bool,
+}
+
+impl Lp22 {
+    /// Creates the pacemaker for the processor owning `keys`.
+    pub fn new(params: Params, keys: KeyPair, pki: Pki) -> Self {
+        let id = keys.id();
+        Lp22 {
+            params,
+            layout: params.lp22_epoch_layout(),
+            gamma: params.lp22_gamma(),
+            schedule: LeaderSchedule::round_robin(params.n),
+            id,
+            keys,
+            pki,
+            clock: LocalClock::new(Time::ZERO),
+            view: View::SENTINEL,
+            epoch: Epoch::SENTINEL,
+            epoch_msg_pool: HashMap::new(),
+            sent_epoch_msg: HashSet::new(),
+            seen_ec: HashSet::new(),
+            observed_qc_views: HashSet::new(),
+            epoch_trigger_fired: HashSet::new(),
+            paused_at_boundary: None,
+            booted: false,
+        }
+    }
+
+    /// The epoch this processor is currently in.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Whether the clock is paused at an epoch boundary.
+    pub fn is_paused(&self) -> bool {
+        self.paused_at_boundary.is_some()
+    }
+
+    /// The epoch layout (`f+1` views per epoch).
+    pub fn layout(&self) -> EpochLayout {
+        self.layout
+    }
+
+    /// The leader schedule (round robin).
+    pub fn schedule(&self) -> &LeaderSchedule {
+        &self.schedule
+    }
+
+    fn c(&self, view: View) -> Duration {
+        view.clock_time(self.gamma)
+    }
+
+    fn set_view(&mut self, view: View, out: &mut Vec<PacemakerAction>) {
+        if view > self.view {
+            self.view = view;
+            self.epoch = self.layout.epoch_of(view);
+            out.push(PacemakerAction::EnterView {
+                view,
+                leader: self.schedule.leader(view),
+            });
+        }
+    }
+
+    fn broadcast_epoch_msg(&mut self, view: View, now: Time, out: &mut Vec<PacemakerAction>) {
+        if !self.sent_epoch_msg.insert(view.as_i64()) {
+            return;
+        }
+        let signature = self.keys.sign(epoch_view_digest(view));
+        out.push(PacemakerAction::HeavySyncStarted { view });
+        out.push(PacemakerAction::Broadcast(PacemakerMessage::EpochViewMsg {
+            view,
+            signature,
+        }));
+        self.record_epoch_msg(self.id, view, signature, now, out);
+    }
+
+    fn record_epoch_msg(
+        &mut self,
+        from: ProcessId,
+        view: View,
+        signature: Signature,
+        now: Time,
+        out: &mut Vec<PacemakerAction>,
+    ) {
+        let pool = self.epoch_msg_pool.entry(view.as_i64()).or_default();
+        pool.insert(from, signature);
+        let ready = pool.len() >= self.params.quorum();
+        if ready && !self.seen_ec.contains(&view.as_i64()) {
+            self.seen_ec.insert(view.as_i64());
+            self.handle_ec(view, now, out);
+        }
+    }
+
+    fn handle_ec(&mut self, view: View, now: Time, out: &mut Vec<PacemakerAction>) {
+        if self.layout.epoch_of(view) <= self.epoch {
+            return;
+        }
+        if self.paused_at_boundary.map_or(false, |pv| view >= pv) {
+            self.paused_at_boundary = None;
+        }
+        // "sets lc(p) := c_v, unpauses its local clock if paused, and then
+        // enters epoch e and view v."
+        self.clock.unpause(now);
+        self.clock.bump_to(self.c(view), now);
+        self.set_view(view, out);
+    }
+
+    fn sweep(&mut self, now: Time, out: &mut Vec<PacemakerAction>) {
+        loop {
+            let mut progressed = false;
+
+            // Epoch boundary: pause and broadcast.
+            let next_epoch_view = self.layout.next_epoch_view_after(self.view);
+            if self.view < next_epoch_view
+                && self.clock.reading(now) >= self.c(next_epoch_view)
+                && !self.epoch_trigger_fired.contains(&next_epoch_view.as_i64())
+            {
+                self.epoch_trigger_fired.insert(next_epoch_view.as_i64());
+                self.clock.pause(now);
+                self.paused_at_boundary = Some(next_epoch_view);
+                self.broadcast_epoch_msg(next_epoch_view, now, out);
+                progressed = true;
+            }
+
+            // Non-epoch views are entered when the local clock reaches c_v.
+            let reading = self.clock.reading(now);
+            if reading >= Duration::ZERO {
+                let max_view = reading.as_micros() / self.gamma.as_micros();
+                let start = self.view.as_i64().max(0);
+                for v in start..=max_view {
+                    let view = View::new(v);
+                    if self.layout.is_epoch_view(view)
+                        || self.layout.epoch_of(view) != self.epoch
+                        || view <= self.view
+                    {
+                        continue;
+                    }
+                    self.set_view(view, out);
+                    progressed = true;
+                }
+            }
+
+            if !progressed {
+                break;
+            }
+        }
+
+        if !self.clock.is_paused() {
+            let reading = self.clock.reading(now);
+            let gamma = self.gamma.as_micros();
+            let next = reading.as_micros() / gamma + 1;
+            let target = Duration::from_micros(next * gamma);
+            if let Some(at) = self.clock.real_time_at(target, now) {
+                out.push(PacemakerAction::WakeAt(at));
+            }
+        }
+    }
+}
+
+impl Pacemaker for Lp22 {
+    fn name(&self) -> &'static str {
+        "lp22"
+    }
+
+    fn boot(&mut self, now: Time) -> Vec<PacemakerAction> {
+        let mut out = Vec::new();
+        if self.booted {
+            return out;
+        }
+        self.booted = true;
+        self.clock = LocalClock::new(now);
+        self.sweep(now, &mut out);
+        out
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: &PacemakerMessage,
+        now: Time,
+    ) -> Vec<PacemakerAction> {
+        let mut out = Vec::new();
+        match msg {
+            PacemakerMessage::EpochViewMsg { view, signature } => {
+                if signature.signer() == from
+                    && self
+                        .pki
+                        .verify(signature, epoch_view_digest(*view))
+                        .is_ok()
+                    && self.layout.is_epoch_view(*view)
+                {
+                    self.record_epoch_msg(from, *view, *signature, now, &mut out);
+                }
+            }
+            PacemakerMessage::EpochCert(ec) => {
+                let view = ec.view();
+                if self.layout.is_epoch_view(view)
+                    && ec.verify(&self.pki, &self.params).is_ok()
+                    && !self.seen_ec.contains(&view.as_i64())
+                {
+                    self.seen_ec.insert(view.as_i64());
+                    self.handle_ec(view, now, &mut out);
+                }
+            }
+            _ => {}
+        }
+        self.sweep(now, &mut out);
+        out
+    }
+
+    fn on_qc(&mut self, qc: &QuorumCert, _formed_locally: bool, now: Time) -> Vec<PacemakerAction> {
+        let mut out = Vec::new();
+        let v = qc.view();
+        if v.as_i64() < 0 {
+            return out;
+        }
+        if v >= self.view && self.observed_qc_views.insert(v.as_i64()) {
+            let next = v.next();
+            // Responsive entry into the next view — but NO clock bump: this
+            // is the LP22 weakness that Lumiere fixes.
+            if !self.layout.is_epoch_view(next) && self.layout.epoch_of(next) == self.epoch {
+                self.set_view(next, &mut out);
+            }
+        }
+        self.sweep(now, &mut out);
+        out
+    }
+
+    fn on_wake(&mut self, now: Time) -> Vec<PacemakerAction> {
+        let mut out = Vec::new();
+        self.sweep(now, &mut out);
+        out
+    }
+
+    fn current_view(&self) -> View {
+        self.view
+    }
+
+    fn local_clock_reading(&self, now: Time) -> Duration {
+        self.clock.reading(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumiere_core::certs::EpochCert;
+    use lumiere_core::pacemaker::actions;
+    use lumiere_crypto::keygen;
+
+    fn make(n: usize, who: usize) -> (Lp22, Vec<KeyPair>, Params) {
+        let params = Params::new(n, Duration::from_millis(10));
+        let (keys, pki) = keygen(n, 5);
+        (Lp22::new(params, keys[who].clone(), pki), keys, params)
+    }
+
+    fn enter_epoch_zero(pm: &mut Lp22, keys: &[KeyPair], t: Time) {
+        for k in keys {
+            let msg = PacemakerMessage::EpochViewMsg {
+                view: View::new(0),
+                signature: k.sign(epoch_view_digest(View::new(0))),
+            };
+            pm.on_message(k.id(), &msg, t);
+        }
+    }
+
+    #[test]
+    fn boot_starts_a_heavy_sync_immediately() {
+        let (mut pm, _, _) = make(4, 0);
+        let out = pm.boot(Time::ZERO);
+        assert!(pm.is_paused());
+        assert!(out.iter().any(|a| matches!(
+            a,
+            PacemakerAction::Broadcast(PacemakerMessage::EpochViewMsg { view, .. })
+                if *view == View::new(0)
+        )));
+    }
+
+    #[test]
+    fn ec_enters_the_epoch_and_resets_the_clock() {
+        let (mut pm, keys, _) = make(4, 0);
+        pm.boot(Time::ZERO);
+        enter_epoch_zero(&mut pm, &keys, Time::from_millis(7));
+        assert_eq!(pm.current_view(), View::new(0));
+        assert_eq!(pm.epoch(), Epoch::new(0));
+        assert!(!pm.is_paused());
+        assert_eq!(
+            pm.local_clock_reading(Time::from_millis(7)),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn qc_advances_the_view_but_does_not_bump_the_clock() {
+        let (mut pm, keys, params) = make(4, 0);
+        pm.boot(Time::ZERO);
+        enter_epoch_zero(&mut pm, &keys, Time::from_millis(1));
+        let digest = QuorumCert::vote_digest(View::new(0), 1);
+        let votes: Vec<_> = keys.iter().take(3).map(|k| k.sign(digest)).collect();
+        let qc = QuorumCert::aggregate(View::new(0), 1, &votes, &params).unwrap();
+        let t = Time::from_millis(2);
+        let out = pm.on_qc(&qc, false, t);
+        assert_eq!(pm.current_view(), View::new(1));
+        assert!(actions::entered_views(&out).contains(&View::new(1)));
+        // The clock still reads roughly the elapsed time, far below c_1.
+        assert!(pm.local_clock_reading(t) < View::new(1).clock_time(params.lp22_gamma()));
+    }
+
+    #[test]
+    fn without_qcs_views_advance_only_at_clock_speed() {
+        let (mut pm, keys, params) = make(4, 0);
+        let gamma = params.lp22_gamma();
+        pm.boot(Time::ZERO);
+        let t0 = Time::from_millis(1);
+        enter_epoch_zero(&mut pm, &keys, t0);
+        // Just before c_1 nothing happens.
+        pm.on_wake(t0 + gamma - Duration::from_micros(1));
+        assert_eq!(pm.current_view(), View::new(0));
+        // At c_1 view 1 is entered.
+        pm.on_wake(t0 + gamma);
+        assert_eq!(pm.current_view(), View::new(1));
+    }
+
+    #[test]
+    fn end_of_epoch_requires_another_heavy_sync() {
+        let (mut pm, keys, params) = make(4, 0);
+        let epoch_len = pm.layout().epoch_len() as i64;
+        let gamma = params.lp22_gamma();
+        pm.boot(Time::ZERO);
+        let t0 = Time::from_millis(1);
+        enter_epoch_zero(&mut pm, &keys, t0);
+        let boundary = t0 + gamma * epoch_len;
+        let out = pm.on_wake(boundary);
+        assert!(pm.is_paused());
+        assert!(out.iter().any(|a| matches!(
+            a,
+            PacemakerAction::Broadcast(PacemakerMessage::EpochViewMsg { view, .. })
+                if view.as_i64() == epoch_len
+        )));
+    }
+
+    #[test]
+    fn explicit_epoch_cert_is_accepted() {
+        let (mut pm, keys, params) = make(4, 0);
+        pm.boot(Time::ZERO);
+        let sigs: Vec<_> = keys
+            .iter()
+            .map(|k| k.sign(epoch_view_digest(View::new(0))))
+            .collect();
+        let ec = EpochCert::aggregate(View::new(0), &sigs, &params).unwrap();
+        pm.on_message(keys[1].id(), &PacemakerMessage::EpochCert(ec), Time::from_millis(1));
+        assert_eq!(pm.current_view(), View::new(0));
+    }
+
+    #[test]
+    fn foreign_message_kinds_are_ignored() {
+        let (mut pm, keys, _) = make(4, 0);
+        pm.boot(Time::ZERO);
+        let msg = PacemakerMessage::Wish {
+            view: View::new(3),
+            signature: keys[1].sign(epoch_view_digest(View::new(3))),
+        };
+        let before = pm.current_view();
+        pm.on_message(keys[1].id(), &msg, Time::from_millis(1));
+        assert_eq!(pm.current_view(), before);
+    }
+}

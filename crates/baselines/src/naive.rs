@@ -1,0 +1,255 @@
+//! A naive PBFT-style all-to-all timeout pacemaker.
+//!
+//! Every processor that gives up on a view broadcasts a signed *timeout*
+//! message; collecting `2f+1` of them (locally, like a TC) admits the
+//! processor into the next view. QCs advance views responsively. Every view
+//! change therefore costs `Θ(n²)` messages regardless of how many faults
+//! actually occur — the behaviour that the entire line of work from Cogsworth
+//! to Lumiere set out to eliminate. It is included as an additional ablation
+//! baseline for the benchmark harness.
+
+use lumiere_consensus::QuorumCert;
+use lumiere_core::certs::timeout_digest;
+use lumiere_core::messages::PacemakerMessage;
+use lumiere_core::pacemaker::{Pacemaker, PacemakerAction};
+use lumiere_core::schedule::LeaderSchedule;
+use lumiere_crypto::{KeyPair, Pki, Signature};
+use lumiere_types::{Duration, Params, ProcessId, Time, View};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// A processor's naive quadratic pacemaker.
+#[derive(Debug)]
+pub struct NaiveQuadratic {
+    params: Params,
+    view_timeout: Duration,
+    schedule: LeaderSchedule,
+    id: ProcessId,
+    keys: KeyPair,
+    pki: Pki,
+
+    boot_time: Time,
+    view: View,
+    view_entered_at: Time,
+    timeout_pool: HashMap<i64, BTreeMap<ProcessId, Signature>>,
+    sent_timeout: HashSet<i64>,
+    observed_qc_views: HashSet<i64>,
+    booted: bool,
+}
+
+impl NaiveQuadratic {
+    /// Creates the pacemaker for the processor owning `keys`.
+    pub fn new(params: Params, keys: KeyPair, pki: Pki) -> Self {
+        let id = keys.id();
+        NaiveQuadratic {
+            params,
+            view_timeout: params.fever_gamma(),
+            schedule: LeaderSchedule::round_robin(params.n),
+            id,
+            keys,
+            pki,
+            boot_time: Time::ZERO,
+            view: View::SENTINEL,
+            view_entered_at: Time::ZERO,
+            timeout_pool: HashMap::new(),
+            sent_timeout: HashSet::new(),
+            observed_qc_views: HashSet::new(),
+            booted: false,
+        }
+    }
+
+    /// The leader schedule (round robin).
+    pub fn schedule(&self) -> &LeaderSchedule {
+        &self.schedule
+    }
+
+    fn enter(&mut self, view: View, now: Time, out: &mut Vec<PacemakerAction>) {
+        if view > self.view {
+            self.view = view;
+            self.view_entered_at = now;
+            out.push(PacemakerAction::EnterView {
+                view,
+                leader: self.schedule.leader(view),
+            });
+            out.push(PacemakerAction::WakeAt(now + self.view_timeout));
+        }
+    }
+
+    fn record_timeout(
+        &mut self,
+        from: ProcessId,
+        view: View,
+        signature: Signature,
+        now: Time,
+        out: &mut Vec<PacemakerAction>,
+    ) {
+        let pool = self.timeout_pool.entry(view.as_i64()).or_default();
+        pool.insert(from, signature);
+        let count = pool.len();
+        if count >= self.params.quorum() && view >= self.view {
+            self.enter(view.next(), now, out);
+        }
+    }
+}
+
+impl Pacemaker for NaiveQuadratic {
+    fn name(&self) -> &'static str {
+        "naive-quadratic"
+    }
+
+    fn boot(&mut self, now: Time) -> Vec<PacemakerAction> {
+        let mut out = Vec::new();
+        if self.booted {
+            return out;
+        }
+        self.booted = true;
+        self.boot_time = now;
+        self.enter(View::new(0), now, &mut out);
+        out
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: &PacemakerMessage,
+        now: Time,
+    ) -> Vec<PacemakerAction> {
+        let mut out = Vec::new();
+        if let PacemakerMessage::Timeout { view, signature } = msg {
+            if signature.signer() == from
+                && self.pki.verify(signature, timeout_digest(*view)).is_ok()
+                && view.as_i64() >= 0
+            {
+                self.record_timeout(from, *view, *signature, now, &mut out);
+            }
+        }
+        out
+    }
+
+    fn on_qc(&mut self, qc: &QuorumCert, _formed_locally: bool, now: Time) -> Vec<PacemakerAction> {
+        let mut out = Vec::new();
+        let v = qc.view();
+        if v.as_i64() < 0 {
+            return out;
+        }
+        if v >= self.view && self.observed_qc_views.insert(v.as_i64()) {
+            self.enter(v.next(), now, &mut out);
+        }
+        out
+    }
+
+    fn on_wake(&mut self, now: Time) -> Vec<PacemakerAction> {
+        let mut out = Vec::new();
+        if !self.booted || self.view.as_i64() < 0 {
+            return out;
+        }
+        if now >= self.view_entered_at + self.view_timeout {
+            let view = self.view;
+            if self.sent_timeout.insert(view.as_i64()) {
+                let signature = self.keys.sign(timeout_digest(view));
+                out.push(PacemakerAction::Broadcast(PacemakerMessage::Timeout {
+                    view,
+                    signature,
+                }));
+                self.record_timeout(self.id, view, signature, now, &mut out);
+            }
+        } else {
+            out.push(PacemakerAction::WakeAt(self.view_entered_at + self.view_timeout));
+        }
+        out
+    }
+
+    fn current_view(&self) -> View {
+        self.view
+    }
+
+    fn local_clock_reading(&self, now: Time) -> Duration {
+        now - self.boot_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumiere_crypto::keygen;
+
+    fn make(n: usize, who: usize) -> (NaiveQuadratic, Vec<KeyPair>, Params) {
+        let params = Params::new(n, Duration::from_millis(10));
+        let (keys, pki) = keygen(n, 6);
+        (
+            NaiveQuadratic::new(params, keys[who].clone(), pki),
+            keys,
+            params,
+        )
+    }
+
+    #[test]
+    fn boot_enters_view_zero() {
+        let (mut pm, _, _) = make(4, 0);
+        pm.boot(Time::ZERO);
+        assert_eq!(pm.current_view(), View::new(0));
+    }
+
+    #[test]
+    fn timeout_is_broadcast_to_everyone() {
+        let (mut pm, _, params) = make(4, 0);
+        pm.boot(Time::ZERO);
+        let out = pm.on_wake(Time::ZERO + params.fever_gamma());
+        assert!(out.iter().any(|a| matches!(
+            a,
+            PacemakerAction::Broadcast(PacemakerMessage::Timeout { view, .. })
+                if *view == View::new(0)
+        )));
+    }
+
+    #[test]
+    fn quorum_of_timeouts_advances_the_view() {
+        let (mut pm, keys, params) = make(4, 0);
+        pm.boot(Time::ZERO);
+        // Own timeout.
+        pm.on_wake(Time::ZERO + params.fever_gamma());
+        let t = Time::ZERO + params.fever_gamma() + Duration::from_millis(1);
+        for k in keys.iter().skip(1).take(2) {
+            let msg = PacemakerMessage::Timeout {
+                view: View::new(0),
+                signature: k.sign(timeout_digest(View::new(0))),
+            };
+            pm.on_message(k.id(), &msg, t);
+        }
+        assert_eq!(pm.current_view(), View::new(1));
+    }
+
+    #[test]
+    fn qcs_advance_views_without_timeouts() {
+        let (mut pm, keys, params) = make(4, 0);
+        pm.boot(Time::ZERO);
+        let digest = QuorumCert::vote_digest(View::new(0), 4);
+        let votes: Vec<_> = keys.iter().take(3).map(|k| k.sign(digest)).collect();
+        let qc = QuorumCert::aggregate(View::new(0), 4, &votes, &params).unwrap();
+        pm.on_qc(&qc, false, Time::from_millis(2));
+        assert_eq!(pm.current_view(), View::new(1));
+    }
+
+    #[test]
+    fn bad_timeout_signatures_are_ignored() {
+        let (mut pm, keys, _) = make(4, 0);
+        pm.boot(Time::ZERO);
+        let msg = PacemakerMessage::Timeout {
+            view: View::new(0),
+            signature: keys[2].sign(timeout_digest(View::new(7))),
+        };
+        pm.on_message(keys[2].id(), &msg, Time::from_millis(1));
+        let pool = pm.timeout_pool.get(&0).map(|p| p.len()).unwrap_or(0);
+        assert_eq!(pool, 0);
+    }
+
+    #[test]
+    fn premature_wake_reschedules_instead_of_timing_out() {
+        let (mut pm, _, params) = make(4, 0);
+        pm.boot(Time::ZERO);
+        let out = pm.on_wake(Time::from_millis(1));
+        assert!(out.iter().all(|a| !matches!(a, PacemakerAction::Broadcast(_))));
+        assert!(out
+            .iter()
+            .any(|a| matches!(a, PacemakerAction::WakeAt(t) if *t == Time::ZERO + params.fever_gamma())));
+    }
+}

@@ -1,0 +1,38 @@
+//! Micro-benchmarks of the simulated cryptography substrate: signing,
+//! verification and threshold aggregation for the certificate sizes the
+//! protocols actually use (`f+1` and `2f+1` of `n`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lumiere_crypto::{keygen, Digest, ThresholdSignature};
+
+fn bench_sign_verify(c: &mut Criterion) {
+    let (keys, pki) = keygen(64, 1);
+    let digest = Digest::new(b"bench").push_i64(7).finish();
+    c.bench_function("crypto/sign", |b| b.iter(|| keys[0].sign(digest)));
+    let sig = keys[0].sign(digest);
+    c.bench_function("crypto/verify", |b| b.iter(|| pki.verify(&sig, digest)));
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto/aggregate_quorum");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [4usize, 16, 64, 128] {
+        let (keys, pki) = keygen(n, 2);
+        let f = (n - 1) / 3;
+        let quorum = 2 * f + 1;
+        let digest = Digest::new(b"bench").push_u64(n as u64).finish();
+        let partials: Vec<_> = keys.iter().take(quorum).map(|k| k.sign(digest)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| ThresholdSignature::aggregate(digest, &partials, quorum).unwrap())
+        });
+        let tsig = ThresholdSignature::aggregate(digest, &partials, quorum).unwrap();
+        group.bench_with_input(BenchmarkId::new("verify", n), &n, |b, _| {
+            b.iter(|| pki.verify_threshold(&tsig, digest, quorum).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sign_verify, bench_aggregate);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Event-handling throughput of each pacemaker: how fast a single processor
+//! digests a QC notification and an epoch-view message. These are the hot
+//! paths of a real deployment (every QC and every synchronization message
+//! passes through them).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lumiere_consensus::QuorumCert;
+use lumiere_core::certs::epoch_view_digest;
+use lumiere_core::messages::PacemakerMessage;
+use lumiere_crypto::keygen;
+use lumiere_sim::scenario::ProtocolKind;
+use lumiere_types::{Duration, Params, Time, View};
+
+fn bench_on_qc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pacemaker/on_qc");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let n = 16;
+    let params = Params::new(n, Duration::from_millis(10));
+    let (keys, pki) = keygen(n, 1);
+    for protocol in ProtocolKind::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(protocol.name()),
+            &protocol,
+            |b, protocol| {
+                let mut pm =
+                    protocol.build_pacemaker(params, keys[0].clone(), pki.clone(), 1);
+                pm.boot(Time::ZERO);
+                let mut view = 0i64;
+                b.iter(|| {
+                    let digest = QuorumCert::vote_digest(View::new(view), view as u64);
+                    let votes: Vec<_> = keys
+                        .iter()
+                        .take(params.quorum())
+                        .map(|k| k.sign(digest))
+                        .collect();
+                    let qc =
+                        QuorumCert::aggregate(View::new(view), view as u64, &votes, &params)
+                            .unwrap();
+                    let out = pm.on_qc(&qc, false, Time::from_millis(view + 1));
+                    view += 1;
+                    out
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_on_epoch_view_msg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pacemaker/on_epoch_view_msg");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let n = 16;
+    let params = Params::new(n, Duration::from_millis(10));
+    let (keys, pki) = keygen(n, 1);
+    for protocol in [
+        ProtocolKind::Lumiere,
+        ProtocolKind::BasicLumiere,
+        ProtocolKind::Lp22,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(protocol.name()),
+            &protocol,
+            |b, protocol| {
+                let mut pm =
+                    protocol.build_pacemaker(params, keys[0].clone(), pki.clone(), 1);
+                pm.boot(Time::ZERO);
+                let msg = PacemakerMessage::EpochViewMsg {
+                    view: View::new(0),
+                    signature: keys[1].sign(epoch_view_digest(View::new(0))),
+                };
+                b.iter(|| pm.on_message(keys[1].id(), &msg, Time::from_millis(1)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_on_qc, bench_on_epoch_view_msg);
+criterion_main!(benches);

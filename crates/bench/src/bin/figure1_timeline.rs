@@ -1,0 +1,8 @@
+//! Regenerates the "figure1_timeline" experiment (see EXPERIMENTS.md).
+
+use lumiere_bench::experiments::{figure1_report, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("{}", figure1_report(scale));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the "heavy_syncs" experiment (see EXPERIMENTS.md).
+
+use lumiere_bench::experiments::{heavy_sync_report, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("{}", heavy_sync_report(scale));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the "honest_gap" experiment (see EXPERIMENTS.md).
+
+use lumiere_bench::experiments::{honest_gap_report, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("{}", honest_gap_report(scale));
+}

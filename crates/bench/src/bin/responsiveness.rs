@@ -1,0 +1,8 @@
+//! Regenerates the "responsiveness" experiment (see EXPERIMENTS.md).
+
+use lumiere_bench::experiments::{responsiveness_table, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("{}", responsiveness_table(scale));
+}

@@ -1,0 +1,13 @@
+//! Runs every experiment in sequence, printing one report per section.
+//! This is the binary used to regenerate EXPERIMENTS.md.
+
+use lumiere_bench::experiments::{ExperimentScale, ALL_EXPERIMENTS};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("# Lumiere reproduction — experiment reports\n");
+    for (name, run) in ALL_EXPERIMENTS {
+        eprintln!("running {name} ...");
+        println!("{}", run(scale));
+    }
+}

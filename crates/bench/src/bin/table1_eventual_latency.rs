@@ -1,0 +1,8 @@
+//! Regenerates the "table1_eventual_latency" experiment (see EXPERIMENTS.md).
+
+use lumiere_bench::experiments::{eventual_table, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("{}", eventual_table(scale));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the "table1_worst_latency" experiment (see EXPERIMENTS.md).
+
+use lumiere_bench::experiments::{worst_case_table, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("{}", worst_case_table(scale));
+}

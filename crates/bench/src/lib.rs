@@ -1,0 +1,36 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! The paper's evaluation consists of Table 1 (asymptotic comparison of
+//! Cogsworth/NK20, LP22, Fever and Lumiere on four measures), Figure 1 (a
+//! concrete LP22 failure scenario) and the four properties of Theorem 1.1.
+//! Each experiment here runs the corresponding simulated scenario for every
+//! protocol and prints the measured rows; `EXPERIMENTS.md` records a
+//! reference output and compares the measured *shape* with the paper's
+//! asymptotic claims.
+//!
+//! Binaries (in `src/bin/`) wrap one experiment each:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `table1_worst_comm` | Table 1, worst-case communication (E1) |
+//! | `table1_worst_latency` | Table 1, worst-case latency (E3) |
+//! | `table1_eventual_comm` | Table 1, eventual worst-case communication (E2) |
+//! | `table1_eventual_latency` | Table 1, eventual worst-case latency (E4) |
+//! | `responsiveness` | Theorem 1.1(3), latency vs. actual delay δ |
+//! | `figure1_timeline` | Figure 1 |
+//! | `heavy_syncs` | Section 3.5 / Theorem 1.1(4), heavy-sync suppression |
+//! | `honest_gap` | Lemmas 5.9–5.12, honest-gap dynamics |
+//! | `table1_all` | runs everything above in sequence |
+//!
+//! All experiments accept the environment variable `LUMIERE_FULL=1` to run
+//! the larger parameter sweeps used for the reference numbers; the default
+//! "quick" sweeps finish in well under a minute on a laptop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{ExperimentScale, ALL_EXPERIMENTS};
+pub use table::TextTable;

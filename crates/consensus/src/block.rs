@@ -1,0 +1,212 @@
+//! Blocks of the chained SMR substrate.
+
+use crate::qc::QuorumCert;
+use lumiere_crypto::Digest;
+use lumiere_types::{ProcessId, View};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Hash identifying a block (64-bit simulated digest).
+pub type BlockHash = u64;
+
+/// Hash of the genesis block.
+pub const GENESIS_HASH: BlockHash = 0x6765_6e65_7369_7321;
+
+/// A block proposed by the leader of a view.
+///
+/// Blocks are *chained*: each block carries a quorum certificate for its
+/// parent (`justify`). The payload is an opaque 64-bit value standing in for
+/// a batch of client commands; the reproduction does not model clients.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    hash: BlockHash,
+    parent: BlockHash,
+    height: u64,
+    view: View,
+    proposer: ProcessId,
+    payload: u64,
+    justify: QuorumCert,
+}
+
+impl Block {
+    /// The genesis block: height 0, sentinel view, self-certified.
+    pub fn genesis() -> Self {
+        Block {
+            hash: GENESIS_HASH,
+            parent: GENESIS_HASH,
+            height: 0,
+            view: View::SENTINEL,
+            proposer: ProcessId::new(0),
+            payload: 0,
+            justify: QuorumCert::genesis(),
+        }
+    }
+
+    /// Creates a new block extending `parent_hash` at `height`, justified by
+    /// `justify` (a QC for the parent), proposed by `proposer` in `view`.
+    pub fn new(
+        parent_hash: BlockHash,
+        height: u64,
+        view: View,
+        proposer: ProcessId,
+        payload: u64,
+        justify: QuorumCert,
+    ) -> Self {
+        let hash = Digest::new(b"block")
+            .push_u64(parent_hash)
+            .push_u64(height)
+            .push_i64(view.as_i64())
+            .push_u64(proposer.as_u32() as u64)
+            .push_u64(payload)
+            .push_u64(justify.block_hash())
+            .push_i64(justify.view().as_i64())
+            .finish()
+            .as_u64();
+        Block {
+            hash,
+            parent: parent_hash,
+            height,
+            view,
+            proposer,
+            payload,
+            justify,
+        }
+    }
+
+    /// The block's hash.
+    pub fn hash(&self) -> BlockHash {
+        self.hash
+    }
+
+    /// Hash of the parent block.
+    pub fn parent(&self) -> BlockHash {
+        self.parent
+    }
+
+    /// Height of the block in the chain (genesis is 0).
+    pub fn height(&self) -> u64 {
+        self.height
+    }
+
+    /// View in which the block was proposed.
+    pub fn view(&self) -> View {
+        self.view
+    }
+
+    /// The proposing leader.
+    pub fn proposer(&self) -> ProcessId {
+        self.proposer
+    }
+
+    /// Opaque payload.
+    pub fn payload(&self) -> u64 {
+        self.payload
+    }
+
+    /// The quorum certificate for the parent carried by this block.
+    pub fn justify(&self) -> &QuorumCert {
+        &self.justify
+    }
+
+    /// Whether this is the genesis block.
+    pub fn is_genesis(&self) -> bool {
+        self.hash == GENESIS_HASH
+    }
+
+    /// Checks internal consistency: the hash matches the fields and the
+    /// justify certificate points at the parent.
+    pub fn well_formed(&self) -> bool {
+        if self.is_genesis() {
+            return *self == Block::genesis();
+        }
+        let recomputed = Block::new(
+            self.parent,
+            self.height,
+            self.view,
+            self.proposer,
+            self.payload,
+            self.justify.clone(),
+        );
+        recomputed.hash == self.hash && self.justify.block_hash() == self.parent
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "block[{:016x} h={} {} by {}]",
+            self.hash, self.height, self.view, self.proposer
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genesis_is_well_formed_and_self_parenting() {
+        let g = Block::genesis();
+        assert!(g.is_genesis());
+        assert!(g.well_formed());
+        assert_eq!(g.parent(), GENESIS_HASH);
+        assert_eq!(g.height(), 0);
+    }
+
+    #[test]
+    fn child_blocks_hash_their_contents() {
+        let g = Block::genesis();
+        let b1 = Block::new(
+            g.hash(),
+            1,
+            View::new(0),
+            ProcessId::new(0),
+            7,
+            QuorumCert::genesis(),
+        );
+        let b2 = Block::new(
+            g.hash(),
+            1,
+            View::new(0),
+            ProcessId::new(0),
+            8,
+            QuorumCert::genesis(),
+        );
+        assert_ne!(b1.hash(), b2.hash());
+        assert!(b1.well_formed());
+        assert!(b2.well_formed());
+        assert_eq!(b1.parent(), g.hash());
+    }
+
+    #[test]
+    fn tampered_block_is_not_well_formed() {
+        let g = Block::genesis();
+        let mut b = Block::new(
+            g.hash(),
+            1,
+            View::new(0),
+            ProcessId::new(1),
+            7,
+            QuorumCert::genesis(),
+        );
+        b.payload = 9;
+        assert!(!b.well_formed());
+    }
+
+    #[test]
+    fn display_contains_height_and_view() {
+        let g = Block::genesis();
+        let b = Block::new(
+            g.hash(),
+            3,
+            View::new(5),
+            ProcessId::new(2),
+            0,
+            QuorumCert::genesis(),
+        );
+        let s = b.to_string();
+        assert!(s.contains("h=3"));
+        assert!(s.contains("v5"));
+    }
+}

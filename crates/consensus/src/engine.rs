@@ -1,0 +1,517 @@
+//! The chained HotStuff-style consensus engine.
+
+use crate::block::{Block, BlockHash};
+use crate::messages::ConsensusMessage;
+use crate::qc::QuorumCert;
+use crate::store::BlockStore;
+use lumiere_crypto::{KeyPair, Pki, Signature};
+use lumiere_types::{Params, ProcessId, Time, View};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Output of the engine in response to an event.
+///
+/// `Broadcast`/`Send` are network sends the hosting node must perform;
+/// `QcFormed`, `QcObserved` and `Committed` are local notifications consumed
+/// by the pacemaker and by metrics collection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConsensusAction {
+    /// Send a message to every other processor.
+    Broadcast(ConsensusMessage),
+    /// Send a message to one processor.
+    Send(ProcessId, ConsensusMessage),
+    /// This processor, acting as leader, just aggregated a new QC.
+    QcFormed(QuorumCert),
+    /// A QC (formed locally or received) was observed for the first time.
+    QcObserved(QuorumCert),
+    /// A block became committed under the two-chain rule.
+    Committed(Block),
+}
+
+/// A single replica's instance of the underlying protocol.
+///
+/// The engine is entirely view-driven: the hosting node (pacemaker) decides
+/// when to call [`HotStuffEngine::enter_view`], and the engine reports QCs
+/// back through [`ConsensusAction::QcFormed`] / [`ConsensusAction::QcObserved`].
+#[derive(Debug, Clone)]
+pub struct HotStuffEngine {
+    id: ProcessId,
+    keys: KeyPair,
+    pki: Pki,
+    params: Params,
+    store: BlockStore,
+    current_view: View,
+    current_leader: Option<ProcessId>,
+    last_voted_view: View,
+    locked_view: View,
+    high_qc: QuorumCert,
+    votes: HashMap<(i64, BlockHash), BTreeMap<ProcessId, Signature>>,
+    proposed_views: HashSet<i64>,
+    formed_qc_views: HashSet<i64>,
+    observed_qcs: HashSet<(i64, BlockHash)>,
+    pending_proposals: HashMap<i64, Block>,
+    qc_deadlines: HashMap<i64, Time>,
+    proposing_enabled: bool,
+}
+
+impl HotStuffEngine {
+    /// Creates an engine for processor `id`.
+    pub fn new(id: ProcessId, keys: KeyPair, pki: Pki, params: Params) -> Self {
+        HotStuffEngine {
+            id,
+            keys,
+            pki,
+            params,
+            store: BlockStore::new(),
+            current_view: View::SENTINEL,
+            current_leader: None,
+            last_voted_view: View::SENTINEL,
+            locked_view: View::SENTINEL,
+            high_qc: QuorumCert::genesis(),
+            votes: HashMap::new(),
+            proposed_views: HashSet::new(),
+            formed_qc_views: HashSet::new(),
+            observed_qcs: HashSet::new(),
+            pending_proposals: HashMap::new(),
+            qc_deadlines: HashMap::new(),
+            proposing_enabled: true,
+        }
+    }
+
+    /// This replica's identifier.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// The view the engine currently executes.
+    pub fn current_view(&self) -> View {
+        self.current_view
+    }
+
+    /// The highest QC known to this replica.
+    pub fn high_qc(&self) -> &QuorumCert {
+        &self.high_qc
+    }
+
+    /// Access to the block store (committed chain, etc.).
+    pub fn store(&self) -> &BlockStore {
+        &self.store
+    }
+
+    /// Height of the highest committed block.
+    pub fn committed_height(&self) -> u64 {
+        self.store.committed_height()
+    }
+
+    /// Enables or disables proposing. Disabling models the `SilentLeader`
+    /// Byzantine behaviour: the replica still votes and synchronizes but its
+    /// own views never produce a QC.
+    pub fn set_proposing_enabled(&mut self, enabled: bool) {
+        self.proposing_enabled = enabled;
+    }
+
+    /// Installs the Lumiere leader rule: only form a QC for `view` if it can
+    /// be produced no later than `deadline` (Section 4: within `Γ/2 − 2Δ` of
+    /// sending the VC / previous QC).
+    pub fn set_qc_deadline(&mut self, view: View, deadline: Time) {
+        self.qc_deadlines.insert(view.as_i64(), deadline);
+    }
+
+    /// Enters `view` with the given `leader`. Called by the pacemaker.
+    ///
+    /// Re-entering the current or an older view is a no-op, so pacemakers may
+    /// call this whenever their notion of the current view changes.
+    pub fn enter_view(&mut self, view: View, leader: ProcessId, now: Time) -> Vec<ConsensusAction> {
+        if view <= self.current_view {
+            return Vec::new();
+        }
+        self.current_view = view;
+        self.current_leader = Some(leader);
+        let mut out = Vec::new();
+        if leader == self.id && self.proposing_enabled && !self.proposed_views.contains(&view.as_i64())
+        {
+            out.extend(self.propose(now));
+        }
+        if let Some(block) = self.pending_proposals.remove(&view.as_i64()) {
+            if Some(block.proposer()) == self.current_leader {
+                out.extend(self.maybe_vote(block, now));
+            }
+        }
+        out
+    }
+
+    fn propose(&mut self, now: Time) -> Vec<ConsensusAction> {
+        let parent_hash = self.high_qc.block_hash();
+        let parent_height = self
+            .store
+            .get(parent_hash)
+            .map(|b| b.height())
+            .unwrap_or(0);
+        let block = Block::new(
+            parent_hash,
+            parent_height + 1,
+            self.current_view,
+            self.id,
+            self.current_view.as_i64() as u64,
+            self.high_qc.clone(),
+        );
+        self.proposed_views.insert(self.current_view.as_i64());
+        self.store.insert(block.clone());
+        let mut out = vec![ConsensusAction::Broadcast(ConsensusMessage::Proposal(
+            block.clone(),
+        ))];
+        // The leader votes for its own proposal locally.
+        out.extend(self.maybe_vote(block, now));
+        out
+    }
+
+    /// Handles a message from another replica.
+    pub fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: &ConsensusMessage,
+        now: Time,
+    ) -> Vec<ConsensusAction> {
+        match msg {
+            ConsensusMessage::Proposal(block) => self.on_proposal(from, block.clone(), now),
+            ConsensusMessage::Vote {
+                view,
+                block_hash,
+                signature,
+            } => self.on_vote(from, *view, *block_hash, *signature, now),
+            ConsensusMessage::NewQc(qc) => self.process_qc(qc.clone()),
+        }
+    }
+
+    fn on_proposal(&mut self, from: ProcessId, block: Block, now: Time) -> Vec<ConsensusAction> {
+        if !block.well_formed() || block.proposer() != from {
+            return Vec::new();
+        }
+        if block.justify().verify(&self.pki, &self.params).is_err() {
+            return Vec::new();
+        }
+        let mut out = self.process_qc(block.justify().clone());
+        self.store.insert(block.clone());
+        if block.view() > self.current_view {
+            // We have not entered this view yet; keep the proposal until the
+            // pacemaker moves us forward (typically in reaction to the
+            // justify QC we just surfaced).
+            self.pending_proposals.insert(block.view().as_i64(), block);
+            return out;
+        }
+        if block.view() == self.current_view && Some(from) == self.current_leader {
+            out.extend(self.maybe_vote(block, now));
+        }
+        out
+    }
+
+    fn maybe_vote(&mut self, block: Block, _now: Time) -> Vec<ConsensusAction> {
+        if block.view() <= self.last_voted_view {
+            return Vec::new();
+        }
+        if block.justify().view() < self.locked_view {
+            return Vec::new();
+        }
+        self.last_voted_view = block.view();
+        let digest = QuorumCert::vote_digest(block.view(), block.hash());
+        let signature = self.keys.sign(digest);
+        let leader = block.proposer();
+        if leader == self.id {
+            self.record_vote(block.view(), block.hash(), signature, _now)
+        } else {
+            vec![ConsensusAction::Send(
+                leader,
+                ConsensusMessage::Vote {
+                    view: block.view(),
+                    block_hash: block.hash(),
+                    signature,
+                },
+            )]
+        }
+    }
+
+    fn on_vote(
+        &mut self,
+        from: ProcessId,
+        view: View,
+        block_hash: BlockHash,
+        signature: Signature,
+        now: Time,
+    ) -> Vec<ConsensusAction> {
+        if signature.signer() != from {
+            return Vec::new();
+        }
+        let digest = QuorumCert::vote_digest(view, block_hash);
+        if self.pki.verify(&signature, digest).is_err() {
+            return Vec::new();
+        }
+        // Only the proposer of the block collects votes for it.
+        if !self.proposed_views.contains(&view.as_i64()) {
+            return Vec::new();
+        }
+        self.record_vote(view, block_hash, signature, now)
+    }
+
+    fn record_vote(
+        &mut self,
+        view: View,
+        block_hash: BlockHash,
+        signature: Signature,
+        now: Time,
+    ) -> Vec<ConsensusAction> {
+        let entry = self.votes.entry((view.as_i64(), block_hash)).or_default();
+        entry.insert(signature.signer(), signature);
+        if entry.len() < self.params.quorum() || self.formed_qc_views.contains(&view.as_i64()) {
+            return Vec::new();
+        }
+        if let Some(deadline) = self.qc_deadlines.get(&view.as_i64()) {
+            if now > *deadline {
+                // Lumiere leader rule: too late to produce this QC.
+                return Vec::new();
+            }
+        }
+        let partials: Vec<Signature> = entry.values().copied().collect();
+        let Ok(qc) = QuorumCert::aggregate(view, block_hash, &partials, &self.params) else {
+            return Vec::new();
+        };
+        self.formed_qc_views.insert(view.as_i64());
+        let mut out = vec![
+            ConsensusAction::QcFormed(qc.clone()),
+            ConsensusAction::Broadcast(ConsensusMessage::NewQc(qc.clone())),
+        ];
+        out.extend(self.process_qc(qc));
+        out
+    }
+
+    fn process_qc(&mut self, qc: QuorumCert) -> Vec<ConsensusAction> {
+        if !qc.is_genesis() && qc.verify(&self.pki, &self.params).is_err() {
+            return Vec::new();
+        }
+        let key = (qc.view().as_i64(), qc.block_hash());
+        if !self.observed_qcs.insert(key) {
+            return Vec::new();
+        }
+        if qc.view() > self.high_qc.view() {
+            self.high_qc = qc.clone();
+        }
+        if qc.view() > self.locked_view {
+            self.locked_view = qc.view();
+        }
+        let mut out = Vec::new();
+        if !qc.is_genesis() {
+            out.push(ConsensusAction::QcObserved(qc.clone()));
+        }
+        for block in self.store.on_qc(&qc) {
+            out.push(ConsensusAction::Committed(block));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumiere_crypto::keygen;
+    use lumiere_types::Duration;
+
+    struct Cluster {
+        engines: Vec<HotStuffEngine>,
+    }
+
+    impl Cluster {
+        fn new(n: usize) -> Self {
+            let params = Params::new(n, Duration::from_millis(10));
+            let (keys, pki) = keygen(n, 7);
+            let engines = keys
+                .iter()
+                .map(|k| HotStuffEngine::new(k.id(), k.clone(), pki.clone(), params))
+                .collect();
+            Cluster { engines }
+        }
+
+        /// Synchronously runs one view with round-robin leader, delivering
+        /// every send immediately. Returns the number of QCs formed.
+        fn run_view(&mut self, view: i64) -> usize {
+            let leader = ProcessId::new((view as usize) % self.engines.len());
+            let now = Time::from_millis(view * 10);
+            let mut inbox: Vec<(ProcessId, ProcessId, ConsensusMessage)> = Vec::new();
+            let mut qcs_formed = 0;
+            let n = self.engines.len();
+            for e in self.engines.iter_mut() {
+                let from = e.id();
+                for a in e.enter_view(View::new(view), leader, now) {
+                    match a {
+                        ConsensusAction::Broadcast(m) => {
+                            for to in 0..n {
+                                if ProcessId::new(to) != from {
+                                    inbox.push((from, ProcessId::new(to), m.clone()));
+                                }
+                            }
+                        }
+                        ConsensusAction::Send(to, m) => inbox.push((from, to, m)),
+                        ConsensusAction::QcFormed(_) => qcs_formed += 1,
+                        _ => {}
+                    }
+                }
+            }
+            while let Some((from, to, msg)) = inbox.pop() {
+                let idx = to.as_usize();
+                let out = self.engines[idx].on_message(from, &msg, now);
+                for a in out {
+                    match a {
+                        ConsensusAction::Broadcast(m) => {
+                            for dst in 0..n {
+                                if ProcessId::new(dst) != to {
+                                    inbox.push((to, ProcessId::new(dst), m.clone()));
+                                }
+                            }
+                        }
+                        ConsensusAction::Send(dst, m) => inbox.push((to, dst, m)),
+                        ConsensusAction::QcFormed(_) => qcs_formed += 1,
+                        _ => {}
+                    }
+                }
+            }
+            qcs_formed
+        }
+    }
+
+    #[test]
+    fn a_sequence_of_honest_views_commits_blocks() {
+        let mut cluster = Cluster::new(4);
+        for view in 0..6 {
+            assert_eq!(cluster.run_view(view), 1, "view {view} should form one QC");
+        }
+        // Two-chain rule: after view v the block of view v-1 is committed, so
+        // committed height should be at least 4 by now on every replica.
+        for e in &cluster.engines {
+            assert!(
+                e.committed_height() >= 4,
+                "replica {} committed only {}",
+                e.id(),
+                e.committed_height()
+            );
+        }
+    }
+
+    #[test]
+    fn silent_leader_view_forms_no_qc_but_recovers_later() {
+        let mut cluster = Cluster::new(4);
+        cluster.engines[1].set_proposing_enabled(false);
+        assert_eq!(cluster.run_view(0), 1);
+        assert_eq!(cluster.run_view(1), 0, "silent leader forms no QC");
+        assert_eq!(cluster.run_view(2), 1);
+        assert_eq!(cluster.run_view(3), 1);
+    }
+
+    #[test]
+    fn qc_deadline_prevents_late_qcs() {
+        let mut cluster = Cluster::new(4);
+        // Deadline for view 0 is in the past relative to the run time.
+        cluster.engines[0].set_qc_deadline(View::new(0), Time::from_millis(-1));
+        assert_eq!(cluster.run_view(0), 0);
+        // Later views unaffected.
+        assert_eq!(cluster.run_view(1), 1);
+    }
+
+    #[test]
+    fn bogus_votes_are_ignored() {
+        let params = Params::new(4, Duration::from_millis(10));
+        let (keys, pki) = keygen(4, 1);
+        let mut leader = HotStuffEngine::new(ProcessId::new(0), keys[0].clone(), pki, params);
+        let now = Time::ZERO;
+        let actions = leader.enter_view(View::new(0), ProcessId::new(0), now);
+        let block_hash = actions
+            .iter()
+            .find_map(|a| match a {
+                ConsensusAction::Broadcast(ConsensusMessage::Proposal(b)) => Some(b.hash()),
+                _ => None,
+            })
+            .unwrap();
+        // A vote whose signature does not match the sender is dropped.
+        let digest = QuorumCert::vote_digest(View::new(0), block_hash);
+        let sig = keys[2].sign(digest);
+        let out = leader.on_message(
+            ProcessId::new(3),
+            &ConsensusMessage::Vote {
+                view: View::new(0),
+                block_hash,
+                signature: sig,
+            },
+            now,
+        );
+        assert!(out.is_empty());
+        // A vote signed over a different digest is dropped too.
+        let bad_sig = keys[3].sign(QuorumCert::vote_digest(View::new(9), block_hash));
+        let out = leader.on_message(
+            ProcessId::new(3),
+            &ConsensusMessage::Vote {
+                view: View::new(0),
+                block_hash,
+                signature: bad_sig,
+            },
+            now,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn proposals_for_future_views_are_buffered_until_entry() {
+        let params = Params::new(4, Duration::from_millis(10));
+        let (keys, pki) = keygen(4, 1);
+        let mut leader =
+            HotStuffEngine::new(ProcessId::new(1), keys[1].clone(), pki.clone(), params);
+        let mut replica = HotStuffEngine::new(ProcessId::new(2), keys[2].clone(), pki, params);
+        let now = Time::ZERO;
+        // Leader of view 0 proposes.
+        let actions = leader.enter_view(View::new(0), ProcessId::new(1), now);
+        let proposal = actions
+            .iter()
+            .find_map(|a| match a {
+                ConsensusAction::Broadcast(m @ ConsensusMessage::Proposal(_)) => Some(m.clone()),
+                _ => None,
+            })
+            .unwrap();
+        // Replica receives it before entering view 0: no vote yet.
+        let out = replica.on_message(ProcessId::new(1), &proposal, now);
+        assert!(out
+            .iter()
+            .all(|a| !matches!(a, ConsensusAction::Send(_, ConsensusMessage::Vote { .. }))));
+        // Once the pacemaker moves the replica into view 0, the buffered
+        // proposal is voted on.
+        let out = replica.enter_view(View::new(0), ProcessId::new(1), now);
+        assert!(out
+            .iter()
+            .any(|a| matches!(a, ConsensusAction::Send(p, ConsensusMessage::Vote { .. }) if *p == ProcessId::new(1))));
+    }
+
+    #[test]
+    fn entering_older_views_is_a_no_op() {
+        let mut cluster = Cluster::new(4);
+        cluster.run_view(0);
+        cluster.run_view(1);
+        let out = cluster.engines[0].enter_view(View::new(0), ProcessId::new(0), Time::ZERO);
+        assert!(out.is_empty());
+        assert_eq!(cluster.engines[0].current_view(), View::new(1));
+    }
+
+    #[test]
+    fn proposals_from_the_wrong_sender_are_dropped() {
+        let params = Params::new(4, Duration::from_millis(10));
+        let (keys, pki) = keygen(4, 1);
+        let mut a = HotStuffEngine::new(ProcessId::new(0), keys[0].clone(), pki.clone(), params);
+        let mut b = HotStuffEngine::new(ProcessId::new(1), keys[1].clone(), pki, params);
+        let now = Time::ZERO;
+        let actions = a.enter_view(View::new(0), ProcessId::new(0), now);
+        let proposal = actions
+            .iter()
+            .find_map(|act| match act {
+                ConsensusAction::Broadcast(m @ ConsensusMessage::Proposal(_)) => Some(m.clone()),
+                _ => None,
+            })
+            .unwrap();
+        b.enter_view(View::new(0), ProcessId::new(0), now);
+        // Claimed sender differs from the block's proposer: reject.
+        let out = b.on_message(ProcessId::new(3), &proposal, now);
+        assert!(out.is_empty());
+    }
+}

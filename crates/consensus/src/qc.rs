@@ -1,0 +1,191 @@
+//! Quorum certificates.
+
+use crate::block::{BlockHash, GENESIS_HASH};
+use lumiere_crypto::{Digest, DigestValue, Pki, Signature, ThresholdSignature};
+use lumiere_types::{Error, Params, Result, View};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A quorum certificate: a `2f+1` threshold signature over `(view, block)`
+/// testifying that a quorum completed the view's instructions for that block.
+///
+/// The genesis certificate (for the genesis block, sentinel view) carries no
+/// threshold signature and is accepted by construction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuorumCert {
+    view: View,
+    block_hash: BlockHash,
+    tsig: Option<ThresholdSignature>,
+}
+
+impl QuorumCert {
+    /// The certificate vouching for the genesis block.
+    pub fn genesis() -> Self {
+        QuorumCert {
+            view: View::SENTINEL,
+            block_hash: GENESIS_HASH,
+            tsig: None,
+        }
+    }
+
+    /// Digest that replicas sign when voting for `(view, block_hash)`.
+    pub fn vote_digest(view: View, block_hash: BlockHash) -> DigestValue {
+        Digest::new(b"vote")
+            .push_i64(view.as_i64())
+            .push_u64(block_hash)
+            .finish()
+    }
+
+    /// Aggregates `2f+1` vote signatures into a quorum certificate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if fewer than `2f+1` distinct signers contributed.
+    pub fn aggregate(
+        view: View,
+        block_hash: BlockHash,
+        votes: &[Signature],
+        params: &Params,
+    ) -> Result<Self> {
+        let digest = Self::vote_digest(view, block_hash);
+        let tsig = ThresholdSignature::aggregate(digest, votes, params.quorum())?;
+        Ok(QuorumCert {
+            view,
+            block_hash,
+            tsig: Some(tsig),
+        })
+    }
+
+    /// The view this certificate completes.
+    pub fn view(&self) -> View {
+        self.view
+    }
+
+    /// The certified block.
+    pub fn block_hash(&self) -> BlockHash {
+        self.block_hash
+    }
+
+    /// Whether this is the genesis certificate.
+    pub fn is_genesis(&self) -> bool {
+        self.tsig.is_none()
+    }
+
+    /// Verifies the certificate against the PKI and the quorum threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] for a malformed genesis certificate,
+    /// otherwise whatever threshold verification reports (bad signers,
+    /// insufficient signers, wrong digest).
+    pub fn verify(&self, pki: &Pki, params: &Params) -> Result<()> {
+        match &self.tsig {
+            None => {
+                if self.view == View::SENTINEL && self.block_hash == GENESIS_HASH {
+                    Ok(())
+                } else {
+                    Err(Error::Protocol(
+                        "non-genesis certificate without threshold signature".into(),
+                    ))
+                }
+            }
+            Some(tsig) => {
+                let digest = Self::vote_digest(self.view, self.block_hash);
+                if tsig.digest() != digest {
+                    return Err(Error::ViewMismatch {
+                        expected: self.view,
+                        found: self.view,
+                    });
+                }
+                pki.verify_threshold(tsig, digest, params.quorum())
+            }
+        }
+    }
+
+    /// Number of distinct signers (0 for genesis).
+    pub fn signer_count(&self) -> usize {
+        self.tsig.as_ref().map_or(0, |t| t.signer_count())
+    }
+}
+
+impl fmt::Display for QuorumCert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_genesis() {
+            write!(f, "QC[genesis]")
+        } else {
+            write!(f, "QC[{} block {:016x}]", self.view, self.block_hash)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumiere_crypto::keygen;
+    use lumiere_types::Duration;
+
+    fn setup(n: usize) -> (Vec<lumiere_crypto::KeyPair>, Pki, Params) {
+        let params = Params::new(n, Duration::from_millis(10));
+        let (keys, pki) = keygen(n, 1);
+        (keys, pki, params)
+    }
+
+    #[test]
+    fn genesis_verifies() {
+        let (_, pki, params) = setup(4);
+        assert!(QuorumCert::genesis().verify(&pki, &params).is_ok());
+        assert!(QuorumCert::genesis().is_genesis());
+        assert_eq!(QuorumCert::genesis().signer_count(), 0);
+    }
+
+    #[test]
+    fn quorum_of_votes_produces_verifying_qc() {
+        let (keys, pki, params) = setup(7);
+        let view = View::new(4);
+        let digest = QuorumCert::vote_digest(view, 0xabc);
+        let votes: Vec<_> = keys.iter().take(5).map(|k| k.sign(digest)).collect();
+        let qc = QuorumCert::aggregate(view, 0xabc, &votes, &params).unwrap();
+        assert!(qc.verify(&pki, &params).is_ok());
+        assert_eq!(qc.view(), view);
+        assert_eq!(qc.block_hash(), 0xabc);
+        assert_eq!(qc.signer_count(), 5);
+        assert!(qc.to_string().contains("v4"));
+    }
+
+    #[test]
+    fn too_few_votes_are_rejected() {
+        let (keys, _, params) = setup(7);
+        let view = View::new(4);
+        let digest = QuorumCert::vote_digest(view, 0xabc);
+        let votes: Vec<_> = keys.iter().take(4).map(|k| k.sign(digest)).collect();
+        assert!(QuorumCert::aggregate(view, 0xabc, &votes, &params).is_err());
+    }
+
+    #[test]
+    fn votes_for_a_different_block_do_not_aggregate_into_a_valid_qc() {
+        let (keys, pki, params) = setup(4);
+        let view = View::new(2);
+        let digest_other = QuorumCert::vote_digest(view, 0xdead);
+        let votes: Vec<_> = keys.iter().take(3).map(|k| k.sign(digest_other)).collect();
+        // Aggregating them while claiming block 0xabc yields a certificate
+        // whose threshold signature covers the wrong digest.
+        let tsig = ThresholdSignature::aggregate(digest_other, &votes, 3).unwrap();
+        let qc = QuorumCert {
+            view,
+            block_hash: 0xabc,
+            tsig: Some(tsig),
+        };
+        assert!(qc.verify(&pki, &params).is_err());
+    }
+
+    #[test]
+    fn forged_genesis_like_cert_is_rejected() {
+        let (_, pki, params) = setup(4);
+        let qc = QuorumCert {
+            view: View::new(3),
+            block_hash: 0x1,
+            tsig: None,
+        };
+        assert!(qc.verify(&pki, &params).is_err());
+    }
+}

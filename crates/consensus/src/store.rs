@@ -1,0 +1,249 @@
+//! Block storage and the two-chain commit rule.
+
+use crate::block::{Block, BlockHash};
+use crate::qc::QuorumCert;
+use std::collections::HashMap;
+
+/// In-memory store of all blocks a replica has seen, plus the committed
+/// prefix of the chain.
+///
+/// The commit rule is the two-chain rule of HotStuff-2: when a replica sees a
+/// QC for block `b` and `b`'s own justify is a QC for `b`'s parent formed in
+/// the directly preceding view, the parent (and all its ancestors) are
+/// committed.
+#[derive(Debug, Clone)]
+pub struct BlockStore {
+    blocks: HashMap<BlockHash, Block>,
+    committed_height: u64,
+    committed: Vec<BlockHash>,
+}
+
+impl Default for BlockStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BlockStore {
+    /// Creates a store containing only the genesis block (already committed).
+    pub fn new() -> Self {
+        let genesis = Block::genesis();
+        let mut blocks = HashMap::new();
+        let hash = genesis.hash();
+        blocks.insert(hash, genesis);
+        BlockStore {
+            blocks,
+            committed_height: 0,
+            committed: vec![hash],
+        }
+    }
+
+    /// Inserts a block (idempotent).
+    pub fn insert(&mut self, block: Block) {
+        self.blocks.entry(block.hash()).or_insert(block);
+    }
+
+    /// Looks up a block by hash.
+    pub fn get(&self, hash: BlockHash) -> Option<&Block> {
+        self.blocks.get(&hash)
+    }
+
+    /// Whether the store contains `hash`.
+    pub fn contains(&self, hash: BlockHash) -> bool {
+        self.blocks.contains_key(&hash)
+    }
+
+    /// Number of blocks stored (including genesis).
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the store holds only genesis.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.len() <= 1
+    }
+
+    /// Height of the highest committed block.
+    pub fn committed_height(&self) -> u64 {
+        self.committed_height
+    }
+
+    /// Hashes of committed blocks in commit order (starting at genesis).
+    pub fn committed_chain(&self) -> &[BlockHash] {
+        &self.committed
+    }
+
+    /// Applies the two-chain commit rule given a newly observed QC.
+    ///
+    /// Returns the list of newly committed blocks in chain order (oldest
+    /// first). Blocks whose ancestry is not fully known are not committed.
+    pub fn on_qc(&mut self, qc: &QuorumCert) -> Vec<Block> {
+        let Some(block) = self.blocks.get(&qc.block_hash()).cloned() else {
+            return Vec::new();
+        };
+        // Two-chain rule: the QC certifies `block`; if `block.justify`
+        // certifies its parent in the immediately preceding view, the parent
+        // becomes committed.
+        if block.is_genesis() {
+            return Vec::new();
+        }
+        let parent_hash = block.parent();
+        let Some(parent) = self.blocks.get(&parent_hash).cloned() else {
+            return Vec::new();
+        };
+        if block.justify().block_hash() != parent_hash {
+            return Vec::new();
+        }
+        if !parent.is_genesis() && block.view().as_i64() != block.justify().view().as_i64() + 1 {
+            return Vec::new();
+        }
+        self.commit_up_to(&parent)
+    }
+
+    fn commit_up_to(&mut self, block: &Block) -> Vec<Block> {
+        if block.height() <= self.committed_height && !self.committed.is_empty() {
+            return Vec::new();
+        }
+        // Walk back to the committed frontier collecting the new suffix.
+        let mut chain = Vec::new();
+        let mut cursor = block.clone();
+        loop {
+            if cursor.height() <= self.committed_height {
+                break;
+            }
+            chain.push(cursor.clone());
+            match self.blocks.get(&cursor.parent()) {
+                Some(parent) => cursor = parent.clone(),
+                None => return Vec::new(), // unknown ancestry: defer commit
+            }
+        }
+        chain.reverse();
+        for b in &chain {
+            self.committed.push(b.hash());
+        }
+        self.committed_height = block.height();
+        chain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumiere_crypto::keygen;
+    use lumiere_types::{Duration, Params, ProcessId, View};
+
+    fn qc_for(block: &Block, params: &Params, keys: &[lumiere_crypto::KeyPair]) -> QuorumCert {
+        let digest = QuorumCert::vote_digest(block.view(), block.hash());
+        let votes: Vec<_> = keys
+            .iter()
+            .take(params.quorum())
+            .map(|k| k.sign(digest))
+            .collect();
+        QuorumCert::aggregate(block.view(), block.hash(), &votes, params).unwrap()
+    }
+
+    fn chain_fixture() -> (BlockStore, Vec<Block>, Vec<QuorumCert>) {
+        let params = Params::new(4, Duration::from_millis(10));
+        let (keys, _) = keygen(4, 1);
+        let mut store = BlockStore::new();
+        let mut blocks = vec![Block::genesis()];
+        let mut qcs = vec![QuorumCert::genesis()];
+        for i in 0..5u64 {
+            let parent = blocks.last().unwrap().clone();
+            let justify = qcs.last().unwrap().clone();
+            let block = Block::new(
+                parent.hash(),
+                parent.height() + 1,
+                View::new(i as i64),
+                ProcessId::new((i % 4) as usize),
+                i,
+                justify,
+            );
+            store.insert(block.clone());
+            qcs.push(qc_for(&block, &params, &keys));
+            blocks.push(block);
+        }
+        (store, blocks, qcs)
+    }
+
+    #[test]
+    fn starts_with_genesis_committed() {
+        let store = BlockStore::new();
+        assert_eq!(store.committed_height(), 0);
+        assert_eq!(store.committed_chain().len(), 1);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn consecutive_view_qcs_commit_parents() {
+        let (mut store, blocks, qcs) = chain_fixture();
+        // QC for block at height 2 (view 1) whose justify is view 0 on the
+        // direct parent: commits block at height 1.
+        let committed = store.on_qc(&qcs[2]);
+        assert_eq!(committed.len(), 1);
+        assert_eq!(committed[0].hash(), blocks[1].hash());
+        assert_eq!(store.committed_height(), 1);
+        // The next QC commits the next block.
+        let committed = store.on_qc(&qcs[3]);
+        assert_eq!(committed.len(), 1);
+        assert_eq!(committed[0].hash(), blocks[2].hash());
+    }
+
+    #[test]
+    fn qcs_are_idempotent_for_commits() {
+        let (mut store, _, qcs) = chain_fixture();
+        assert_eq!(store.on_qc(&qcs[2]).len(), 1);
+        assert!(store.on_qc(&qcs[2]).is_empty());
+    }
+
+    #[test]
+    fn skipping_intermediate_qcs_commits_the_whole_prefix() {
+        let (mut store, _, qcs) = chain_fixture();
+        let committed = store.on_qc(&qcs[4]);
+        // QC for height-4 block commits heights 1..=3.
+        assert_eq!(committed.len(), 3);
+        assert_eq!(store.committed_height(), 3);
+    }
+
+    #[test]
+    fn non_consecutive_views_do_not_commit() {
+        let params = Params::new(4, Duration::from_millis(10));
+        let (keys, _) = keygen(4, 1);
+        let mut store = BlockStore::new();
+        let genesis = Block::genesis();
+        let b1 = Block::new(
+            genesis.hash(),
+            1,
+            View::new(0),
+            ProcessId::new(0),
+            0,
+            QuorumCert::genesis(),
+        );
+        let qc1 = qc_for(&b1, &params, &keys);
+        // Child is proposed two views later (view 2), so the 2-chain rule
+        // must not commit b1 yet.
+        let b2 = Block::new(b1.hash(), 2, View::new(2), ProcessId::new(1), 0, qc1);
+        let qc2 = qc_for(&b2, &params, &keys);
+        store.insert(b1);
+        store.insert(b2);
+        assert!(store.on_qc(&qc2).is_empty());
+        assert_eq!(store.committed_height(), 0);
+    }
+
+    #[test]
+    fn qc_for_unknown_block_is_ignored() {
+        let (mut store, _, _) = chain_fixture();
+        let params = Params::new(4, Duration::from_millis(10));
+        let (keys, _) = keygen(4, 1);
+        let foreign = Block::new(
+            0x1234,
+            9,
+            View::new(9),
+            ProcessId::new(0),
+            0,
+            QuorumCert::genesis(),
+        );
+        let qc = qc_for(&foreign, &params, &keys);
+        assert!(store.on_qc(&qc).is_empty());
+    }
+}

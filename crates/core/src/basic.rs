@@ -1,0 +1,499 @@
+//! Basic Lumiere (Section 3.4): LP22 epochs + Fever clock bumping.
+//!
+//! Basic Lumiere combines the two ingredients of the full protocol but keeps
+//! a **heavy synchronization at the start of every epoch**: epochs are
+//! `2(f+1)` views long, every processor broadcasts an *epoch view* message
+//! the moment its local clock reaches the epoch boundary, and entry into the
+//! epoch requires an EC (`2f+1` such messages). Within the epoch the
+//! Fever-style machinery (view messages, VCs, clock bumping on QCs) provides
+//! smooth optimistic responsiveness.
+//!
+//! The protocol already achieves properties (1)–(3) of Theorem 1.1; it serves
+//! as the ablation showing why the success criterion of Section 3.5 is needed
+//! for property (4) — its eventual worst-case communication remains `Θ(n²)`
+//! because every epoch change is heavy.
+
+use crate::certs::{epoch_view_digest, view_msg_digest, ViewCert};
+use crate::clock::LocalClock;
+use crate::messages::PacemakerMessage;
+use crate::pacemaker::{Pacemaker, PacemakerAction};
+use crate::schedule::LeaderSchedule;
+use lumiere_consensus::QuorumCert;
+use lumiere_crypto::{KeyPair, Pki, Signature};
+use lumiere_types::view::EpochLayout;
+use lumiere_types::{Duration, Epoch, Params, ProcessId, Time, View};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// A processor's Basic Lumiere pacemaker (Section 3.4).
+#[derive(Debug)]
+pub struct BasicLumiere {
+    params: Params,
+    layout: EpochLayout,
+    gamma: Duration,
+    schedule: LeaderSchedule,
+    id: ProcessId,
+    keys: KeyPair,
+    pki: Pki,
+
+    clock: LocalClock,
+    view: View,
+    epoch: Epoch,
+
+    view_msg_pool: HashMap<i64, BTreeMap<ProcessId, Signature>>,
+    epoch_msg_pool: HashMap<i64, BTreeMap<ProcessId, Signature>>,
+    sent_view_msg: HashSet<i64>,
+    sent_epoch_msg: HashSet<i64>,
+    formed_vc: HashSet<i64>,
+    seen_vc: HashSet<i64>,
+    seen_ec: HashSet<i64>,
+    observed_qc_views: HashSet<i64>,
+    initial_trigger_fired: HashSet<i64>,
+    epoch_trigger_fired: HashSet<i64>,
+
+    /// Epoch view at which the local clock is paused, if any.
+    paused_at_boundary: Option<View>,
+    booted: bool,
+}
+
+impl BasicLumiere {
+    /// Creates the pacemaker for the processor owning `keys`.
+    pub fn new(params: Params, keys: KeyPair, pki: Pki) -> Self {
+        let id = keys.id();
+        BasicLumiere {
+            params,
+            layout: params.basic_lumiere_epoch_layout(),
+            gamma: params.fever_gamma(),
+            schedule: LeaderSchedule::half_round_robin(params.n),
+            id,
+            keys,
+            pki,
+            clock: LocalClock::new(Time::ZERO),
+            view: View::SENTINEL,
+            epoch: Epoch::SENTINEL,
+            view_msg_pool: HashMap::new(),
+            epoch_msg_pool: HashMap::new(),
+            sent_view_msg: HashSet::new(),
+            sent_epoch_msg: HashSet::new(),
+            formed_vc: HashSet::new(),
+            seen_vc: HashSet::new(),
+            seen_ec: HashSet::new(),
+            observed_qc_views: HashSet::new(),
+            initial_trigger_fired: HashSet::new(),
+            epoch_trigger_fired: HashSet::new(),
+            paused_at_boundary: None,
+            booted: false,
+        }
+    }
+
+    /// The epoch this processor is currently in.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Whether the local clock is paused at an epoch boundary.
+    pub fn is_paused(&self) -> bool {
+        self.paused_at_boundary.is_some()
+    }
+
+    /// The epoch layout (2(f+1) views per epoch).
+    pub fn layout(&self) -> EpochLayout {
+        self.layout
+    }
+
+    /// The leader schedule used by this instance.
+    pub fn schedule(&self) -> &LeaderSchedule {
+        &self.schedule
+    }
+
+    fn c(&self, view: View) -> Duration {
+        view.clock_time(self.gamma)
+    }
+
+    fn leader(&self, view: View) -> ProcessId {
+        self.schedule.leader(view)
+    }
+
+    fn set_view(&mut self, view: View, out: &mut Vec<PacemakerAction>) {
+        if view > self.view {
+            self.view = view;
+            self.epoch = self.layout.epoch_of(view);
+            out.push(PacemakerAction::EnterView {
+                view,
+                leader: self.leader(view),
+            });
+        }
+    }
+
+    fn send_view_msg(&mut self, view: View, now: Time, out: &mut Vec<PacemakerAction>) {
+        if !self.sent_view_msg.insert(view.as_i64()) {
+            return;
+        }
+        let signature = self.keys.sign(view_msg_digest(view));
+        let leader = self.leader(view);
+        if leader == self.id {
+            self.record_view_msg(self.id, view, signature, now, out);
+        } else {
+            out.push(PacemakerAction::SendTo(
+                leader,
+                PacemakerMessage::ViewMsg { view, signature },
+            ));
+        }
+    }
+
+    fn record_view_msg(
+        &mut self,
+        from: ProcessId,
+        view: View,
+        signature: Signature,
+        now: Time,
+        out: &mut Vec<PacemakerAction>,
+    ) {
+        let pool = self.view_msg_pool.entry(view.as_i64()).or_default();
+        pool.insert(from, signature);
+        let sigs: Vec<Signature> = pool.values().copied().collect();
+        if self.leader(view) != self.id
+            || !view.is_initial()
+            || self.layout.is_epoch_view(view)
+            || view < self.view
+            || self.formed_vc.contains(&view.as_i64())
+            || sigs.len() < self.params.small_quorum()
+        {
+            return;
+        }
+        let Ok(vc) = ViewCert::aggregate(view, &sigs, &self.params) else {
+            return;
+        };
+        self.formed_vc.insert(view.as_i64());
+        self.seen_vc.insert(view.as_i64());
+        out.push(PacemakerAction::Broadcast(PacemakerMessage::ViewCert(vc)));
+        // The broadcast includes the leader itself: catch up if behind.
+        if view > self.view {
+            self.clock.bump_to(self.c(view), now);
+            self.set_view(view, out);
+        }
+    }
+
+    fn broadcast_epoch_msg(&mut self, view: View, now: Time, out: &mut Vec<PacemakerAction>) {
+        if !self.sent_epoch_msg.insert(view.as_i64()) {
+            return;
+        }
+        let signature = self.keys.sign(epoch_view_digest(view));
+        out.push(PacemakerAction::HeavySyncStarted { view });
+        out.push(PacemakerAction::Broadcast(PacemakerMessage::EpochViewMsg {
+            view,
+            signature,
+        }));
+        self.record_epoch_msg(self.id, view, signature, now, out);
+    }
+
+    fn record_epoch_msg(
+        &mut self,
+        from: ProcessId,
+        view: View,
+        signature: Signature,
+        now: Time,
+        out: &mut Vec<PacemakerAction>,
+    ) {
+        let pool = self.epoch_msg_pool.entry(view.as_i64()).or_default();
+        pool.insert(from, signature);
+        let ec_ready = pool.len() >= self.params.quorum();
+        if ec_ready && !self.seen_ec.contains(&view.as_i64()) {
+            self.seen_ec.insert(view.as_i64());
+            self.handle_ec(view, now, out);
+        }
+    }
+
+    fn handle_ec(&mut self, view: View, now: Time, out: &mut Vec<PacemakerAction>) {
+        if self.layout.epoch_of(view) <= self.epoch {
+            return;
+        }
+        if self.paused_at_boundary.map_or(false, |pv| view >= pv) {
+            self.clock.unpause(now);
+            self.paused_at_boundary = None;
+        }
+        self.clock.bump_to(self.c(view), now);
+        self.set_view(view, out);
+    }
+
+    fn sweep(&mut self, now: Time, out: &mut Vec<PacemakerAction>) {
+        loop {
+            let mut progressed = false;
+
+            // Heavy synchronization at *every* epoch boundary.
+            let next_epoch_view = self.layout.next_epoch_view_after(self.view);
+            if self.view < next_epoch_view
+                && self.clock.reading(now) >= self.c(next_epoch_view)
+                && !self.epoch_trigger_fired.contains(&next_epoch_view.as_i64())
+            {
+                self.epoch_trigger_fired.insert(next_epoch_view.as_i64());
+                self.clock.pause(now);
+                self.paused_at_boundary = Some(next_epoch_view);
+                self.broadcast_epoch_msg(next_epoch_view, now, out);
+                progressed = true;
+            }
+
+            // Light synchronization for initial non-epoch views.
+            let reading = self.clock.reading(now);
+            if reading >= Duration::ZERO {
+                let max_view = reading.as_micros() / self.gamma.as_micros();
+                let start = self.view.as_i64().max(0);
+                for v in start..=max_view {
+                    let view = View::new(v);
+                    if !view.is_initial()
+                        || self.layout.is_epoch_view(view)
+                        || self.initial_trigger_fired.contains(&v)
+                        || self.layout.epoch_of(view) != self.epoch
+                        || view < self.view
+                    {
+                        continue;
+                    }
+                    self.initial_trigger_fired.insert(v);
+                    self.set_view(view, out);
+                    self.send_view_msg(view, now, out);
+                    progressed = true;
+                }
+            }
+
+            if !progressed {
+                break;
+            }
+        }
+
+        if !self.clock.is_paused() {
+            let reading = self.clock.reading(now);
+            let gamma = self.gamma.as_micros();
+            let next_even = 2 * (reading.as_micros() / (2 * gamma) + 1);
+            let target = Duration::from_micros(next_even * gamma);
+            if let Some(at) = self.clock.real_time_at(target, now) {
+                out.push(PacemakerAction::WakeAt(at));
+            }
+        }
+    }
+}
+
+impl Pacemaker for BasicLumiere {
+    fn name(&self) -> &'static str {
+        "basic-lumiere"
+    }
+
+    fn boot(&mut self, now: Time) -> Vec<PacemakerAction> {
+        let mut out = Vec::new();
+        if self.booted {
+            return out;
+        }
+        self.booted = true;
+        self.clock = LocalClock::new(now);
+        self.sweep(now, &mut out);
+        out
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: &PacemakerMessage,
+        now: Time,
+    ) -> Vec<PacemakerAction> {
+        let mut out = Vec::new();
+        match msg {
+            PacemakerMessage::ViewMsg { view, signature } => {
+                if signature.signer() == from
+                    && self.pki.verify(signature, view_msg_digest(*view)).is_ok()
+                    && view.is_initial()
+                {
+                    self.record_view_msg(from, *view, *signature, now, &mut out);
+                }
+            }
+            PacemakerMessage::EpochViewMsg { view, signature } => {
+                if signature.signer() == from
+                    && self
+                        .pki
+                        .verify(signature, epoch_view_digest(*view))
+                        .is_ok()
+                    && self.layout.is_epoch_view(*view)
+                {
+                    self.record_epoch_msg(from, *view, *signature, now, &mut out);
+                }
+            }
+            PacemakerMessage::ViewCert(vc) => {
+                let view = vc.view();
+                if view.is_initial()
+                    && !self.layout.is_epoch_view(view)
+                    && self.seen_vc.insert(view.as_i64())
+                    && vc.verify(&self.pki, &self.params).is_ok()
+                    && view > self.view
+                {
+                    self.clock.bump_to(self.c(view), now);
+                    self.set_view(view, &mut out);
+                }
+            }
+            PacemakerMessage::EpochCert(ec) => {
+                let view = ec.view();
+                if self.layout.is_epoch_view(view)
+                    && ec.verify(&self.pki, &self.params).is_ok()
+                    && !self.seen_ec.contains(&view.as_i64())
+                {
+                    self.seen_ec.insert(view.as_i64());
+                    self.handle_ec(view, now, &mut out);
+                }
+            }
+            _ => {}
+        }
+        self.sweep(now, &mut out);
+        out
+    }
+
+    fn on_qc(&mut self, qc: &QuorumCert, _formed_locally: bool, now: Time) -> Vec<PacemakerAction> {
+        let mut out = Vec::new();
+        let v = qc.view();
+        if v.as_i64() < 0 {
+            return out;
+        }
+        if v >= self.view && self.observed_qc_views.insert(v.as_i64()) {
+            let next = v.next();
+            self.clock.bump_to(self.c(next), now);
+            if !self.layout.is_epoch_view(next) {
+                self.set_view(next, &mut out);
+            } else if self.view < v {
+                self.set_view(v, &mut out);
+            }
+        }
+        self.sweep(now, &mut out);
+        out
+    }
+
+    fn on_wake(&mut self, now: Time) -> Vec<PacemakerAction> {
+        let mut out = Vec::new();
+        self.sweep(now, &mut out);
+        out
+    }
+
+    fn current_view(&self) -> View {
+        self.view
+    }
+
+    fn local_clock_reading(&self, now: Time) -> Duration {
+        self.clock.reading(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certs::EpochCert;
+    use crate::pacemaker::actions;
+    use lumiere_crypto::keygen;
+
+    fn make(n: usize, who: usize) -> (BasicLumiere, Vec<KeyPair>, Params) {
+        let params = Params::new(n, Duration::from_millis(10));
+        let (keys, pki) = keygen(n, 3);
+        (BasicLumiere::new(params, keys[who].clone(), pki), keys, params)
+    }
+
+    #[test]
+    fn boot_immediately_starts_a_heavy_sync_for_epoch_zero() {
+        let (mut pm, _, _) = make(4, 0);
+        let out = pm.boot(Time::ZERO);
+        assert!(pm.is_paused());
+        assert!(out.iter().any(|a| matches!(
+            a,
+            PacemakerAction::Broadcast(PacemakerMessage::EpochViewMsg { view, .. })
+                if *view == View::new(0)
+        )));
+        assert!(out
+            .iter()
+            .any(|a| matches!(a, PacemakerAction::HeavySyncStarted { .. })));
+    }
+
+    #[test]
+    fn ec_admits_the_processor_into_the_epoch() {
+        let (mut pm, keys, _) = make(4, 0);
+        pm.boot(Time::ZERO);
+        let t = Time::from_millis(2);
+        for k in keys.iter().skip(1) {
+            let msg = PacemakerMessage::EpochViewMsg {
+                view: View::new(0),
+                signature: k.sign(epoch_view_digest(View::new(0))),
+            };
+            pm.on_message(k.id(), &msg, t);
+        }
+        assert_eq!(pm.current_view(), View::new(0));
+        assert_eq!(pm.epoch(), Epoch::new(0));
+        assert!(!pm.is_paused());
+    }
+
+    #[test]
+    fn every_epoch_boundary_is_heavy() {
+        let (mut pm, keys, params) = make(4, 0);
+        let epoch_len = pm.layout().epoch_len() as i64;
+        pm.boot(Time::ZERO);
+        // Enter epoch 0 via an EC.
+        let sigs: Vec<_> = keys
+            .iter()
+            .map(|k| k.sign(epoch_view_digest(View::new(0))))
+            .collect();
+        let ec = EpochCert::aggregate(View::new(0), &sigs, &params).unwrap();
+        pm.on_message(keys[1].id(), &PacemakerMessage::EpochCert(ec), Time::from_millis(1));
+        // Provide QCs for every view of epoch 0 — unlike full Lumiere this
+        // does NOT suppress the next heavy sync.
+        let mut now = Time::from_millis(1);
+        for v in 0..epoch_len {
+            now = now + Duration::from_micros(100);
+            let digest = QuorumCert::vote_digest(View::new(v), v as u64 + 1);
+            let votes: Vec<_> = keys.iter().take(3).map(|k| k.sign(digest)).collect();
+            let qc = QuorumCert::aggregate(View::new(v), v as u64 + 1, &votes, &params).unwrap();
+            pm.on_qc(&qc, false, now);
+        }
+        // The QC for the last view bumped the clock to the boundary, so the
+        // heavy synchronization for epoch 1 has already been broadcast.
+        assert!(pm.is_paused());
+        assert!(pm.sent_epoch_msg.contains(&epoch_len));
+    }
+
+    #[test]
+    fn qcs_advance_views_responsively() {
+        let (mut pm, keys, params) = make(4, 0);
+        pm.boot(Time::ZERO);
+        let sigs: Vec<_> = keys
+            .iter()
+            .map(|k| k.sign(epoch_view_digest(View::new(0))))
+            .collect();
+        let ec = EpochCert::aggregate(View::new(0), &sigs, &params).unwrap();
+        pm.on_message(keys[1].id(), &PacemakerMessage::EpochCert(ec), Time::from_millis(1));
+        let digest = QuorumCert::vote_digest(View::new(0), 9);
+        let votes: Vec<_> = keys.iter().take(3).map(|k| k.sign(digest)).collect();
+        let qc = QuorumCert::aggregate(View::new(0), 9, &votes, &params).unwrap();
+        let out = pm.on_qc(&qc, false, Time::from_millis(2));
+        assert_eq!(pm.current_view(), View::new(1));
+        assert!(actions::entered_views(&out).contains(&View::new(1)));
+    }
+
+    #[test]
+    fn view_certificates_for_epoch_views_are_ignored() {
+        let (mut pm, keys, params) = make(4, 0);
+        pm.boot(Time::ZERO);
+        // A VC for view 0 (an epoch view) must not admit the processor; only
+        // an EC may.
+        let sigs: Vec<_> = keys
+            .iter()
+            .take(2)
+            .map(|k| k.sign(view_msg_digest(View::new(0))))
+            .collect();
+        let vc = ViewCert::aggregate(View::new(0), &sigs, &params).unwrap();
+        pm.on_message(keys[1].id(), &PacemakerMessage::ViewCert(vc), Time::from_millis(1));
+        assert_eq!(pm.current_view(), View::SENTINEL);
+    }
+
+    #[test]
+    fn wake_without_progress_reschedules() {
+        let (mut pm, keys, params) = make(4, 0);
+        pm.boot(Time::ZERO);
+        let sigs: Vec<_> = keys
+            .iter()
+            .map(|k| k.sign(epoch_view_digest(View::new(0))))
+            .collect();
+        let ec = EpochCert::aggregate(View::new(0), &sigs, &params).unwrap();
+        pm.on_message(keys[1].id(), &PacemakerMessage::EpochCert(ec), Time::from_millis(1));
+        let out = pm.on_wake(Time::from_millis(3));
+        assert!(actions::earliest_wake(&out).is_some());
+    }
+}

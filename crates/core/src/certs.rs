@@ -1,0 +1,233 @@
+//! Certificates assembled from pacemaker messages.
+//!
+//! * [`ViewCert`] (VC) — `f+1` *view `v`* messages aggregated by `lead(v)`
+//!   (Sections 3.3–4).
+//! * [`EpochCert`] (EC) — `2f+1` *epoch view `v`* messages (Sections 3.2–4).
+//!   In Lumiere the EC is assembled locally from broadcast epoch-view
+//!   messages; LP22-style protocols may also relay it explicitly.
+//! * [`TimeoutCert`] (TC) — `f+1` *epoch view `v`* messages (Section 3.5):
+//!   evidence that at least one honest processor did not observe the success
+//!   criterion, prompting others to contribute epoch-view messages.
+//! * [`WishCert`] — `f+1` wish messages aggregated by a prospective leader in
+//!   the Cogsworth / NK20 relay baselines.
+
+use lumiere_crypto::{Digest, DigestValue, Pki, Signature, ThresholdSignature};
+use lumiere_types::{Params, Result, View};
+use serde::{Deserialize, Serialize};
+
+/// Digest signed by a processor wishing to tell `lead(v)` it entered initial
+/// view `v`.
+pub fn view_msg_digest(view: View) -> DigestValue {
+    Digest::new(b"view-msg").push_i64(view.as_i64()).finish()
+}
+
+/// Digest signed by a processor wishing to enter epoch view `v`.
+pub fn epoch_view_digest(view: View) -> DigestValue {
+    Digest::new(b"epoch-view").push_i64(view.as_i64()).finish()
+}
+
+/// Digest signed by a processor asking to advance to view `v` in the relay
+/// (Cogsworth / NK20) baselines.
+pub fn wish_digest(view: View) -> DigestValue {
+    Digest::new(b"wish").push_i64(view.as_i64()).finish()
+}
+
+/// Digest signed by a processor reporting a timeout of view `v` in the naive
+/// quadratic pacemaker.
+pub fn timeout_digest(view: View) -> DigestValue {
+    Digest::new(b"timeout").push_i64(view.as_i64()).finish()
+}
+
+macro_rules! certificate {
+    ($(#[$doc:meta])* $name:ident, $digest_fn:ident, $threshold:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+        pub struct $name {
+            view: View,
+            tsig: ThresholdSignature,
+        }
+
+        impl $name {
+            /// Aggregates signatures over the certificate's digest for `view`.
+            ///
+            /// # Errors
+            ///
+            /// Fails if fewer than the required number of distinct signers
+            /// contributed.
+            pub fn aggregate(view: View, sigs: &[Signature], params: &Params) -> Result<Self> {
+                let tsig =
+                    ThresholdSignature::aggregate($digest_fn(view), sigs, params.$threshold())?;
+                Ok(Self { view, tsig })
+            }
+
+            /// The view the certificate refers to.
+            pub fn view(&self) -> View {
+                self.view
+            }
+
+            /// Number of distinct signers.
+            pub fn signer_count(&self) -> usize {
+                self.tsig.signer_count()
+            }
+
+            /// Verifies the certificate against the PKI and its threshold.
+            ///
+            /// # Errors
+            ///
+            /// Propagates signature/threshold verification failures.
+            pub fn verify(&self, pki: &Pki, params: &Params) -> Result<()> {
+                if self.tsig.digest() != $digest_fn(self.view) {
+                    return Err(lumiere_types::Error::ViewMismatch {
+                        expected: self.view,
+                        found: self.view,
+                    });
+                }
+                pki.verify_threshold(&self.tsig, $digest_fn(self.view), params.$threshold())
+            }
+        }
+    };
+}
+
+certificate!(
+    /// View certificate: `f+1` view-`v` messages aggregated by the leader of
+    /// the initial view `v`.
+    ViewCert,
+    view_msg_digest,
+    small_quorum
+);
+
+certificate!(
+    /// Epoch certificate: `2f+1` epoch-view-`v` messages; entering epoch view
+    /// `v` on its evidence keeps consistency across the epoch change.
+    EpochCert,
+    epoch_view_digest,
+    quorum
+);
+
+certificate!(
+    /// Timeout certificate: `f+1` epoch-view-`v` messages; proves at least
+    /// one *honest* processor did not see the success criterion, so everyone
+    /// must contribute to the epoch change (Section 3.5).
+    TimeoutCert,
+    epoch_view_digest,
+    small_quorum
+);
+
+certificate!(
+    /// Wish certificate used by the relay-based baselines: `f+1` wish
+    /// messages for view `v` aggregated by a prospective leader.
+    WishCert,
+    wish_digest,
+    small_quorum
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumiere_crypto::keygen;
+    use lumiere_types::Duration;
+
+    fn setup() -> (Vec<lumiere_crypto::KeyPair>, Pki, Params) {
+        let params = Params::new(7, Duration::from_millis(10));
+        let (keys, pki) = keygen(7, 2);
+        (keys, pki, params)
+    }
+
+    #[test]
+    fn view_cert_needs_f_plus_one() {
+        let (keys, pki, params) = setup();
+        let v = View::new(4);
+        let sigs: Vec<_> = keys
+            .iter()
+            .take(2)
+            .map(|k| k.sign(view_msg_digest(v)))
+            .collect();
+        assert!(ViewCert::aggregate(v, &sigs, &params).is_err());
+        let sigs: Vec<_> = keys
+            .iter()
+            .take(3)
+            .map(|k| k.sign(view_msg_digest(v)))
+            .collect();
+        let vc = ViewCert::aggregate(v, &sigs, &params).unwrap();
+        assert_eq!(vc.view(), v);
+        assert_eq!(vc.signer_count(), 3);
+        assert!(vc.verify(&pki, &params).is_ok());
+    }
+
+    #[test]
+    fn epoch_cert_needs_quorum_but_timeout_cert_needs_f_plus_one() {
+        let (keys, pki, params) = setup();
+        let v = View::new(70);
+        let sigs: Vec<_> = keys
+            .iter()
+            .take(3)
+            .map(|k| k.sign(epoch_view_digest(v)))
+            .collect();
+        assert!(EpochCert::aggregate(v, &sigs, &params).is_err());
+        let tc = TimeoutCert::aggregate(v, &sigs, &params).unwrap();
+        assert!(tc.verify(&pki, &params).is_ok());
+        let sigs: Vec<_> = keys
+            .iter()
+            .take(5)
+            .map(|k| k.sign(epoch_view_digest(v)))
+            .collect();
+        let ec = EpochCert::aggregate(v, &sigs, &params).unwrap();
+        assert!(ec.verify(&pki, &params).is_ok());
+    }
+
+    #[test]
+    fn certificates_do_not_verify_for_other_views() {
+        let (keys, pki, params) = setup();
+        let v = View::new(2);
+        let sigs: Vec<_> = keys
+            .iter()
+            .take(3)
+            .map(|k| k.sign(view_msg_digest(v)))
+            .collect();
+        let mut vc = ViewCert::aggregate(v, &sigs, &params).unwrap();
+        vc.view = View::new(3);
+        assert!(vc.verify(&pki, &params).is_err());
+    }
+
+    #[test]
+    fn wish_cert_round_trips() {
+        let (keys, pki, params) = setup();
+        let v = View::new(9);
+        let sigs: Vec<_> = keys.iter().take(3).map(|k| k.sign(wish_digest(v))).collect();
+        let wc = WishCert::aggregate(v, &sigs, &params).unwrap();
+        assert!(wc.verify(&pki, &params).is_ok());
+        assert_eq!(wc.view(), v);
+    }
+
+    #[test]
+    fn digests_are_domain_separated() {
+        let v = View::new(5);
+        let digests = [
+            view_msg_digest(v),
+            epoch_view_digest(v),
+            wish_digest(v),
+            timeout_digest(v),
+        ];
+        for i in 0..digests.len() {
+            for j in 0..digests.len() {
+                if i != j {
+                    assert_ne!(digests[i], digests[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn signatures_from_wrong_domain_do_not_aggregate_into_valid_certs() {
+        let (keys, pki, params) = setup();
+        let v = View::new(6);
+        // Processors signed *wish* digests; an adversary tries to pass them
+        // off as view messages.
+        let sigs: Vec<_> = keys.iter().take(3).map(|k| k.sign(wish_digest(v))).collect();
+        let forged = ViewCert {
+            view: v,
+            tsig: ThresholdSignature::aggregate(wish_digest(v), &sigs, 3).unwrap(),
+        };
+        assert!(forged.verify(&pki, &params).is_err());
+    }
+}

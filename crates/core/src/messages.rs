@@ -1,0 +1,165 @@
+//! Wire messages exchanged by pacemakers.
+
+use crate::certs::{EpochCert, TimeoutCert, ViewCert, WishCert};
+use lumiere_crypto::{Signature, SIGNATURE_SIZE_BYTES};
+use lumiere_types::View;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Messages used by the view-synchronization protocols.
+///
+/// One enum covers every protocol in the workspace (Lumiere, Basic Lumiere,
+/// LP22, Fever, Cogsworth/NK20, naive quadratic) so the simulator can route
+/// them uniformly; each protocol only sends and reacts to the variants its
+/// specification defines. All variants are `O(κ)` in size.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PacemakerMessage {
+    /// "I have entered initial view `v`" — sent to `lead(v)` (Fever, Basic
+    /// Lumiere, Lumiere).
+    ViewMsg {
+        /// The initial view entered.
+        view: View,
+        /// The sender's signature over [`crate::certs::view_msg_digest`].
+        signature: Signature,
+    },
+    /// "I wish to enter epoch view `v`" — broadcast to all (LP22, Basic
+    /// Lumiere, Lumiere).
+    EpochViewMsg {
+        /// The epoch view.
+        view: View,
+        /// The sender's signature over [`crate::certs::epoch_view_digest`].
+        signature: Signature,
+    },
+    /// A view certificate broadcast by `lead(v)`.
+    ViewCert(ViewCert),
+    /// An explicitly relayed epoch certificate (used by LP22-style relaying;
+    /// Lumiere assembles ECs locally from broadcast epoch-view messages).
+    EpochCert(EpochCert),
+    /// A relayed timeout certificate (diagnostic / baseline use).
+    TimeoutCert(TimeoutCert),
+    /// Cogsworth / NK20: "I wish to advance to view `v`" — sent to a
+    /// prospective leader.
+    Wish {
+        /// The view the sender wishes to enter.
+        view: View,
+        /// Signature over [`crate::certs::wish_digest`].
+        signature: Signature,
+    },
+    /// Cogsworth / NK20: a leader's aggregated synchronization certificate
+    /// for view `v`, broadcast to all.
+    SyncCert(WishCert),
+    /// Naive quadratic pacemaker: a view-timeout announcement broadcast to
+    /// all processors.
+    Timeout {
+        /// The view that timed out (the sender wants to enter `view + 1`).
+        view: View,
+        /// Signature over [`crate::certs::timeout_digest`].
+        signature: Signature,
+    },
+}
+
+impl PacemakerMessage {
+    /// The view the message refers to.
+    pub fn view(&self) -> View {
+        match self {
+            PacemakerMessage::ViewMsg { view, .. }
+            | PacemakerMessage::EpochViewMsg { view, .. }
+            | PacemakerMessage::Wish { view, .. }
+            | PacemakerMessage::Timeout { view, .. } => *view,
+            PacemakerMessage::ViewCert(c) => c.view(),
+            PacemakerMessage::EpochCert(c) => c.view(),
+            PacemakerMessage::TimeoutCert(c) => c.view(),
+            PacemakerMessage::SyncCert(c) => c.view(),
+        }
+    }
+
+    /// Short kind tag for traces and metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PacemakerMessage::ViewMsg { .. } => "view-msg",
+            PacemakerMessage::EpochViewMsg { .. } => "epoch-view-msg",
+            PacemakerMessage::ViewCert(_) => "view-cert",
+            PacemakerMessage::EpochCert(_) => "epoch-cert",
+            PacemakerMessage::TimeoutCert(_) => "timeout-cert",
+            PacemakerMessage::Wish { .. } => "wish",
+            PacemakerMessage::SyncCert(_) => "sync-cert",
+            PacemakerMessage::Timeout { .. } => "timeout",
+        }
+    }
+
+    /// Whether this message is part of a *heavy* (all-to-all) epoch
+    /// synchronization.
+    pub fn is_heavy_sync(&self) -> bool {
+        matches!(
+            self,
+            PacemakerMessage::EpochViewMsg { .. } | PacemakerMessage::EpochCert(_)
+        )
+    }
+
+    /// Nominal wire size in bytes; every variant is a constant number of
+    /// signatures/hashes/integers (`O(κ)`).
+    pub fn wire_size(&self) -> usize {
+        8 + SIGNATURE_SIZE_BYTES
+    }
+}
+
+impl fmt::Display for PacemakerMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.kind(), self.view())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certs::{view_msg_digest, ViewCert};
+    use lumiere_crypto::keygen;
+    use lumiere_types::{Duration, Params, ProcessId};
+
+    #[test]
+    fn view_accessor_covers_all_variants() {
+        let params = Params::new(4, Duration::from_millis(1));
+        let (keys, _) = keygen(4, 0);
+        let v = View::new(6);
+        let sigs: Vec<_> = keys.iter().take(2).map(|k| k.sign(view_msg_digest(v))).collect();
+        let vc = ViewCert::aggregate(v, &sigs, &params).unwrap();
+        let msgs = vec![
+            PacemakerMessage::ViewMsg {
+                view: v,
+                signature: keys[0].sign(view_msg_digest(v)),
+            },
+            PacemakerMessage::ViewCert(vc),
+            PacemakerMessage::Timeout {
+                view: v,
+                signature: keys[0].sign(view_msg_digest(v)),
+            },
+            PacemakerMessage::Wish {
+                view: v,
+                signature: keys[0].sign(view_msg_digest(v)),
+            },
+        ];
+        for m in msgs {
+            assert_eq!(m.view(), v);
+            assert!(m.wire_size() > 0 && m.wire_size() < 256);
+            assert!(!m.kind().is_empty());
+            assert!(m.to_string().contains("v6"));
+        }
+    }
+
+    #[test]
+    fn heavy_sync_classification() {
+        let (keys, _) = keygen(4, 0);
+        let v = View::new(0);
+        let heavy = PacemakerMessage::EpochViewMsg {
+            view: v,
+            signature: keys[0].sign(view_msg_digest(v)),
+        };
+        let light = PacemakerMessage::ViewMsg {
+            view: v,
+            signature: keys[0].sign(view_msg_digest(v)),
+        };
+        assert!(heavy.is_heavy_sync());
+        assert!(!light.is_heavy_sync());
+        let _ = ProcessId::new(0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Deterministic 64-bit message digests.
+//!
+//! Protocol messages are summarised by a domain-separated 64-bit digest built
+//! with an FNV-1a-style mixing function. Sixty-four bits is plenty for a
+//! simulation (collisions would require ~2³² distinct statements per run) and
+//! keeps every certificate `Copy`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Finalised digest value.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct DigestValue(pub u64);
+
+impl DigestValue {
+    /// Raw 64-bit value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for DigestValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Incremental digest builder with domain separation.
+///
+/// ```
+/// use lumiere_crypto::Digest;
+/// let a = Digest::new(b"vote").push_i64(3).push_u64(9).finish();
+/// let b = Digest::new(b"vote").push_i64(3).push_u64(9).finish();
+/// let c = Digest::new(b"vote").push_u64(9).push_i64(3).finish();
+/// assert_eq!(a, b);
+/// assert_ne!(a, c); // order matters
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Digest {
+    state: u64,
+}
+
+impl Digest {
+    /// Starts a digest in the given domain (e.g. `b"view-msg"`). Distinct
+    /// domains never collide for the same field sequence.
+    pub fn new(domain: &[u8]) -> Self {
+        let mut d = Digest { state: FNV_OFFSET };
+        d.mix_bytes(domain);
+        d.mix_u64(0x00d0_aa11_5e9a_7a7e);
+        d
+    }
+
+    fn mix_u64(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.state ^= byte as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        // Extra avalanche (splitmix64 finaliser step) so nearby integers map
+        // to well-spread digests.
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.state = z ^ (z >> 31);
+    }
+
+    fn mix_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self.mix_u64(bytes.len() as u64);
+    }
+
+    /// Appends an unsigned 64-bit field.
+    #[must_use]
+    pub fn push_u64(mut self, value: u64) -> Self {
+        self.mix_u64(value);
+        self
+    }
+
+    /// Appends a signed 64-bit field.
+    #[must_use]
+    pub fn push_i64(mut self, value: i64) -> Self {
+        self.mix_u64(value as u64);
+        self
+    }
+
+    /// Appends a byte-string field.
+    #[must_use]
+    pub fn push_bytes(mut self, bytes: &[u8]) -> Self {
+        self.mix_bytes(bytes);
+        self
+    }
+
+    /// Finalises the digest.
+    pub fn finish(self) -> DigestValue {
+        DigestValue(self.state)
+    }
+}
+
+/// Convenience helper: hash two 64-bit values (used for chaining block
+/// hashes and combining partial signatures).
+pub fn combine(a: u64, b: u64) -> u64 {
+    Digest::new(b"combine").push_u64(a).push_u64(b).finish().0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn identical_inputs_give_identical_digests() {
+        let a = Digest::new(b"x").push_i64(1).push_u64(2).finish();
+        let b = Digest::new(b"x").push_i64(1).push_u64(2).finish();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn domains_separate() {
+        let a = Digest::new(b"x").push_i64(1).finish();
+        let b = Digest::new(b"y").push_i64(1).finish();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn field_boundaries_matter() {
+        let a = Digest::new(b"x").push_bytes(b"ab").push_bytes(b"c").finish();
+        let b = Digest::new(b"x").push_bytes(b"a").push_bytes(b"bc").finish();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn nearby_integers_spread_out() {
+        let mut seen = HashSet::new();
+        for i in 0..10_000i64 {
+            seen.insert(Digest::new(b"spread").push_i64(i).finish().as_u64());
+        }
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        assert_ne!(combine(1, 2), combine(2, 1));
+        assert_eq!(combine(7, 9), combine(7, 9));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let d = DigestValue(0xabcd);
+        assert_eq!(d.to_string(), "000000000000abcd");
+    }
+
+    proptest! {
+        #[test]
+        fn digest_is_deterministic(domain in proptest::collection::vec(any::<u8>(), 0..16),
+                                    fields in proptest::collection::vec(any::<i64>(), 0..8)) {
+            let mut a = Digest::new(&domain);
+            let mut b = Digest::new(&domain);
+            for &f in &fields {
+                a = a.push_i64(f);
+                b = b.push_i64(f);
+            }
+            prop_assert_eq!(a.finish(), b.finish());
+        }
+
+        #[test]
+        fn different_last_field_changes_digest(prefix in proptest::collection::vec(any::<i64>(), 0..6),
+                                               x in any::<i64>(), y in any::<i64>()) {
+            prop_assume!(x != y);
+            let mut a = Digest::new(b"p");
+            let mut b = Digest::new(b"p");
+            for &f in &prefix {
+                a = a.push_i64(f);
+                b = b.push_i64(f);
+            }
+            prop_assert_ne!(a.push_i64(x).finish(), b.push_i64(y).finish());
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Key material and the simulated PKI.
+
+use crate::digest::{Digest, DigestValue};
+use crate::signature::Signature;
+use crate::threshold::ThresholdSignature;
+use lumiere_types::{Error, ProcessId, Result};
+use serde::{Deserialize, Serialize};
+
+/// Secret signing key held by one processor.
+///
+/// In the simulated scheme the "secret" is a 64-bit scalar derived from the
+/// keygen seed; the [`Pki`] retains the same scalars so it can recompute and
+/// verify keyed hashes (this plays the role of the public-key relation).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeyPair {
+    id: ProcessId,
+    secret: u64,
+}
+
+impl KeyPair {
+    /// The identifier of the processor owning this key.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// Signs a digest, producing a partial signature attributable to this
+    /// processor.
+    pub fn sign(&self, digest: DigestValue) -> Signature {
+        Signature::new(self.id, keyed_tag(self.secret, digest))
+    }
+}
+
+/// The simulated public-key infrastructure: can verify any processor's
+/// signatures and aggregate threshold signatures.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pki {
+    secrets: Vec<u64>,
+}
+
+impl Pki {
+    /// Number of registered processors.
+    pub fn n(&self) -> usize {
+        self.secrets.len()
+    }
+
+    /// Verifies a single signature over `digest`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownProcess`] if the signer is not registered and
+    /// [`Error::InvalidSignature`] if the keyed tag does not verify.
+    pub fn verify(&self, sig: &Signature, digest: DigestValue) -> Result<()> {
+        let secret = self
+            .secrets
+            .get(sig.signer().as_usize())
+            .copied()
+            .ok_or(Error::UnknownProcess { id: sig.signer() })?;
+        if sig.tag() == keyed_tag(secret, digest) {
+            Ok(())
+        } else {
+            Err(Error::InvalidSignature {
+                signer: sig.signer(),
+            })
+        }
+    }
+
+    /// Verifies a threshold signature over `digest` with the given signer
+    /// threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InsufficientSigners`] if fewer than `threshold`
+    /// distinct signers contributed, or [`Error::InvalidSignature`] if the
+    /// aggregate proof does not match the recomputed value.
+    pub fn verify_threshold(
+        &self,
+        tsig: &ThresholdSignature,
+        digest: DigestValue,
+        threshold: usize,
+    ) -> Result<()> {
+        if tsig.signers().len() < threshold {
+            return Err(Error::InsufficientSigners {
+                got: tsig.signers().len(),
+                need: threshold,
+            });
+        }
+        let mut proof = 0u64;
+        for &signer in tsig.signers() {
+            let secret = self
+                .secrets
+                .get(signer.as_usize())
+                .copied()
+                .ok_or(Error::UnknownProcess { id: signer })?;
+            proof ^= keyed_tag(secret, digest);
+        }
+        if proof == tsig.proof() && tsig.digest() == digest {
+            Ok(())
+        } else {
+            Err(Error::InvalidSignature {
+                signer: *tsig.signers().iter().next().expect("non-empty signer set"),
+            })
+        }
+    }
+}
+
+/// Generates key material for an `n`-processor system from a seed.
+///
+/// The same `(n, seed)` pair always yields the same keys, keeping simulations
+/// reproducible.
+///
+/// ```
+/// use lumiere_crypto::keygen;
+/// let (keys, pki) = keygen(4, 7);
+/// assert_eq!(keys.len(), 4);
+/// assert_eq!(pki.n(), 4);
+/// ```
+pub fn keygen(n: usize, seed: u64) -> (Vec<KeyPair>, Pki) {
+    let secrets: Vec<u64> = (0..n)
+        .map(|i| {
+            Digest::new(b"keygen")
+                .push_u64(seed)
+                .push_u64(i as u64)
+                .finish()
+                .as_u64()
+        })
+        .collect();
+    let keys = secrets
+        .iter()
+        .enumerate()
+        .map(|(i, &secret)| KeyPair {
+            id: ProcessId::new(i),
+            secret,
+        })
+        .collect();
+    (keys, Pki { secrets })
+}
+
+fn keyed_tag(secret: u64, digest: DigestValue) -> u64 {
+    Digest::new(b"sig")
+        .push_u64(secret)
+        .push_u64(digest.as_u64())
+        .finish()
+        .as_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(x: i64) -> DigestValue {
+        Digest::new(b"test").push_i64(x).finish()
+    }
+
+    #[test]
+    fn signatures_verify_under_the_right_digest() {
+        let (keys, pki) = keygen(4, 1);
+        let d = digest(10);
+        let sig = keys[2].sign(d);
+        assert!(pki.verify(&sig, d).is_ok());
+        assert!(pki.verify(&sig, digest(11)).is_err());
+    }
+
+    #[test]
+    fn signatures_are_not_transferable_between_signers() {
+        let (keys, pki) = keygen(4, 1);
+        let d = digest(10);
+        let sig = keys[2].sign(d);
+        let forged = Signature::new(ProcessId::new(3), sig.tag());
+        assert_eq!(
+            pki.verify(&forged, d),
+            Err(Error::InvalidSignature {
+                signer: ProcessId::new(3)
+            })
+        );
+    }
+
+    #[test]
+    fn unknown_signer_is_rejected() {
+        let (keys, pki) = keygen(4, 1);
+        let d = digest(1);
+        let sig = Signature::new(ProcessId::new(9), keys[0].sign(d).tag());
+        assert!(matches!(
+            pki.verify(&sig, d),
+            Err(Error::UnknownProcess { .. })
+        ));
+    }
+
+    #[test]
+    fn keygen_is_deterministic_and_seed_sensitive() {
+        let (a, _) = keygen(4, 5);
+        let (b, _) = keygen(4, 5);
+        let (c, _) = keygen(4, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn threshold_verification_round_trips() {
+        let (keys, pki) = keygen(7, 3);
+        let d = digest(99);
+        let partials: Vec<_> = keys.iter().take(5).map(|k| k.sign(d)).collect();
+        let tsig = ThresholdSignature::aggregate(d, &partials, 5).unwrap();
+        assert!(pki.verify_threshold(&tsig, d, 5).is_ok());
+        assert!(pki.verify_threshold(&tsig, d, 6).is_err());
+        assert!(pki.verify_threshold(&tsig, digest(98), 5).is_err());
+    }
+}

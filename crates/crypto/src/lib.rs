@@ -1,0 +1,56 @@
+//! Simulated cryptography substrate for the Lumiere reproduction.
+//!
+//! The paper assumes a signature scheme, a PKI and a threshold signature
+//! scheme (Boneh–Lynn–Shacham / Shoup-style) producing `O(κ)`-size aggregate
+//! signatures of `f+1`-of-`n` or `2f+1`-of-`n` processors. For a
+//! deterministic, dependency-free, laptop-scale reproduction we substitute a
+//! **simulated** scheme based on keyed 64-bit hashes:
+//!
+//! * every processor holds a secret scalar known also to the [`Pki`]
+//!   (standing in for the public-key verification relation),
+//! * a [`Signature`] over a [`DigestValue`] is a keyed hash of the digest
+//!   under the signer's secret,
+//! * a [`ThresholdSignature`] aggregates the partial signatures of a set of
+//!   distinct signers into a single constant-size proof plus the signer set.
+//!
+//! The substitution preserves exactly the properties the protocols rely on:
+//! unforgeability *within the simulation* (honest code never signs on behalf
+//! of another processor; the verifier recomputes the keyed hashes), distinct
+//! signer counting, constant-size certificates for message-size accounting,
+//! and the `f+1` / `2f+1` aggregation thresholds. It is **not**
+//! cryptographically secure and must never be used outside the simulator;
+//! see `DESIGN.md` for the substitution rationale.
+//!
+//! # Example
+//!
+//! ```
+//! use lumiere_crypto::{keygen, Digest, ThresholdSignature};
+//! use lumiere_types::ProcessId;
+//!
+//! let (keys, pki) = keygen(4, 42);
+//! let digest = Digest::new(b"view-msg").push_i64(7).finish();
+//! let partials: Vec<_> = keys.iter().map(|k| k.sign(digest)).collect();
+//! let tsig = ThresholdSignature::aggregate(digest, &partials, 3).unwrap();
+//! assert!(pki.verify_threshold(&tsig, digest, 3).is_ok());
+//! assert!(tsig.signers().contains(&ProcessId::new(0)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod digest;
+pub mod keys;
+pub mod signature;
+pub mod threshold;
+
+pub use digest::{Digest, DigestValue};
+pub use keys::{keygen, KeyPair, Pki};
+pub use signature::Signature;
+pub use threshold::ThresholdSignature;
+
+/// Nominal size in bytes of a single signature or threshold signature
+/// (`O(κ)` with κ = 32 bytes), used by the simulator's wire-size accounting.
+pub const SIGNATURE_SIZE_BYTES: usize = 48;
+
+/// Nominal size in bytes of a hash / digest value.
+pub const DIGEST_SIZE_BYTES: usize = 32;

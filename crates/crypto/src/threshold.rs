@@ -1,0 +1,161 @@
+//! Threshold signatures (simulated aggregation of partial signatures).
+
+use crate::digest::DigestValue;
+use crate::signature::Signature;
+use lumiere_types::{Error, ProcessId, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A (simulated) threshold signature: a constant-size aggregate proof plus
+/// the set of distinct signers that contributed.
+///
+/// The protocols use two thresholds: `f+1` (view certificates, TCs) and
+/// `2f+1` (quorum certificates, epoch certificates). The threshold itself is
+/// re-checked at verification time by [`crate::Pki::verify_threshold`], so a
+/// certificate built for a lower threshold cannot be passed off as a higher
+/// one.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ThresholdSignature {
+    digest: DigestValue,
+    signers: BTreeSet<ProcessId>,
+    proof: u64,
+}
+
+impl ThresholdSignature {
+    /// Aggregates partial signatures over `digest` into a threshold
+    /// signature.
+    ///
+    /// Duplicate signers are collapsed; the aggregation succeeds only if at
+    /// least `threshold` *distinct* signers contributed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InsufficientSigners`] if fewer than `threshold`
+    /// distinct signers are present.
+    pub fn aggregate(
+        digest: DigestValue,
+        partials: &[Signature],
+        threshold: usize,
+    ) -> Result<Self> {
+        let mut signers = BTreeSet::new();
+        let mut proof = 0u64;
+        for sig in partials {
+            if signers.insert(sig.signer()) {
+                proof ^= sig.tag();
+            }
+        }
+        if signers.len() < threshold {
+            return Err(Error::InsufficientSigners {
+                got: signers.len(),
+                need: threshold,
+            });
+        }
+        Ok(ThresholdSignature {
+            digest,
+            signers,
+            proof,
+        })
+    }
+
+    /// The digest the signature covers.
+    pub fn digest(&self) -> DigestValue {
+        self.digest
+    }
+
+    /// The set of distinct contributing signers.
+    pub fn signers(&self) -> &BTreeSet<ProcessId> {
+        &self.signers
+    }
+
+    /// Number of distinct contributing signers.
+    pub fn signer_count(&self) -> usize {
+        self.signers.len()
+    }
+
+    /// The aggregate proof value.
+    pub fn proof(&self) -> u64 {
+        self.proof
+    }
+}
+
+impl fmt::Display for ThresholdSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tsig({} signers over {})",
+            self.signers.len(),
+            self.digest
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::Digest;
+    use crate::keys::keygen;
+    use proptest::prelude::*;
+
+    fn digest(x: i64) -> DigestValue {
+        Digest::new(b"t").push_i64(x).finish()
+    }
+
+    #[test]
+    fn aggregation_requires_enough_distinct_signers() {
+        let (keys, _) = keygen(4, 1);
+        let d = digest(1);
+        let one = vec![keys[0].sign(d)];
+        assert!(ThresholdSignature::aggregate(d, &one, 2).is_err());
+        let dup = vec![keys[0].sign(d), keys[0].sign(d)];
+        assert!(ThresholdSignature::aggregate(d, &dup, 2).is_err());
+        let two = vec![keys[0].sign(d), keys[1].sign(d)];
+        let tsig = ThresholdSignature::aggregate(d, &two, 2).unwrap();
+        assert_eq!(tsig.signer_count(), 2);
+    }
+
+    #[test]
+    fn tampered_proof_fails_verification() {
+        let (keys, pki) = keygen(4, 1);
+        let d = digest(5);
+        let partials: Vec<_> = keys.iter().take(3).map(|k| k.sign(d)).collect();
+        let mut tsig = ThresholdSignature::aggregate(d, &partials, 3).unwrap();
+        tsig.proof ^= 1;
+        assert!(pki.verify_threshold(&tsig, d, 3).is_err());
+    }
+
+    #[test]
+    fn signer_set_is_reported_in_order() {
+        let (keys, _) = keygen(5, 9);
+        let d = digest(2);
+        let partials = vec![keys[3].sign(d), keys[0].sign(d), keys[4].sign(d)];
+        let tsig = ThresholdSignature::aggregate(d, &partials, 3).unwrap();
+        let ids: Vec<_> = tsig.signers().iter().map(|p| p.as_usize()).collect();
+        assert_eq!(ids, vec![0, 3, 4]);
+        assert!(tsig.to_string().contains("3 signers"));
+    }
+
+    proptest! {
+        #[test]
+        fn any_quorum_of_honest_partials_verifies(n in 4usize..20, seed in 0u64..50, pick in any::<u64>()) {
+            let (keys, pki) = keygen(n, seed);
+            let f = (n - 1) / 3;
+            let quorum = 2 * f + 1;
+            let d = digest(seed as i64);
+            // pick a pseudo-random subset of exactly `quorum` signers
+            let mut chosen: Vec<usize> = (0..n).collect();
+            // deterministic shuffle driven by `pick`
+            let mut state = pick | 1;
+            for i in (1..chosen.len()).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let j = (state >> 33) as usize % (i + 1);
+                chosen.swap(i, j);
+            }
+            let partials: Vec<_> = chosen.iter().take(quorum).map(|&i| keys[i].sign(d)).collect();
+            let tsig = ThresholdSignature::aggregate(d, &partials, quorum).unwrap();
+            prop_assert!(pki.verify_threshold(&tsig, d, quorum).is_ok());
+            // and it never verifies against a different digest
+            prop_assert!(pki.verify_threshold(&tsig, digest(seed as i64 + 1), quorum).is_err());
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Byzantine fault behaviours.
+
+use serde::{Deserialize, Serialize};
+
+/// How a corrupted processor behaves.
+///
+/// The paper's adversary is fully Byzantine; the behaviours implemented here
+/// are the ones its worst-case arguments actually use, plus crash faults for
+/// the benign regime:
+///
+/// * [`ByzBehavior::Crash`] — the processor never sends anything (it does not
+///   even boot). The remaining `n − f_a` processors must synchronize without
+///   its signatures.
+/// * [`ByzBehavior::SilentLeader`] — the processor follows the protocol
+///   (votes, sends view and epoch-view messages, forwards certificates) but
+///   never proposes when it is the leader. Its views therefore never produce
+///   a QC while the adversary pays nothing in detectability — this is the
+///   behaviour behind Figure 1 and the `Ω(nΔ)` latency attack on LP22.
+/// * [`ByzBehavior::SyncSilent`] — the processor votes in the underlying
+///   protocol but never participates in view synchronization (sends no view,
+///   epoch-view or wish messages) and never proposes. This stresses the
+///   `f+1` / `2f+1` thresholds of the synchronizers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ByzBehavior {
+    /// Sends nothing at all.
+    Crash,
+    /// Participates fully except it never proposes as leader.
+    SilentLeader,
+    /// Votes but does not help view synchronization and never proposes.
+    SyncSilent,
+}
+
+impl ByzBehavior {
+    /// Whether the processor runs its consensus engine (votes / proposes).
+    pub fn runs_consensus(&self) -> bool {
+        !matches!(self, ByzBehavior::Crash)
+    }
+
+    /// Whether the processor runs its pacemaker (view synchronization).
+    pub fn runs_pacemaker(&self) -> bool {
+        matches!(self, ByzBehavior::SilentLeader)
+    }
+
+    /// Whether the processor proposes blocks when it is the leader.
+    pub fn proposes(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_does_nothing() {
+        assert!(!ByzBehavior::Crash.runs_consensus());
+        assert!(!ByzBehavior::Crash.runs_pacemaker());
+        assert!(!ByzBehavior::Crash.proposes());
+    }
+
+    #[test]
+    fn silent_leader_participates_but_never_proposes() {
+        assert!(ByzBehavior::SilentLeader.runs_consensus());
+        assert!(ByzBehavior::SilentLeader.runs_pacemaker());
+        assert!(!ByzBehavior::SilentLeader.proposes());
+    }
+
+    #[test]
+    fn sync_silent_votes_but_does_not_synchronize() {
+        assert!(ByzBehavior::SyncSilent.runs_consensus());
+        assert!(!ByzBehavior::SyncSilent.runs_pacemaker());
+        assert!(!ByzBehavior::SyncSilent.proposes());
+    }
+}

@@ -1,0 +1,168 @@
+//! The simulator's event queue.
+
+use lumiere_consensus::ConsensusMessage;
+use lumiere_core::messages::PacemakerMessage;
+use lumiere_types::{ProcessId, Time};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A message travelling through the simulated network: either a pacemaker
+/// (view synchronization) message or an underlying-protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimMessage {
+    /// A view-synchronization message.
+    Pacemaker(PacemakerMessage),
+    /// An underlying-protocol (HotStuff) message.
+    Consensus(ConsensusMessage),
+}
+
+impl SimMessage {
+    /// Short kind tag for metrics and traces.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimMessage::Pacemaker(m) => m.kind(),
+            SimMessage::Consensus(m) => m.kind(),
+        }
+    }
+
+    /// Whether this message belongs to a heavy epoch synchronization.
+    pub fn is_heavy_sync(&self) -> bool {
+        matches!(self, SimMessage::Pacemaker(m) if m.is_heavy_sync())
+    }
+}
+
+/// An event scheduled for execution at a point in simulated time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// Start a processor.
+    Boot {
+        /// The processor to start.
+        node: ProcessId,
+    },
+    /// Deliver a message to a processor.
+    Deliver {
+        /// The recipient.
+        to: ProcessId,
+        /// The original sender.
+        from: ProcessId,
+        /// The message.
+        message: SimMessage,
+    },
+    /// Fire a wake-up previously requested by a processor's pacemaker.
+    Wake {
+        /// The processor to wake.
+        node: ProcessId,
+    },
+    /// Periodic metrics sampling (honest clock gap).
+    Sample,
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    at: Time,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue (ties broken by insertion
+/// order).
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at time `at`.
+    pub fn push(&mut self, at: Time, event: Event) {
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        });
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Time, Event)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_millis(5), Event::Sample);
+        q.push(Time::from_millis(1), Event::Boot { node: ProcessId::new(0) });
+        q.push(Time::from_millis(3), Event::Wake { node: ProcessId::new(1) });
+        let order: Vec<i64> = std::iter::from_fn(|| q.pop())
+            .map(|(t, _)| t.as_micros() / 1000)
+            .collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_millis(1), Event::Boot { node: ProcessId::new(0) });
+        q.push(Time::from_millis(1), Event::Boot { node: ProcessId::new(1) });
+        q.push(Time::from_millis(1), Event::Boot { node: ProcessId::new(2) });
+        let nodes: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Boot { node } => node.as_usize(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(nodes, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn len_and_is_empty_track_contents() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(Time::ZERO, Event::Sample);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,53 @@
+//! Deterministic discrete-event simulation of the partial synchrony model.
+//!
+//! The paper's complexity measures (Section 2) are statements about the
+//! number of messages honest processors send and the time that elapses
+//! between QCs produced by honest leaders, as functions of `n`, `f_a`, `Δ`
+//! and the actual network delay `δ`. This crate provides the substrate on
+//! which those quantities are measured for Lumiere and for every baseline:
+//!
+//! * [`network`] — the partial-synchrony network: the adversary picks the
+//!   delay of every message subject to delivery by `max(GST, send) + Δ`;
+//!   pluggable [`network::DelayModel`]s cover the responsive (`δ ≪ Δ`),
+//!   adversarial (exactly `Δ`) and randomized regimes.
+//! * [`byzantine`] — fault behaviours: crashed processors and *silent
+//!   leaders* (processors that follow the protocol but never propose, the
+//!   adversary used by the paper's latency lower-bound discussion and
+//!   Figure 1).
+//! * [`node`] — couples a [`lumiere_core::Pacemaker`] with the underlying
+//!   [`lumiere_consensus::HotStuffEngine`] and cascades their notifications.
+//! * [`runner`] — the event loop; [`metrics`] — the measurements;
+//!   [`trace`] — per-processor execution traces (used for Figure 1);
+//!   [`scenario`] — configuration and protocol selection, the main entry
+//!   point for examples and benchmarks.
+//!
+//! # Example: one synchronized run of Lumiere
+//!
+//! ```
+//! use lumiere_sim::scenario::{ProtocolKind, SimConfig};
+//! use lumiere_types::Duration;
+//!
+//! let report = SimConfig::new(ProtocolKind::Lumiere, 4)
+//!     .with_delta(Duration::from_millis(10))
+//!     .with_actual_delay(Duration::from_millis(1))
+//!     .with_horizon(Duration::from_secs(5))
+//!     .run();
+//! assert!(report.decisions() > 0, "an honest run must commit blocks");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod byzantine;
+pub mod event;
+pub mod metrics;
+pub mod network;
+pub mod node;
+pub mod runner;
+pub mod scenario;
+pub mod trace;
+
+pub use byzantine::ByzBehavior;
+pub use metrics::SimReport;
+pub use network::DelayModel;
+pub use scenario::{ProtocolKind, SimConfig};

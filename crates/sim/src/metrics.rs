@@ -1,0 +1,408 @@
+//! Measurement of the paper's complexity metrics.
+//!
+//! Section 2 defines, for a reference time `T ≥ GST`, the instant `t*_T` as
+//! the first time after `T` at which an *honest leader produces a QC*; the
+//! worst-case communication after `T` counts honest messages in `[T, t*_T)`
+//! and the latency after `T` is `t*_T − T`. The eventual variants are the
+//! `limsup` over `T → ∞`, which the harness approximates by the maximum over
+//! all consecutive honest-leader QCs after a warm-up point.
+
+use lumiere_types::{Duration, ProcessId, Time, View};
+use serde::{Deserialize, Serialize};
+
+/// A QC production event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QcEvent {
+    /// When the QC was aggregated by its leader.
+    pub time: Time,
+    /// The view it certifies.
+    pub view: View,
+    /// The leader that produced it.
+    pub leader: ProcessId,
+    /// Whether that leader is honest (the paper's measures only count these).
+    pub honest_leader: bool,
+}
+
+/// The outcome of one simulated execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Protocol name (`"lumiere"`, `"lp22"`, ...).
+    pub protocol: String,
+    /// Number of processors.
+    pub n: usize,
+    /// Fault threshold `f`.
+    pub f: usize,
+    /// Actual number of corrupted processors in this execution.
+    pub f_a: usize,
+    /// The known delay bound Δ.
+    pub delta_cap: Duration,
+    /// Global stabilization time.
+    pub gst: Time,
+    /// Simulated time at which the run stopped.
+    pub end_time: Time,
+    /// Times at which honest processors sent messages (point-to-point count;
+    /// a broadcast contributes `n−1` entries).
+    pub honest_msg_times: Vec<Time>,
+    /// Subset of the above belonging to heavy epoch synchronizations.
+    pub heavy_msg_times: Vec<Time>,
+    /// All QC production events, in time order.
+    pub qc_events: Vec<QcEvent>,
+    /// First commit time of each height, in commit order.
+    pub commit_times: Vec<(Time, u64)>,
+    /// `(time, epoch view)` for each honest processor that began a heavy
+    /// epoch synchronization.
+    pub heavy_sync_participations: Vec<(Time, View)>,
+    /// Samples of the `(f+1)`-st honest clock gap over time.
+    pub gap_samples: Vec<(Time, Duration)>,
+    /// Whether every pair of honest processors finished with consistent
+    /// (prefix-ordered) committed chains — the SMR safety property.
+    pub safety_ok: bool,
+}
+
+impl SimReport {
+    /// Number of distinct committed heights (consensus decisions).
+    pub fn decisions(&self) -> usize {
+        self.commit_times.len()
+    }
+
+    /// Total messages sent by honest processors over the whole run.
+    pub fn total_messages(&self) -> usize {
+        self.honest_msg_times.len()
+    }
+
+    /// Times of QCs produced by honest leaders, in order.
+    pub fn honest_qc_times(&self) -> Vec<Time> {
+        self.qc_events
+            .iter()
+            .filter(|e| e.honest_leader)
+            .map(|e| e.time)
+            .collect()
+    }
+
+    /// `t*_T`: the first honest-leader QC strictly after `t`.
+    pub fn first_honest_qc_after(&self, t: Time) -> Option<Time> {
+        self.qc_events
+            .iter()
+            .filter(|e| e.honest_leader && e.time > t)
+            .map(|e| e.time)
+            .next()
+    }
+
+    /// Number of honest messages sent in the half-open interval `[a, b)`.
+    pub fn messages_between(&self, a: Time, b: Time) -> usize {
+        count_in_range(&self.honest_msg_times, a, b)
+    }
+
+    /// Number of heavy-synchronization messages sent in `[a, b)`.
+    pub fn heavy_messages_between(&self, a: Time, b: Time) -> usize {
+        count_in_range(&self.heavy_msg_times, a, b)
+    }
+
+    /// Worst-case latency: `t*_GST − GST` (Section 2). `None` if no honest
+    /// leader ever produced a QC after GST.
+    pub fn worst_case_latency(&self) -> Option<Duration> {
+        self.first_honest_qc_after(self.gst).map(|t| t - self.gst)
+    }
+
+    /// Worst-case communication after GST: honest messages in
+    /// `[GST + Δ, t*_{GST+Δ})`.
+    pub fn worst_case_communication(&self) -> usize {
+        let start = self.gst + self.delta_cap;
+        let end = self.first_honest_qc_after(start).unwrap_or(self.end_time);
+        self.messages_between(start, end)
+    }
+
+    /// Eventual worst-case communication: the maximum number of honest
+    /// messages between consecutive honest-leader QCs occurring after
+    /// `warmup`.
+    pub fn eventual_worst_communication(&self, warmup: Time) -> usize {
+        let times: Vec<Time> = self
+            .honest_qc_times()
+            .into_iter()
+            .filter(|t| *t >= warmup)
+            .collect();
+        times
+            .windows(2)
+            .map(|w| self.messages_between(w[0], w[1]))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Eventual worst-case latency: the maximum gap between consecutive
+    /// honest-leader QCs occurring after `warmup`.
+    pub fn eventual_worst_latency(&self, warmup: Time) -> Option<Duration> {
+        let times: Vec<Time> = self
+            .honest_qc_times()
+            .into_iter()
+            .filter(|t| *t >= warmup)
+            .collect();
+        times.windows(2).map(|w| w[1] - w[0]).max()
+    }
+
+    /// Average gap between consecutive honest-leader QCs after `warmup`.
+    pub fn average_latency(&self, warmup: Time) -> Option<Duration> {
+        let times: Vec<Time> = self
+            .honest_qc_times()
+            .into_iter()
+            .filter(|t| *t >= warmup)
+            .collect();
+        if times.len() < 2 {
+            return None;
+        }
+        let total = *times.last().unwrap() - times[0];
+        Some(total / (times.len() as i64 - 1))
+    }
+
+    /// Number of distinct epochs for which at least one honest processor
+    /// began a heavy synchronization at or after `t`.
+    pub fn heavy_sync_epochs_after(&self, t: Time) -> usize {
+        let mut views: Vec<i64> = self
+            .heavy_sync_participations
+            .iter()
+            .filter(|(when, _)| *when >= t)
+            .map(|(_, v)| v.as_i64())
+            .collect();
+        views.sort_unstable();
+        views.dedup();
+        views.len()
+    }
+
+    /// The largest `(f+1)`-st honest clock gap sampled at or after `t`.
+    pub fn max_honest_gap_after(&self, t: Time) -> Option<Duration> {
+        self.gap_samples
+            .iter()
+            .filter(|(when, _)| *when >= t)
+            .map(|(_, g)| *g)
+            .max()
+    }
+
+    /// A default warm-up point for the "eventual" measures: expected
+    /// `O(nΔ)` after GST (the paper shows Lumiere reaches its steady state
+    /// within that bound).
+    pub fn default_warmup(&self) -> Time {
+        self.gst + self.delta_cap * (4 * self.n as i64)
+    }
+}
+
+fn count_in_range(sorted: &[Time], a: Time, b: Time) -> usize {
+    if b <= a {
+        return 0;
+    }
+    let lo = sorted.partition_point(|t| *t < a);
+    let hi = sorted.partition_point(|t| *t < b);
+    hi - lo
+}
+
+/// Incrementally collects metrics during a run and produces a [`SimReport`].
+#[derive(Debug)]
+pub struct MetricsCollector {
+    protocol: String,
+    n: usize,
+    f: usize,
+    f_a: usize,
+    delta_cap: Duration,
+    gst: Time,
+    honest_msg_times: Vec<Time>,
+    heavy_msg_times: Vec<Time>,
+    qc_events: Vec<QcEvent>,
+    commit_times: Vec<(Time, u64)>,
+    committed_heights: std::collections::HashSet<u64>,
+    heavy_sync_participations: Vec<(Time, View)>,
+    gap_samples: Vec<(Time, Duration)>,
+}
+
+impl MetricsCollector {
+    /// Creates a collector for a run with the given static parameters.
+    pub fn new(
+        protocol: String,
+        n: usize,
+        f: usize,
+        f_a: usize,
+        delta_cap: Duration,
+        gst: Time,
+    ) -> Self {
+        MetricsCollector {
+            protocol,
+            n,
+            f,
+            f_a,
+            delta_cap,
+            gst,
+            honest_msg_times: Vec::new(),
+            heavy_msg_times: Vec::new(),
+            qc_events: Vec::new(),
+            commit_times: Vec::new(),
+            committed_heights: std::collections::HashSet::new(),
+            heavy_sync_participations: Vec::new(),
+            gap_samples: Vec::new(),
+        }
+    }
+
+    /// Records `count` honest point-to-point sends at `now` (`heavy` marks
+    /// heavy-synchronization messages).
+    pub fn record_honest_sends(&mut self, now: Time, count: usize, heavy: bool) {
+        for _ in 0..count {
+            self.honest_msg_times.push(now);
+            if heavy {
+                self.heavy_msg_times.push(now);
+            }
+        }
+    }
+
+    /// Records a QC formed by `leader` at `now`.
+    pub fn record_qc(&mut self, now: Time, view: View, leader: ProcessId, honest_leader: bool) {
+        self.qc_events.push(QcEvent {
+            time: now,
+            view,
+            leader,
+            honest_leader,
+        });
+    }
+
+    /// Records that some processor committed `height` at `now` (only the
+    /// first commit of each height counts as the decision time).
+    pub fn record_commit(&mut self, now: Time, height: u64) {
+        if self.committed_heights.insert(height) {
+            self.commit_times.push((now, height));
+        }
+    }
+
+    /// Records an honest processor starting heavy synchronization for
+    /// `epoch_view`.
+    pub fn record_heavy_sync(&mut self, now: Time, epoch_view: View) {
+        self.heavy_sync_participations.push((now, epoch_view));
+    }
+
+    /// Records a sample of the `(f+1)`-st honest clock gap.
+    pub fn record_gap_sample(&mut self, now: Time, gap: Duration) {
+        self.gap_samples.push((now, gap));
+    }
+
+    /// Number of honest-leader QCs recorded so far.
+    pub fn honest_qc_count(&self) -> usize {
+        self.qc_events.iter().filter(|e| e.honest_leader).count()
+    }
+
+    /// Finalises the report.
+    pub fn finish(self, end_time: Time) -> SimReport {
+        SimReport {
+            protocol: self.protocol,
+            n: self.n,
+            f: self.f,
+            f_a: self.f_a,
+            delta_cap: self.delta_cap,
+            gst: self.gst,
+            end_time,
+            honest_msg_times: self.honest_msg_times,
+            heavy_msg_times: self.heavy_msg_times,
+            qc_events: self.qc_events,
+            commit_times: self.commit_times,
+            heavy_sync_participations: self.heavy_sync_participations,
+            gap_samples: self.gap_samples,
+            safety_ok: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_fixture() -> SimReport {
+        let mut c = MetricsCollector::new(
+            "test".into(),
+            4,
+            1,
+            1,
+            Duration::from_millis(10),
+            Time::from_millis(100),
+        );
+        // 5 messages before the first honest QC, then 2 per interval.
+        for ms in [101, 102, 103, 108, 109] {
+            c.record_honest_sends(Time::from_millis(ms), 1, false);
+        }
+        c.record_qc(Time::from_millis(115), View::new(0), ProcessId::new(0), true);
+        c.record_honest_sends(Time::from_millis(116), 2, true);
+        c.record_qc(Time::from_millis(130), View::new(1), ProcessId::new(1), true);
+        c.record_qc(Time::from_millis(140), View::new(2), ProcessId::new(2), false);
+        c.record_commit(Time::from_millis(131), 1);
+        c.record_commit(Time::from_millis(132), 1); // duplicate height ignored
+        c.record_commit(Time::from_millis(133), 2);
+        c.record_heavy_sync(Time::from_millis(100), View::new(0));
+        c.record_heavy_sync(Time::from_millis(101), View::new(0));
+        c.record_heavy_sync(Time::from_millis(150), View::new(40));
+        c.record_gap_sample(Time::from_millis(120), Duration::from_millis(3));
+        c.record_gap_sample(Time::from_millis(125), Duration::from_millis(7));
+        c.finish(Time::from_millis(200))
+    }
+
+    #[test]
+    fn latency_is_measured_from_gst_to_first_honest_qc() {
+        let r = report_fixture();
+        assert_eq!(r.worst_case_latency(), Some(Duration::from_millis(15)));
+    }
+
+    #[test]
+    fn worst_case_communication_counts_messages_up_to_t_star() {
+        let r = report_fixture();
+        // Window starts at GST + Δ = 110ms; the first honest QC after that is
+        // at 115ms; no messages fall in [110, 115).
+        assert_eq!(r.worst_case_communication(), 0);
+        // And the raw counter sees all five early messages plus the later two.
+        assert_eq!(r.total_messages(), 7);
+    }
+
+    #[test]
+    fn eventual_measures_scan_consecutive_honest_qcs() {
+        let r = report_fixture();
+        assert_eq!(r.eventual_worst_communication(Time::from_millis(100)), 2);
+        assert_eq!(
+            r.eventual_worst_latency(Time::from_millis(100)),
+            Some(Duration::from_millis(15))
+        );
+        assert_eq!(
+            r.average_latency(Time::from_millis(100)),
+            Some(Duration::from_millis(15))
+        );
+    }
+
+    #[test]
+    fn commits_deduplicate_heights() {
+        let r = report_fixture();
+        assert_eq!(r.decisions(), 2);
+    }
+
+    #[test]
+    fn heavy_sync_epochs_are_counted_distinctly() {
+        let r = report_fixture();
+        assert_eq!(r.heavy_sync_epochs_after(Time::ZERO), 2);
+        assert_eq!(r.heavy_sync_epochs_after(Time::from_millis(120)), 1);
+    }
+
+    #[test]
+    fn gap_samples_report_their_maximum() {
+        let r = report_fixture();
+        assert_eq!(
+            r.max_honest_gap_after(Time::ZERO),
+            Some(Duration::from_millis(7))
+        );
+        assert_eq!(r.max_honest_gap_after(Time::from_millis(126)), None);
+    }
+
+    #[test]
+    fn message_counting_uses_half_open_intervals() {
+        let r = report_fixture();
+        assert_eq!(
+            r.messages_between(Time::from_millis(101), Time::from_millis(102)),
+            1
+        );
+        assert_eq!(
+            r.messages_between(Time::from_millis(101), Time::from_millis(101)),
+            0
+        );
+        assert_eq!(
+            r.heavy_messages_between(Time::ZERO, Time::from_millis(200)),
+            2
+        );
+    }
+}

@@ -1,0 +1,321 @@
+//! A simulated processor: pacemaker + consensus engine + fault behaviour.
+
+use crate::byzantine::ByzBehavior;
+use crate::event::SimMessage;
+use lumiere_consensus::{ConsensusAction, HotStuffEngine, QuorumCert};
+use lumiere_core::pacemaker::{Pacemaker, PacemakerAction};
+use lumiere_types::{Duration, ProcessId, Time, View};
+use std::collections::VecDeque;
+
+/// Everything a processor wants the simulator to do after handling an event.
+#[derive(Debug, Default)]
+pub struct NodeOutput {
+    /// Point-to-point sends.
+    pub sends: Vec<(ProcessId, SimMessage)>,
+    /// Broadcasts (to every other processor).
+    pub broadcasts: Vec<SimMessage>,
+    /// Requested wake-up times.
+    pub wakes: Vec<Time>,
+    /// QCs this processor formed as leader (for the latency metric).
+    pub qcs_formed: Vec<QuorumCert>,
+    /// Heights of blocks newly committed by this processor.
+    pub commits: Vec<u64>,
+    /// Views entered by this processor.
+    pub entered_views: Vec<View>,
+    /// Epoch views for which this processor started heavy synchronization.
+    pub heavy_syncs: Vec<View>,
+}
+
+/// A simulated processor.
+#[derive(Debug)]
+pub struct Node {
+    id: ProcessId,
+    pacemaker: Box<dyn Pacemaker>,
+    engine: HotStuffEngine,
+    behavior: Option<ByzBehavior>,
+}
+
+impl Node {
+    /// Creates a processor from its pacemaker and consensus engine. `behavior`
+    /// is `None` for honest processors.
+    pub fn new(
+        id: ProcessId,
+        pacemaker: Box<dyn Pacemaker>,
+        mut engine: HotStuffEngine,
+        behavior: Option<ByzBehavior>,
+    ) -> Self {
+        if let Some(b) = behavior {
+            if !b.proposes() {
+                engine.set_proposing_enabled(false);
+            }
+        }
+        Node {
+            id,
+            pacemaker,
+            engine,
+            behavior,
+        }
+    }
+
+    /// The processor's identifier.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// Whether the processor is honest.
+    pub fn is_honest(&self) -> bool {
+        self.behavior.is_none()
+    }
+
+    /// The fault behaviour, if any.
+    pub fn behavior(&self) -> Option<ByzBehavior> {
+        self.behavior
+    }
+
+    /// The processor's current view according to its pacemaker.
+    pub fn current_view(&self) -> View {
+        self.pacemaker.current_view()
+    }
+
+    /// The pacemaker's local-clock reading (for honest-gap metrics).
+    pub fn local_clock_reading(&self, now: Time) -> Duration {
+        self.pacemaker.local_clock_reading(now)
+    }
+
+    /// Height of the highest block this processor has committed.
+    pub fn committed_height(&self) -> u64 {
+        self.engine.committed_height()
+    }
+
+    /// Hashes of the blocks this processor has committed, in chain order.
+    pub fn committed_chain(&self) -> Vec<u64> {
+        self.engine.store().committed_chain().to_vec()
+    }
+
+    /// The protocol name reported by the pacemaker.
+    pub fn protocol_name(&self) -> &'static str {
+        self.pacemaker.name()
+    }
+
+    fn runs_pacemaker(&self) -> bool {
+        self.behavior.map_or(true, |b| b.runs_pacemaker())
+    }
+
+    fn runs_consensus(&self) -> bool {
+        self.behavior.map_or(true, |b| b.runs_consensus())
+    }
+
+    /// Boots the processor.
+    pub fn boot(&mut self, now: Time) -> NodeOutput {
+        let mut out = NodeOutput::default();
+        if self.runs_pacemaker() {
+            let actions = self.pacemaker.boot(now);
+            self.drain_pacemaker(actions, now, &mut out);
+        }
+        out
+    }
+
+    /// Fires a wake-up.
+    pub fn wake(&mut self, now: Time) -> NodeOutput {
+        let mut out = NodeOutput::default();
+        if self.runs_pacemaker() {
+            let actions = self.pacemaker.on_wake(now);
+            self.drain_pacemaker(actions, now, &mut out);
+        }
+        out
+    }
+
+    /// Delivers a message.
+    pub fn deliver(&mut self, from: ProcessId, msg: &SimMessage, now: Time) -> NodeOutput {
+        let mut out = NodeOutput::default();
+        match msg {
+            SimMessage::Pacemaker(m) => {
+                if self.runs_pacemaker() {
+                    let actions = self.pacemaker.on_message(from, m, now);
+                    self.drain_pacemaker(actions, now, &mut out);
+                }
+            }
+            SimMessage::Consensus(m) => {
+                if self.runs_consensus() {
+                    let actions = self.engine.on_message(from, m, now);
+                    self.drain_consensus(actions, now, &mut out);
+                }
+            }
+        }
+        out
+    }
+
+    /// Processes pacemaker actions, cascading into the consensus engine as
+    /// needed (view entries trigger proposals, which may trigger QCs, which
+    /// feed back into the pacemaker, and so on until quiescence).
+    fn drain_pacemaker(
+        &mut self,
+        actions: Vec<PacemakerAction>,
+        now: Time,
+        out: &mut NodeOutput,
+    ) {
+        let mut pm_queue: VecDeque<PacemakerAction> = actions.into();
+        let mut cons_queue: VecDeque<ConsensusAction> = VecDeque::new();
+        loop {
+            if let Some(action) = pm_queue.pop_front() {
+                match action {
+                    PacemakerAction::SendTo(to, m) => {
+                        out.sends.push((to, SimMessage::Pacemaker(m)));
+                    }
+                    PacemakerAction::Broadcast(m) => {
+                        out.broadcasts.push(SimMessage::Pacemaker(m));
+                    }
+                    PacemakerAction::WakeAt(t) => out.wakes.push(t),
+                    PacemakerAction::HeavySyncStarted { view } => out.heavy_syncs.push(view),
+                    PacemakerAction::SetQcDeadline { view, deadline } => {
+                        self.engine.set_qc_deadline(view, deadline);
+                    }
+                    PacemakerAction::EnterView { view, leader } => {
+                        out.entered_views.push(view);
+                        if self.runs_consensus() {
+                            for a in self.engine.enter_view(view, leader, now) {
+                                cons_queue.push_back(a);
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
+            if let Some(action) = cons_queue.pop_front() {
+                match action {
+                    ConsensusAction::Broadcast(m) => {
+                        out.broadcasts.push(SimMessage::Consensus(m));
+                    }
+                    ConsensusAction::Send(to, m) => {
+                        out.sends.push((to, SimMessage::Consensus(m)));
+                    }
+                    ConsensusAction::Committed(block) => out.commits.push(block.height()),
+                    ConsensusAction::QcFormed(qc) => {
+                        out.qcs_formed.push(qc.clone());
+                        if self.runs_pacemaker() {
+                            for a in self.pacemaker.on_qc(&qc, true, now) {
+                                pm_queue.push_back(a);
+                            }
+                        }
+                    }
+                    ConsensusAction::QcObserved(qc) => {
+                        if self.runs_pacemaker() {
+                            for a in self.pacemaker.on_qc(&qc, false, now) {
+                                pm_queue.push_back(a);
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
+            break;
+        }
+    }
+
+    /// Processes consensus actions, cascading into the pacemaker as needed.
+    fn drain_consensus(
+        &mut self,
+        actions: Vec<ConsensusAction>,
+        now: Time,
+        out: &mut NodeOutput,
+    ) {
+        // Reuse the same cascade machinery by starting from an empty
+        // pacemaker queue and a pre-filled consensus queue.
+        let mut pm_actions = Vec::new();
+        let mut cons_queue: VecDeque<ConsensusAction> = actions.into();
+        while let Some(action) = cons_queue.pop_front() {
+            match action {
+                ConsensusAction::Broadcast(m) => out.broadcasts.push(SimMessage::Consensus(m)),
+                ConsensusAction::Send(to, m) => out.sends.push((to, SimMessage::Consensus(m))),
+                ConsensusAction::Committed(block) => out.commits.push(block.height()),
+                ConsensusAction::QcFormed(qc) => {
+                    out.qcs_formed.push(qc.clone());
+                    if self.runs_pacemaker() {
+                        pm_actions.extend(self.pacemaker.on_qc(&qc, true, now));
+                    }
+                }
+                ConsensusAction::QcObserved(qc) => {
+                    if self.runs_pacemaker() {
+                        pm_actions.extend(self.pacemaker.on_qc(&qc, false, now));
+                    }
+                }
+            }
+        }
+        if !pm_actions.is_empty() {
+            self.drain_pacemaker(pm_actions, now, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumiere_baselines::Fever;
+    use lumiere_crypto::keygen;
+    use lumiere_types::Params;
+
+    fn build(n: usize, who: usize, behavior: Option<ByzBehavior>) -> Node {
+        let params = Params::new(n, Duration::from_millis(10));
+        let (keys, pki) = keygen(n, 2);
+        let pacemaker = Box::new(Fever::new(params, keys[who].clone(), pki.clone()));
+        let engine = HotStuffEngine::new(keys[who].id(), keys[who].clone(), pki, params);
+        Node::new(ProcessId::new(who), pacemaker, engine, behavior)
+    }
+
+    #[test]
+    fn honest_leader_boot_proposes_in_view_zero() {
+        let mut node = build(4, 0, None); // p0 leads Fever view 0
+        let out = node.boot(Time::ZERO);
+        assert!(out.entered_views.contains(&View::new(0)));
+        assert!(out
+            .broadcasts
+            .iter()
+            .any(|m| matches!(m, SimMessage::Consensus(_))));
+        assert!(node.is_honest());
+        assert_eq!(node.protocol_name(), "fever");
+    }
+
+    #[test]
+    fn crash_nodes_emit_nothing() {
+        let mut node = build(4, 0, Some(ByzBehavior::Crash));
+        let out = node.boot(Time::ZERO);
+        assert!(out.sends.is_empty());
+        assert!(out.broadcasts.is_empty());
+        assert!(out.entered_views.is_empty());
+        assert!(!node.is_honest());
+    }
+
+    #[test]
+    fn silent_leader_enters_views_but_never_proposes() {
+        let mut node = build(4, 0, Some(ByzBehavior::SilentLeader));
+        let out = node.boot(Time::ZERO);
+        assert!(out.entered_views.contains(&View::new(0)));
+        assert!(
+            !out.broadcasts
+                .iter()
+                .any(|m| matches!(m, SimMessage::Consensus(_))),
+            "a silent leader must not propose"
+        );
+        // It still participates in view synchronization: a non-leader silent
+        // node would send its view message; the leader itself folds it
+        // locally, so just check the pacemaker ran.
+        assert_eq!(node.current_view(), View::new(0));
+    }
+
+    #[test]
+    fn sync_silent_nodes_skip_the_pacemaker_entirely() {
+        let mut node = build(4, 1, Some(ByzBehavior::SyncSilent));
+        let out = node.boot(Time::ZERO);
+        assert!(out.sends.is_empty() && out.broadcasts.is_empty());
+        assert_eq!(node.current_view(), View::SENTINEL);
+    }
+
+    #[test]
+    fn non_leader_boot_sends_its_view_message() {
+        let mut node = build(4, 2, None);
+        let out = node.boot(Time::ZERO);
+        assert!(out.sends.iter().any(|(to, m)| {
+            *to == ProcessId::new(0) && matches!(m, SimMessage::Pacemaker(_))
+        }));
+    }
+}

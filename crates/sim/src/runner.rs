@@ -1,0 +1,246 @@
+//! The simulation event loop.
+
+use crate::event::{Event, EventQueue, SimMessage};
+use crate::metrics::{MetricsCollector, SimReport};
+use crate::node::{Node, NodeOutput};
+use crate::scenario::SimConfig;
+use crate::trace::{Trace, TraceKind};
+use lumiere_types::{Duration, ProcessId, Time};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// Hard cap on processed events, as a defence against configuration mistakes
+/// that would otherwise let a run grow without bound.
+const MAX_EVENTS: u64 = 200_000_000;
+
+/// A single simulated execution.
+#[derive(Debug)]
+pub struct Simulation {
+    cfg: SimConfig,
+    nodes: Vec<Node>,
+    queue: EventQueue,
+    rng: StdRng,
+    collector: MetricsCollector,
+    trace: Trace,
+    scheduled_wakes: HashSet<(usize, i64)>,
+    last_gap_sample: Time,
+    now: Time,
+}
+
+impl Simulation {
+    /// Builds a simulation from a configuration (see [`SimConfig::run`] for
+    /// the usual entry point).
+    pub fn new(cfg: SimConfig) -> Self {
+        let nodes = cfg.build_nodes();
+        let params = cfg.params();
+        let collector = MetricsCollector::new(
+            cfg.protocol.name().to_string(),
+            cfg.n,
+            params.f,
+            cfg.f_a,
+            cfg.delta_cap,
+            cfg.gst,
+        );
+        let mut queue = EventQueue::new();
+        for node in &nodes {
+            queue.push(Time::ZERO, Event::Boot { node: node.id() });
+        }
+        let seed = cfg.seed;
+        Simulation {
+            cfg,
+            nodes,
+            queue,
+            rng: StdRng::seed_from_u64(seed ^ 0x5349_4d55_4c41_5445),
+            collector,
+            trace: Trace::new(),
+            scheduled_wakes: HashSet::new(),
+            last_gap_sample: Time::ZERO,
+            now: Time::ZERO,
+        }
+    }
+
+    /// Runs to completion and returns the metrics report.
+    pub fn run(mut self) -> SimReport {
+        self.run_loop();
+        let safety_ok = self.check_safety();
+        let mut report = self.collector.finish(self.now);
+        report.safety_ok = safety_ok;
+        report
+    }
+
+    /// Runs to completion and returns both the report and the execution
+    /// trace.
+    pub fn run_with_trace(mut self) -> (SimReport, Trace) {
+        self.run_loop();
+        let safety_ok = self.check_safety();
+        let trace = std::mem::take(&mut self.trace);
+        let mut report = self.collector.finish(self.now);
+        report.safety_ok = safety_ok;
+        (report, trace)
+    }
+
+    /// SMR safety: the committed chains of every pair of honest processors
+    /// must be prefixes of one another.
+    fn check_safety(&self) -> bool {
+        let chains: Vec<Vec<u64>> = self
+            .nodes
+            .iter()
+            .filter(|n| n.is_honest())
+            .map(|n| n.committed_chain())
+            .collect();
+        for a in &chains {
+            for b in &chains {
+                let len = a.len().min(b.len());
+                if a[..len] != b[..len] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn run_loop(&mut self) {
+        let horizon = Time::ZERO + self.cfg.horizon;
+        let mut processed: u64 = 0;
+        while let Some((at, event)) = self.queue.pop() {
+            if at > horizon {
+                self.now = horizon;
+                break;
+            }
+            processed += 1;
+            if processed > MAX_EVENTS {
+                break;
+            }
+            self.now = at;
+            self.maybe_sample_gap();
+            match event {
+                Event::Boot { node } => {
+                    let out = self.with_node(node, |n, now| n.boot(now));
+                    self.apply_output(node, out);
+                }
+                Event::Wake { node } => {
+                    let out = self.with_node(node, |n, now| n.wake(now));
+                    self.apply_output(node, out);
+                }
+                Event::Deliver { to, from, message } => {
+                    let out = self.with_node(to, |n, now| n.deliver(from, &message, now));
+                    self.apply_output(to, out);
+                }
+                Event::Sample => {}
+            }
+            if let Some(limit) = self.cfg.max_honest_qcs {
+                if self.collector.honest_qc_count() >= limit {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn with_node<F>(&mut self, id: ProcessId, f: F) -> NodeOutput
+    where
+        F: FnOnce(&mut Node, Time) -> NodeOutput,
+    {
+        let now = self.now;
+        let node = &mut self.nodes[id.as_usize()];
+        f(node, now)
+    }
+
+    fn apply_output(&mut self, from: ProcessId, out: NodeOutput) {
+        let honest = self.nodes[from.as_usize()].is_honest();
+        let now = self.now;
+
+        // Network sends.
+        for (to, msg) in out.sends {
+            if honest {
+                self.collector
+                    .record_honest_sends(now, 1, msg.is_heavy_sync());
+            }
+            self.schedule_delivery(from, to, msg);
+        }
+        for msg in out.broadcasts {
+            let recipients = self.cfg.n.saturating_sub(1);
+            if honest {
+                self.collector
+                    .record_honest_sends(now, recipients, msg.is_heavy_sync());
+            }
+            for to in ProcessId::all(self.cfg.n) {
+                if to != from {
+                    self.schedule_delivery(from, to, msg.clone());
+                }
+            }
+        }
+
+        // Wake-ups (deduplicated per node and time).
+        for at in out.wakes {
+            let at = at.max(now);
+            if self
+                .scheduled_wakes
+                .insert((from.as_usize(), at.as_micros()))
+            {
+                self.queue.push(at, Event::Wake { node: from });
+            }
+        }
+
+        // Metrics and trace.
+        for qc in out.qcs_formed {
+            self.collector.record_qc(now, qc.view(), from, honest);
+            if self.cfg.record_trace {
+                self.trace.push(now, from, TraceKind::QcFormed(qc.view()));
+            }
+        }
+        for height in out.commits {
+            if honest {
+                self.collector.record_commit(now, height);
+            }
+            if self.cfg.record_trace {
+                self.trace.push(now, from, TraceKind::Committed(height));
+            }
+        }
+        for view in out.heavy_syncs {
+            if honest {
+                self.collector.record_heavy_sync(now, view);
+            }
+            if self.cfg.record_trace {
+                self.trace.push(now, from, TraceKind::HeavySync(view));
+            }
+        }
+        if self.cfg.record_trace {
+            for view in out.entered_views {
+                self.trace.push(now, from, TraceKind::EnteredView(view));
+            }
+        }
+    }
+
+    fn schedule_delivery(&mut self, from: ProcessId, to: ProcessId, message: SimMessage) {
+        let at = self.cfg.delay.delivery_time(
+            self.now,
+            self.cfg.gst,
+            self.cfg.delta_cap,
+            &mut self.rng,
+        );
+        self.queue.push(at, Event::Deliver { to, from, message });
+    }
+
+    /// Samples the `(f+1)`-st honest clock gap roughly twice per Δ.
+    fn maybe_sample_gap(&mut self) {
+        let interval = self.cfg.delta_cap / 2;
+        if interval <= Duration::ZERO || self.now < self.last_gap_sample + interval {
+            return;
+        }
+        self.last_gap_sample = self.now;
+        let f = self.cfg.params().f;
+        let mut readings: Vec<Duration> = self
+            .nodes
+            .iter()
+            .filter(|n| n.is_honest())
+            .map(|n| n.local_clock_reading(self.now))
+            .collect();
+        if readings.len() <= f {
+            return;
+        }
+        readings.sort_unstable_by(|a, b| b.cmp(a));
+        let gap = readings[0] - readings[f];
+        self.collector.record_gap_sample(self.now, gap);
+    }
+}

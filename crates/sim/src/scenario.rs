@@ -1,0 +1,376 @@
+//! Scenario configuration: which protocol, how many processors, which faults,
+//! which network adversary.
+
+use crate::byzantine::ByzBehavior;
+use crate::metrics::SimReport;
+use crate::network::DelayModel;
+use crate::node::Node;
+use crate::runner::Simulation;
+use crate::trace::Trace;
+use lumiere_baselines::{Fever, Lp22, NaiveQuadratic, RelayPacemaker};
+use lumiere_consensus::HotStuffEngine;
+use lumiere_core::pacemaker::Pacemaker;
+use lumiere_core::{BasicLumiere, Lumiere, LumiereConfig};
+use lumiere_crypto::{keygen, KeyPair, Pki};
+use lumiere_types::{Duration, Params, Time};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// The view-synchronization protocol under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// Full Lumiere (Algorithm 1).
+    Lumiere,
+    /// Basic Lumiere (Section 3.4) — heavy synchronization at every epoch.
+    BasicLumiere,
+    /// LP22 (Section 3.2).
+    Lp22,
+    /// Fever (Section 3.3) — granted its clock-synchrony assumption.
+    Fever,
+    /// Cogsworth-style relay synchronizer.
+    Cogsworth,
+    /// NK20-style relay synchronizer.
+    Nk20,
+    /// Naive PBFT-style all-to-all pacemaker.
+    Naive,
+}
+
+impl ProtocolKind {
+    /// Short name used in reports and CSV output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolKind::Lumiere => "lumiere",
+            ProtocolKind::BasicLumiere => "basic-lumiere",
+            ProtocolKind::Lp22 => "lp22",
+            ProtocolKind::Fever => "fever",
+            ProtocolKind::Cogsworth => "cogsworth",
+            ProtocolKind::Nk20 => "nk20",
+            ProtocolKind::Naive => "naive-quadratic",
+        }
+    }
+
+    /// All implemented protocols.
+    pub fn all() -> [ProtocolKind; 7] {
+        [
+            ProtocolKind::Lumiere,
+            ProtocolKind::BasicLumiere,
+            ProtocolKind::Lp22,
+            ProtocolKind::Fever,
+            ProtocolKind::Cogsworth,
+            ProtocolKind::Nk20,
+            ProtocolKind::Naive,
+        ]
+    }
+
+    /// The protocols that appear in Table 1 of the paper.
+    pub fn table1() -> [ProtocolKind; 5] {
+        [
+            ProtocolKind::Cogsworth,
+            ProtocolKind::Nk20,
+            ProtocolKind::Lp22,
+            ProtocolKind::Fever,
+            ProtocolKind::Lumiere,
+        ]
+    }
+
+    /// Builds the pacemaker instance of this protocol for one processor.
+    pub fn build_pacemaker(
+        &self,
+        params: Params,
+        keys: KeyPair,
+        pki: Pki,
+        seed: u64,
+    ) -> Box<dyn Pacemaker> {
+        match self {
+            ProtocolKind::Lumiere => Box::new(Lumiere::new(
+                LumiereConfig::new(params, seed),
+                keys,
+                pki,
+            )),
+            ProtocolKind::BasicLumiere => Box::new(BasicLumiere::new(params, keys, pki)),
+            ProtocolKind::Lp22 => Box::new(Lp22::new(params, keys, pki)),
+            ProtocolKind::Fever => Box::new(Fever::new(params, keys, pki)),
+            ProtocolKind::Cogsworth => Box::new(RelayPacemaker::cogsworth(params, keys, pki)),
+            ProtocolKind::Nk20 => Box::new(RelayPacemaker::nk20(params, keys, pki)),
+            ProtocolKind::Naive => Box::new(NaiveQuadratic::new(params, keys, pki)),
+        }
+    }
+}
+
+/// Configuration of one simulated execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Protocol under test.
+    pub protocol: ProtocolKind,
+    /// Number of processors.
+    pub n: usize,
+    /// Number of corrupted processors (`f_a ≤ f`).
+    pub f_a: usize,
+    /// How corrupted processors behave.
+    pub byz_behavior: ByzBehavior,
+    /// Explicit choice of corrupted processors (defaults to the last `f_a`).
+    pub byzantine_ids: Option<Vec<usize>>,
+    /// The known delay bound Δ.
+    pub delta_cap: Duration,
+    /// The network adversary.
+    pub delay: DelayModel,
+    /// Global stabilization time.
+    pub gst: Time,
+    /// Simulated time horizon.
+    pub horizon: Duration,
+    /// Stop early once this many honest-leader QCs have been produced.
+    pub max_honest_qcs: Option<usize>,
+    /// Seed for key generation, leader permutation and network jitter.
+    pub seed: u64,
+    /// Record a full execution trace (needed for Figure 1).
+    pub record_trace: bool,
+}
+
+impl SimConfig {
+    /// A conservative default configuration: Δ = 10 ms, actual delay 1 ms,
+    /// GST = 0, no faults, 10 simulated seconds.
+    pub fn new(protocol: ProtocolKind, n: usize) -> Self {
+        SimConfig {
+            protocol,
+            n,
+            f_a: 0,
+            byz_behavior: ByzBehavior::SilentLeader,
+            byzantine_ids: None,
+            delta_cap: Duration::from_millis(10),
+            delay: DelayModel::Fixed {
+                delta: Duration::from_millis(1),
+            },
+            gst: Time::ZERO,
+            horizon: Duration::from_secs(10),
+            max_honest_qcs: None,
+            seed: 42,
+            record_trace: false,
+        }
+    }
+
+    /// Sets the delay bound Δ.
+    pub fn with_delta(mut self, delta_cap: Duration) -> Self {
+        self.delta_cap = delta_cap;
+        self
+    }
+
+    /// Uses a fixed actual network delay δ (must be ≤ Δ to be meaningful).
+    pub fn with_actual_delay(mut self, delta: Duration) -> Self {
+        self.delay = DelayModel::Fixed { delta };
+        self
+    }
+
+    /// Uses the worst-case network adversary (every message takes exactly Δ).
+    pub fn with_adversarial_delay(mut self) -> Self {
+        self.delay = DelayModel::AdversarialMax;
+        self
+    }
+
+    /// Uses uniformly random delays in `[min, max]`.
+    pub fn with_uniform_delay(mut self, min: Duration, max: Duration) -> Self {
+        self.delay = DelayModel::Uniform { min, max };
+        self
+    }
+
+    /// Sets the global stabilization time.
+    pub fn with_gst(mut self, gst: Time) -> Self {
+        self.gst = gst;
+        self
+    }
+
+    /// Sets the simulated horizon.
+    pub fn with_horizon(mut self, horizon: Duration) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Corrupts `f_a` processors with the given behaviour.
+    pub fn with_byzantine(mut self, f_a: usize, behavior: ByzBehavior) -> Self {
+        self.f_a = f_a;
+        self.byz_behavior = behavior;
+        self
+    }
+
+    /// Chooses exactly which processors are corrupted.
+    pub fn with_byzantine_ids(mut self, ids: Vec<usize>, behavior: ByzBehavior) -> Self {
+        self.f_a = ids.len();
+        self.byzantine_ids = Some(ids);
+        self.byz_behavior = behavior;
+        self
+    }
+
+    /// Stops the run after this many honest-leader QCs.
+    pub fn with_max_honest_qcs(mut self, limit: usize) -> Self {
+        self.max_honest_qcs = Some(limit);
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables execution tracing.
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// The derived protocol parameters.
+    pub fn params(&self) -> Params {
+        Params::new(self.n, self.delta_cap)
+    }
+
+    /// The set of corrupted processor indices.
+    pub fn byzantine_set(&self) -> HashSet<usize> {
+        match &self.byzantine_ids {
+            Some(ids) => ids.iter().copied().collect(),
+            None => (self.n - self.f_a..self.n).collect(),
+        }
+    }
+
+    /// Builds all processors for this configuration.
+    pub fn build_nodes(&self) -> Vec<Node> {
+        let params = self.params();
+        assert!(
+            self.f_a <= params.f,
+            "f_a = {} exceeds the tolerated f = {}",
+            self.f_a,
+            params.f
+        );
+        let (keys, pki) = keygen(self.n, self.seed);
+        let byz = self.byzantine_set();
+        keys.into_iter()
+            .map(|k| {
+                let id = k.id();
+                let pacemaker =
+                    self.protocol
+                        .build_pacemaker(params, k.clone(), pki.clone(), self.seed);
+                let engine = HotStuffEngine::new(id, k, pki.clone(), params);
+                let behavior = if byz.contains(&id.as_usize()) {
+                    Some(self.byz_behavior)
+                } else {
+                    None
+                };
+                Node::new(id, pacemaker, engine, behavior)
+            })
+            .collect()
+    }
+
+    /// Runs the configured simulation.
+    pub fn run(self) -> SimReport {
+        Simulation::new(self).run()
+    }
+
+    /// Runs the configured simulation, returning the execution trace too.
+    pub fn run_with_trace(self) -> (SimReport, Trace) {
+        Simulation::new(self).run_with_trace()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(protocol: ProtocolKind) -> SimConfig {
+        SimConfig::new(protocol, 4)
+            .with_delta(Duration::from_millis(10))
+            .with_actual_delay(Duration::from_millis(1))
+            .with_horizon(Duration::from_secs(3))
+            .with_max_honest_qcs(30)
+    }
+
+    #[test]
+    fn every_protocol_makes_progress_in_the_benign_case() {
+        for protocol in ProtocolKind::all() {
+            let report = quick(protocol).run();
+            assert!(
+                report.decisions() > 0,
+                "{} produced no decisions",
+                protocol.name()
+            );
+            assert!(
+                !report.honest_qc_times().is_empty(),
+                "{} produced no honest QCs",
+                protocol.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_protocol_survives_silent_leaders() {
+        for protocol in ProtocolKind::all() {
+            let report = quick(protocol)
+                .with_byzantine(1, ByzBehavior::SilentLeader)
+                .with_horizon(Duration::from_secs(8))
+                .run();
+            assert!(
+                report.decisions() > 0,
+                "{} stalled under a silent leader",
+                protocol.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_protocol_survives_crash_faults() {
+        for protocol in ProtocolKind::all() {
+            let report = quick(protocol)
+                .with_byzantine(1, ByzBehavior::Crash)
+                .with_horizon(Duration::from_secs(8))
+                .run();
+            assert!(
+                report.decisions() > 0,
+                "{} stalled under a crash fault",
+                protocol.name()
+            );
+        }
+    }
+
+    #[test]
+    fn progress_is_made_even_when_gst_is_late() {
+        for protocol in [ProtocolKind::Lumiere, ProtocolKind::Lp22] {
+            let report = SimConfig::new(protocol, 4)
+                .with_delta(Duration::from_millis(10))
+                .with_actual_delay(Duration::from_millis(1))
+                .with_gst(Time::from_millis(200))
+                .with_horizon(Duration::from_secs(6))
+                .with_max_honest_qcs(20)
+                .run();
+            assert!(
+                report.first_honest_qc_after(report.gst).is_some(),
+                "{} never recovered after GST",
+                protocol.name()
+            );
+        }
+    }
+
+    #[test]
+    fn byzantine_set_defaults_to_the_last_processors() {
+        let cfg = SimConfig::new(ProtocolKind::Lumiere, 7).with_byzantine(2, ByzBehavior::Crash);
+        let set = cfg.byzantine_set();
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(&5) && set.contains(&6));
+        let cfg = cfg.with_byzantine_ids(vec![0, 3], ByzBehavior::Crash);
+        let set = cfg.byzantine_set();
+        assert!(set.contains(&0) && set.contains(&3));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the tolerated")]
+    fn too_many_faults_are_rejected() {
+        let _ = SimConfig::new(ProtocolKind::Lumiere, 4)
+            .with_byzantine(2, ByzBehavior::Crash)
+            .build_nodes();
+    }
+
+    #[test]
+    fn table1_contains_the_papers_protocols() {
+        let names: Vec<_> = ProtocolKind::table1().iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            vec!["cogsworth", "nk20", "lp22", "fever", "lumiere"]
+        );
+    }
+}

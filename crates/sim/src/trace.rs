@@ -1,0 +1,151 @@
+//! Per-processor execution traces (used to regenerate Figure 1).
+
+use lumiere_types::{ProcessId, Time, View};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One traced occurrence on one processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// The processor entered a view.
+    EnteredView(View),
+    /// The processor (as leader) formed a QC for a view.
+    QcFormed(View),
+    /// The processor began heavy synchronization for an epoch view.
+    HeavySync(View),
+    /// The processor committed a block at a height.
+    Committed(u64),
+}
+
+/// A timestamped trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub time: Time,
+    /// On which processor.
+    pub node: ProcessId,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// An execution trace: the ordered list of view entries, QCs, heavy
+/// synchronizations and commits across all processors.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, time: Time, node: ProcessId, kind: TraceKind) {
+        self.events.push(TraceEvent { time, node, kind });
+    }
+
+    /// All events in insertion (time) order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// The first time any processor entered `view`, if ever.
+    pub fn first_entry(&self, view: View) -> Option<Time> {
+        self.events
+            .iter()
+            .find(|e| e.kind == TraceKind::EnteredView(view))
+            .map(|e| e.time)
+    }
+
+    /// The time the QC for `view` was formed, if ever.
+    pub fn qc_time(&self, view: View) -> Option<Time> {
+        self.events
+            .iter()
+            .find(|e| matches!(e.kind, TraceKind::QcFormed(v) if v == view))
+            .map(|e| e.time)
+    }
+
+    /// Renders a compact per-view timeline (one line per view): when the view
+    /// was first entered and when (if ever) its QC was produced. This is the
+    /// textual equivalent of Figure 1.
+    pub fn render_view_timeline(&self, up_to_view: View) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{:>6} | {:>14} | {:>14} | note", "view", "entered", "qc");
+        for v in 0..=up_to_view.as_i64() {
+            let view = View::new(v);
+            let entered = self.first_entry(view);
+            let qc = self.qc_time(view);
+            let note = match (entered, qc) {
+                (Some(_), None) => "no QC (faulty leader or stalled)",
+                (None, _) => "never entered",
+                _ => "",
+            };
+            let _ = writeln!(
+                out,
+                "{:>6} | {:>14} | {:>14} | {}",
+                v,
+                entered.map_or("-".to_string(), |t| t.to_string()),
+                qc.map_or("-".to_string(), |t| t.to_string()),
+                note
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        t.push(
+            Time::from_millis(1),
+            ProcessId::new(0),
+            TraceKind::EnteredView(View::new(0)),
+        );
+        t.push(
+            Time::from_millis(2),
+            ProcessId::new(1),
+            TraceKind::EnteredView(View::new(0)),
+        );
+        t.push(
+            Time::from_millis(5),
+            ProcessId::new(0),
+            TraceKind::QcFormed(View::new(0)),
+        );
+        t.push(
+            Time::from_millis(9),
+            ProcessId::new(1),
+            TraceKind::EnteredView(View::new(1)),
+        );
+        t
+    }
+
+    #[test]
+    fn first_entry_and_qc_time_find_the_right_events() {
+        let t = sample();
+        assert_eq!(t.first_entry(View::new(0)), Some(Time::from_millis(1)));
+        assert_eq!(t.first_entry(View::new(1)), Some(Time::from_millis(9)));
+        assert_eq!(t.qc_time(View::new(0)), Some(Time::from_millis(5)));
+        assert_eq!(t.qc_time(View::new(1)), None);
+        assert_eq!(t.events().len(), 4);
+    }
+
+    #[test]
+    fn timeline_marks_views_without_qcs() {
+        let t = sample();
+        let rendered = t.render_view_timeline(View::new(1));
+        assert!(rendered.contains("no QC"));
+        assert!(rendered.lines().count() >= 3);
+    }
+
+    #[test]
+    fn timeline_marks_views_never_entered() {
+        let t = Trace::new();
+        let rendered = t.render_view_timeline(View::new(0));
+        assert!(rendered.contains("never entered"));
+    }
+}

@@ -1,0 +1,36 @@
+//! Core identifiers, time representation, view/epoch arithmetic and protocol
+//! parameters shared by every crate in the Lumiere reproduction.
+//!
+//! The types in this crate are deliberately small, `Copy` where possible, and
+//! free of protocol logic: they exist so that the crypto substrate, the
+//! consensus engine, the pacemakers and the simulator all agree on what a
+//! *processor*, a *view*, an *epoch* and a *point in simulated time* are.
+//!
+//! # Example
+//!
+//! ```
+//! use lumiere_types::{Params, ProcessId, View, Duration};
+//!
+//! let params = Params::new(7, Duration::from_millis(50));
+//! assert_eq!(params.f, 2);
+//! assert_eq!(params.quorum(), 5);
+//! assert!(params.gamma() > Duration::ZERO);
+//! let v = View::new(12);
+//! assert!(v.is_initial());
+//! assert_eq!(ProcessId::new(3).as_usize(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod id;
+pub mod params;
+pub mod time;
+pub mod view;
+
+pub use error::{Error, Result};
+pub use id::ProcessId;
+pub use params::{Params, DEFAULT_VIEW_ROUNDS};
+pub use time::{Duration, Time};
+pub use view::{Epoch, View};

@@ -1,0 +1,55 @@
+//! The Figure-1 scenario as a runnable example: a single silent Byzantine
+//! leader stalls LP22 for almost an entire epoch of clock time, while
+//! Lumiere's clock bumping bounds the stall by a constant number of view
+//! durations.
+//!
+//! ```text
+//! cargo run --release --example byzantine_faults
+//! ```
+
+use lumiere::core::schedule::LeaderSchedule;
+use lumiere::prelude::*;
+
+fn main() {
+    let n = 13; // f = 4; LP22 epochs have f + 1 = 5 views.
+    let delta = Duration::from_millis(10);
+
+    for protocol in [ProtocolKind::Lp22, ProtocolKind::Lumiere] {
+        // Corrupt the processor leading the fourth leader slot of the first
+        // epoch, exactly as in Figure 1 (three good views, then a fault).
+        let slot_view = match protocol {
+            ProtocolKind::Lp22 => View::new(3),
+            _ => View::new(6),
+        };
+        let schedule = match protocol {
+            ProtocolKind::Lumiere => LeaderSchedule::lumiere(n, 42),
+            ProtocolKind::Lp22 => LeaderSchedule::round_robin(n),
+            _ => LeaderSchedule::half_round_robin(n),
+        };
+        let byz = schedule.leader(slot_view).as_usize();
+
+        let (report, trace) = SimConfig::new(protocol, n)
+            .with_delta(delta)
+            .with_actual_delay(Duration::from_millis(1))
+            .with_byzantine_ids(vec![byz], ByzBehavior::SilentLeader)
+            .with_horizon(Duration::from_secs(3))
+            .with_max_honest_qcs(10)
+            .with_seed(42)
+            .with_trace()
+            .run_with_trace();
+
+        println!("=== {} (Byzantine processor p{byz}) ===", report.protocol);
+        println!("{}", trace.render_view_timeline(View::new(8)));
+        let stall = report
+            .eventual_worst_latency(Time::ZERO)
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "n/a".into());
+        println!("largest gap between honest-leader QCs: {stall}");
+        println!("safety preserved: {}\n", report.safety_ok);
+    }
+
+    println!(
+        "LP22 stalls for almost the remaining epoch (≈ (f+1)·Γ of clock time must elapse),\n\
+         while Lumiere's QC-driven clock bumps keep the stall at ≈ 2Γ regardless of n."
+    );
+}

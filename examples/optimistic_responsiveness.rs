@@ -1,0 +1,55 @@
+//! Smooth optimistic responsiveness (Theorem 1.1(3)): with no faults, the
+//! steady-state decision latency of Lumiere and Fever tracks the *actual*
+//! network delay δ, not the conservative bound Δ, while LP22 keeps paying
+//! Θ(nΔ) stalls at every epoch boundary.
+//!
+//! ```text
+//! cargo run --release --example optimistic_responsiveness
+//! ```
+
+use lumiere::prelude::*;
+
+fn main() {
+    let n = 10;
+    let delta_cap = Duration::from_millis(40);
+    println!(
+        "n = {n}, Δ = {delta_cap}; sweeping the actual network delay δ (no faults)\n"
+    );
+    println!(
+        "{:<15} {:>8} {:>18} {:>22}",
+        "protocol", "δ (ms)", "avg latency (ms)", "worst gap (ms)"
+    );
+    for protocol in [
+        ProtocolKind::Lumiere,
+        ProtocolKind::Fever,
+        ProtocolKind::Lp22,
+        ProtocolKind::Cogsworth,
+    ] {
+        for delta_ms in [1i64, 5, 10, 20, 40] {
+            let report = SimConfig::new(protocol, n)
+                .with_delta(delta_cap)
+                .with_actual_delay(Duration::from_millis(delta_ms))
+                .with_horizon(Duration::from_secs(20))
+                .with_max_honest_qcs(300)
+                .run();
+            let warmup = report.default_warmup();
+            let avg = report
+                .average_latency(warmup)
+                .map(|d| d.as_millis_f64())
+                .unwrap_or(f64::NAN);
+            let worst = report
+                .eventual_worst_latency(warmup)
+                .map(|d| d.as_millis_f64())
+                .unwrap_or(f64::NAN);
+            println!(
+                "{:<15} {:>8} {:>18.2} {:>22.1}",
+                report.protocol, delta_ms, avg, worst
+            );
+        }
+        println!();
+    }
+    println!(
+        "Lumiere's and Fever's latency scales with δ (network speed); LP22's worst gaps stay\n\
+         pinned near its epoch-boundary stall (Θ(nΔ)) no matter how fast the network is."
+    );
+}

@@ -1,0 +1,50 @@
+//! Quickstart: run Lumiere on a small simulated cluster and print what the
+//! paper's metrics look like for it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use lumiere::prelude::*;
+
+fn main() {
+    // 7 processors, delay bound Δ = 10 ms, actual network delay δ = 1 ms.
+    let n = 7;
+    let report = SimConfig::new(ProtocolKind::Lumiere, n)
+        .with_delta(Duration::from_millis(10))
+        .with_actual_delay(Duration::from_millis(1))
+        .with_horizon(Duration::from_secs(5))
+        .run();
+
+    println!("protocol            : {}", report.protocol);
+    println!("processors          : {} (f = {})", report.n, report.f);
+    println!("safety preserved    : {}", report.safety_ok);
+    println!("consensus decisions : {}", report.decisions());
+    println!(
+        "worst-case latency  : {}",
+        report
+            .worst_case_latency()
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "n/a".into())
+    );
+    let warmup = report.default_warmup();
+    println!(
+        "steady-state latency: avg {} / worst {}",
+        report
+            .average_latency(warmup)
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "n/a".into()),
+        report
+            .eventual_worst_latency(warmup)
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "n/a".into()),
+    );
+    println!(
+        "messages / decision : {:.1}",
+        report.total_messages() as f64 / report.decisions().max(1) as f64
+    );
+    println!(
+        "heavy syncs after warm-up: {}",
+        report.heavy_sync_epochs_after(warmup)
+    );
+}
