@@ -142,9 +142,7 @@ impl Fever {
             let start = self.view.as_i64().max(0);
             for v in start..=max_view {
                 let view = View::new(v);
-                if !view.is_initial()
-                    || self.initial_trigger_fired.contains(&v)
-                    || view < self.view
+                if !view.is_initial() || self.initial_trigger_fired.contains(&v) || view < self.view
                 {
                     continue;
                 }
@@ -187,13 +185,12 @@ impl Pacemaker for Fever {
     ) -> Vec<PacemakerAction> {
         let mut out = Vec::new();
         match msg {
-            PacemakerMessage::ViewMsg { view, signature } => {
+            PacemakerMessage::ViewMsg { view, signature }
                 if signature.signer() == from
                     && self.pki.verify(signature, view_msg_digest(*view)).is_ok()
-                    && view.is_initial()
-                {
-                    self.record_view_msg(from, *view, *signature, now, &mut out);
-                }
+                    && view.is_initial() =>
+            {
+                self.record_view_msg(from, *view, *signature, now, &mut out);
             }
             PacemakerMessage::ViewCert(vc) => {
                 let view = vc.view();
@@ -311,7 +308,11 @@ mod tests {
             .map(|k| k.sign(view_msg_digest(v)))
             .collect();
         let vc = ViewCert::aggregate(v, &sigs, &params).unwrap();
-        pm.on_message(keys[1].id(), &PacemakerMessage::ViewCert(vc), Time::from_millis(1));
+        pm.on_message(
+            keys[1].id(),
+            &PacemakerMessage::ViewCert(vc),
+            Time::from_millis(1),
+        );
         assert_eq!(pm.current_view(), v);
         assert_eq!(
             pm.local_clock_reading(Time::from_millis(1)),
@@ -337,7 +338,7 @@ mod tests {
         let mut last = pm.current_view();
         let mut now = Time::ZERO;
         for i in 0..200i64 {
-            now = now + Duration::from_micros(500);
+            now += Duration::from_micros(500);
             let v = View::new(i % 40);
             let digest = QuorumCert::vote_digest(v, i as u64);
             let votes: Vec<_> = keys.iter().take(3).map(|k| k.sign(digest)).collect();

@@ -140,7 +140,7 @@ impl Lp22 {
         if self.layout.epoch_of(view) <= self.epoch {
             return;
         }
-        if self.paused_at_boundary.map_or(false, |pv| view >= pv) {
+        if self.paused_at_boundary.is_some_and(|pv| view >= pv) {
             self.paused_at_boundary = None;
         }
         // "sets lc(p) := c_v, unpauses its local clock if paused, and then
@@ -226,16 +226,12 @@ impl Pacemaker for Lp22 {
     ) -> Vec<PacemakerAction> {
         let mut out = Vec::new();
         match msg {
-            PacemakerMessage::EpochViewMsg { view, signature } => {
+            PacemakerMessage::EpochViewMsg { view, signature }
                 if signature.signer() == from
-                    && self
-                        .pki
-                        .verify(signature, epoch_view_digest(*view))
-                        .is_ok()
-                    && self.layout.is_epoch_view(*view)
-                {
-                    self.record_epoch_msg(from, *view, *signature, now, &mut out);
-                }
+                    && self.pki.verify(signature, epoch_view_digest(*view)).is_ok()
+                    && self.layout.is_epoch_view(*view) =>
+            {
+                self.record_epoch_msg(from, *view, *signature, now, &mut out);
             }
             PacemakerMessage::EpochCert(ec) => {
                 let view = ec.view();
@@ -329,10 +325,7 @@ mod tests {
         assert_eq!(pm.current_view(), View::new(0));
         assert_eq!(pm.epoch(), Epoch::new(0));
         assert!(!pm.is_paused());
-        assert_eq!(
-            pm.local_clock_reading(Time::from_millis(7)),
-            Duration::ZERO
-        );
+        assert_eq!(pm.local_clock_reading(Time::from_millis(7)), Duration::ZERO);
     }
 
     #[test]
@@ -393,7 +386,11 @@ mod tests {
             .map(|k| k.sign(epoch_view_digest(View::new(0))))
             .collect();
         let ec = EpochCert::aggregate(View::new(0), &sigs, &params).unwrap();
-        pm.on_message(keys[1].id(), &PacemakerMessage::EpochCert(ec), Time::from_millis(1));
+        pm.on_message(
+            keys[1].id(),
+            &PacemakerMessage::EpochCert(ec),
+            Time::from_millis(1),
+        );
         assert_eq!(pm.current_view(), View::new(0));
     }
 

@@ -153,7 +153,9 @@ impl Pacemaker for NaiveQuadratic {
                 self.record_timeout(self.id, view, signature, now, &mut out);
             }
         } else {
-            out.push(PacemakerAction::WakeAt(self.view_entered_at + self.view_timeout));
+            out.push(PacemakerAction::WakeAt(
+                self.view_entered_at + self.view_timeout,
+            ));
         }
         out
     }
@@ -247,9 +249,11 @@ mod tests {
         let (mut pm, _, params) = make(4, 0);
         pm.boot(Time::ZERO);
         let out = pm.on_wake(Time::from_millis(1));
-        assert!(out.iter().all(|a| !matches!(a, PacemakerAction::Broadcast(_))));
         assert!(out
             .iter()
-            .any(|a| matches!(a, PacemakerAction::WakeAt(t) if *t == Time::ZERO + params.fever_gamma())));
+            .all(|a| !matches!(a, PacemakerAction::Broadcast(_))));
+        assert!(out.iter().any(
+            |a| matches!(a, PacemakerAction::WakeAt(t) if *t == Time::ZERO + params.fever_gamma())
+        ));
     }
 }

@@ -173,8 +173,7 @@ impl RelayPacemaker {
         let pool = self.wish_pool.entry(target.as_i64()).or_default();
         pool.insert(from, signature);
         let sigs: Vec<Signature> = pool.values().copied().collect();
-        if sigs.len() < self.params.small_quorum()
-            || self.broadcast_sync.contains(&target.as_i64())
+        if sigs.len() < self.params.small_quorum() || self.broadcast_sync.contains(&target.as_i64())
         {
             return;
         }
@@ -216,18 +215,17 @@ impl Pacemaker for RelayPacemaker {
     ) -> Vec<PacemakerAction> {
         let mut out = Vec::new();
         match msg {
-            PacemakerMessage::Wish { view, signature } => {
+            PacemakerMessage::Wish { view, signature }
                 if signature.signer() == from
                     && self.pki.verify(signature, wish_digest(*view)).is_ok()
-                    && view.as_i64() >= 0
-                {
-                    self.record_wish(from, *view, *signature, now, &mut out);
-                }
+                    && view.as_i64() >= 0 =>
+            {
+                self.record_wish(from, *view, *signature, now, &mut out);
             }
-            PacemakerMessage::SyncCert(cert) => {
-                if cert.verify(&self.pki, &self.params).is_ok() && cert.view() > self.view {
-                    self.enter(cert.view(), now, &mut out);
-                }
+            PacemakerMessage::SyncCert(cert)
+                if cert.verify(&self.pki, &self.params).is_ok() && cert.view() > self.view =>
+            {
+                self.enter(cert.view(), now, &mut out);
             }
             _ => {}
         }
@@ -265,7 +263,9 @@ impl Pacemaker for RelayPacemaker {
                 out.push(PacemakerAction::WakeAt(deadline));
             }
         } else {
-            out.push(PacemakerAction::WakeAt(self.view_entered_at + self.view_timeout));
+            out.push(PacemakerAction::WakeAt(
+                self.view_entered_at + self.view_timeout,
+            ));
         }
         out
     }
@@ -299,9 +299,9 @@ mod tests {
         let (mut pm, _, params) = make(4, 0);
         let out = pm.boot(Time::ZERO);
         assert_eq!(pm.current_view(), View::new(0));
-        assert!(out
-            .iter()
-            .any(|a| matches!(a, PacemakerAction::WakeAt(t) if *t == Time::ZERO + params.fever_gamma())));
+        assert!(out.iter().any(
+            |a| matches!(a, PacemakerAction::WakeAt(t) if *t == Time::ZERO + params.fever_gamma())
+        ));
     }
 
     #[test]

@@ -23,8 +23,7 @@ fn bench_on_qc(c: &mut Criterion) {
             BenchmarkId::from_parameter(protocol.name()),
             &protocol,
             |b, protocol| {
-                let mut pm =
-                    protocol.build_pacemaker(params, keys[0].clone(), pki.clone(), 1);
+                let mut pm = protocol.build_pacemaker(params, keys[0].clone(), pki.clone(), 1);
                 pm.boot(Time::ZERO);
                 let mut view = 0i64;
                 b.iter(|| {
@@ -34,9 +33,8 @@ fn bench_on_qc(c: &mut Criterion) {
                         .take(params.quorum())
                         .map(|k| k.sign(digest))
                         .collect();
-                    let qc =
-                        QuorumCert::aggregate(View::new(view), view as u64, &votes, &params)
-                            .unwrap();
+                    let qc = QuorumCert::aggregate(View::new(view), view as u64, &votes, &params)
+                        .unwrap();
                     let out = pm.on_qc(&qc, false, Time::from_millis(view + 1));
                     view += 1;
                     out
@@ -63,8 +61,7 @@ fn bench_on_epoch_view_msg(c: &mut Criterion) {
             BenchmarkId::from_parameter(protocol.name()),
             &protocol,
             |b, protocol| {
-                let mut pm =
-                    protocol.build_pacemaker(params, keys[0].clone(), pki.clone(), 1);
+                let mut pm = protocol.build_pacemaker(params, keys[0].clone(), pki.clone(), 1);
                 pm.boot(Time::ZERO);
                 let msg = PacemakerMessage::EpochViewMsg {
                     view: View::new(0),

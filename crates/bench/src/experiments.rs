@@ -21,7 +21,7 @@ pub enum ExperimentScale {
 impl ExperimentScale {
     /// Reads the scale from the `LUMIERE_FULL` environment variable.
     pub fn from_env() -> Self {
-        if std::env::var("LUMIERE_FULL").map_or(false, |v| v == "1") {
+        if std::env::var("LUMIERE_FULL").is_ok_and(|v| v == "1") {
             ExperimentScale::Full
         } else {
             ExperimentScale::Quick
@@ -57,9 +57,12 @@ impl ExperimentScale {
     }
 }
 
+/// An experiment entry point: renders one report at the given scale.
+pub type Experiment = fn(ExperimentScale) -> String;
+
 /// Named experiments, used by the `table1_all` binary and the integration
 /// tests.
-pub const ALL_EXPERIMENTS: &[(&str, fn(ExperimentScale) -> String)] = &[
+pub const ALL_EXPERIMENTS: &[(&str, Experiment)] = &[
     ("table1_worst_case (E1+E3)", worst_case_table),
     ("table1_eventual (E2+E4)", eventual_table),
     ("responsiveness (Thm 1.1(3))", responsiveness_table),
@@ -286,7 +289,9 @@ pub fn figure1_report(_scale: ExperimentScale) -> String {
         // The fourth leader slot: views 6/7 for two-view-per-leader
         // schedules, view 3 for one-view-per-leader schedules.
         let slot_view = match protocol {
-            ProtocolKind::Lp22 | ProtocolKind::Cogsworth | ProtocolKind::Nk20
+            ProtocolKind::Lp22
+            | ProtocolKind::Cogsworth
+            | ProtocolKind::Nk20
             | ProtocolKind::Naive => View::new(3),
             _ => View::new(6),
         };
@@ -300,7 +305,11 @@ pub fn figure1_report(_scale: ExperimentScale) -> String {
             .with_seed(42)
             .with_trace()
             .run_with_trace();
-        let _ = writeln!(out, "### {} (Byzantine processor p{byz})\n", protocol.name());
+        let _ = writeln!(
+            out,
+            "### {} (Byzantine processor p{byz})\n",
+            protocol.name()
+        );
         let _ = writeln!(out, "```");
         out.push_str(&trace.render_view_timeline(View::new(8)));
         let _ = writeln!(out, "```");
@@ -427,7 +436,11 @@ pub fn honest_gap_report(scale: ExperimentScale) -> String {
         "Γ (ms)",
         "gap ≤ Γ + 2Δ?",
     ]);
-    for protocol in [ProtocolKind::Lumiere, ProtocolKind::Fever, ProtocolKind::Lp22] {
+    for protocol in [
+        ProtocolKind::Lumiere,
+        ProtocolKind::Fever,
+        ProtocolKind::Lp22,
+    ] {
         for f_a in [0usize, f] {
             let report = SimConfig::new(protocol, n)
                 .with_delta(delta)

@@ -127,7 +127,9 @@ impl HotStuffEngine {
         self.current_view = view;
         self.current_leader = Some(leader);
         let mut out = Vec::new();
-        if leader == self.id && self.proposing_enabled && !self.proposed_views.contains(&view.as_i64())
+        if leader == self.id
+            && self.proposing_enabled
+            && !self.proposed_views.contains(&view.as_i64())
         {
             out.extend(self.propose(now));
         }
@@ -141,11 +143,7 @@ impl HotStuffEngine {
 
     fn propose(&mut self, now: Time) -> Vec<ConsensusAction> {
         let parent_hash = self.high_qc.block_hash();
-        let parent_height = self
-            .store
-            .get(parent_hash)
-            .map(|b| b.height())
-            .unwrap_or(0);
+        let parent_height = self.store.get(parent_hash).map(|b| b.height()).unwrap_or(0);
         let block = Block::new(
             parent_hash,
             parent_height + 1,

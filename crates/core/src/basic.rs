@@ -207,7 +207,7 @@ impl BasicLumiere {
         if self.layout.epoch_of(view) <= self.epoch {
             return;
         }
-        if self.paused_at_boundary.map_or(false, |pv| view >= pv) {
+        if self.paused_at_boundary.is_some_and(|pv| view >= pv) {
             self.clock.unpause(now);
             self.paused_at_boundary = None;
         }
@@ -295,24 +295,19 @@ impl Pacemaker for BasicLumiere {
     ) -> Vec<PacemakerAction> {
         let mut out = Vec::new();
         match msg {
-            PacemakerMessage::ViewMsg { view, signature } => {
+            PacemakerMessage::ViewMsg { view, signature }
                 if signature.signer() == from
                     && self.pki.verify(signature, view_msg_digest(*view)).is_ok()
-                    && view.is_initial()
-                {
-                    self.record_view_msg(from, *view, *signature, now, &mut out);
-                }
+                    && view.is_initial() =>
+            {
+                self.record_view_msg(from, *view, *signature, now, &mut out);
             }
-            PacemakerMessage::EpochViewMsg { view, signature } => {
+            PacemakerMessage::EpochViewMsg { view, signature }
                 if signature.signer() == from
-                    && self
-                        .pki
-                        .verify(signature, epoch_view_digest(*view))
-                        .is_ok()
-                    && self.layout.is_epoch_view(*view)
-                {
-                    self.record_epoch_msg(from, *view, *signature, now, &mut out);
-                }
+                    && self.pki.verify(signature, epoch_view_digest(*view)).is_ok()
+                    && self.layout.is_epoch_view(*view) =>
+            {
+                self.record_epoch_msg(from, *view, *signature, now, &mut out);
             }
             PacemakerMessage::ViewCert(vc) => {
                 let view = vc.view();
@@ -386,7 +381,11 @@ mod tests {
     fn make(n: usize, who: usize) -> (BasicLumiere, Vec<KeyPair>, Params) {
         let params = Params::new(n, Duration::from_millis(10));
         let (keys, pki) = keygen(n, 3);
-        (BasicLumiere::new(params, keys[who].clone(), pki), keys, params)
+        (
+            BasicLumiere::new(params, keys[who].clone(), pki),
+            keys,
+            params,
+        )
     }
 
     #[test]
@@ -432,12 +431,16 @@ mod tests {
             .map(|k| k.sign(epoch_view_digest(View::new(0))))
             .collect();
         let ec = EpochCert::aggregate(View::new(0), &sigs, &params).unwrap();
-        pm.on_message(keys[1].id(), &PacemakerMessage::EpochCert(ec), Time::from_millis(1));
+        pm.on_message(
+            keys[1].id(),
+            &PacemakerMessage::EpochCert(ec),
+            Time::from_millis(1),
+        );
         // Provide QCs for every view of epoch 0 — unlike full Lumiere this
         // does NOT suppress the next heavy sync.
         let mut now = Time::from_millis(1);
         for v in 0..epoch_len {
-            now = now + Duration::from_micros(100);
+            now += Duration::from_micros(100);
             let digest = QuorumCert::vote_digest(View::new(v), v as u64 + 1);
             let votes: Vec<_> = keys.iter().take(3).map(|k| k.sign(digest)).collect();
             let qc = QuorumCert::aggregate(View::new(v), v as u64 + 1, &votes, &params).unwrap();
@@ -458,7 +461,11 @@ mod tests {
             .map(|k| k.sign(epoch_view_digest(View::new(0))))
             .collect();
         let ec = EpochCert::aggregate(View::new(0), &sigs, &params).unwrap();
-        pm.on_message(keys[1].id(), &PacemakerMessage::EpochCert(ec), Time::from_millis(1));
+        pm.on_message(
+            keys[1].id(),
+            &PacemakerMessage::EpochCert(ec),
+            Time::from_millis(1),
+        );
         let digest = QuorumCert::vote_digest(View::new(0), 9);
         let votes: Vec<_> = keys.iter().take(3).map(|k| k.sign(digest)).collect();
         let qc = QuorumCert::aggregate(View::new(0), 9, &votes, &params).unwrap();
@@ -479,7 +486,11 @@ mod tests {
             .map(|k| k.sign(view_msg_digest(View::new(0))))
             .collect();
         let vc = ViewCert::aggregate(View::new(0), &sigs, &params).unwrap();
-        pm.on_message(keys[1].id(), &PacemakerMessage::ViewCert(vc), Time::from_millis(1));
+        pm.on_message(
+            keys[1].id(),
+            &PacemakerMessage::ViewCert(vc),
+            Time::from_millis(1),
+        );
         assert_eq!(pm.current_view(), View::SENTINEL);
     }
 
@@ -492,7 +503,11 @@ mod tests {
             .map(|k| k.sign(epoch_view_digest(View::new(0))))
             .collect();
         let ec = EpochCert::aggregate(View::new(0), &sigs, &params).unwrap();
-        pm.on_message(keys[1].id(), &PacemakerMessage::EpochCert(ec), Time::from_millis(1));
+        pm.on_message(
+            keys[1].id(),
+            &PacemakerMessage::EpochCert(ec),
+            Time::from_millis(1),
+        );
         let out = pm.on_wake(Time::from_millis(3));
         assert!(actions::earliest_wake(&out).is_some());
     }

@@ -193,7 +193,11 @@ mod tests {
     fn wish_cert_round_trips() {
         let (keys, pki, params) = setup();
         let v = View::new(9);
-        let sigs: Vec<_> = keys.iter().take(3).map(|k| k.sign(wish_digest(v))).collect();
+        let sigs: Vec<_> = keys
+            .iter()
+            .take(3)
+            .map(|k| k.sign(wish_digest(v)))
+            .collect();
         let wc = WishCert::aggregate(v, &sigs, &params).unwrap();
         assert!(wc.verify(&pki, &params).is_ok());
         assert_eq!(wc.view(), v);
@@ -223,7 +227,11 @@ mod tests {
         let v = View::new(6);
         // Processors signed *wish* digests; an adversary tries to pass them
         // off as view messages.
-        let sigs: Vec<_> = keys.iter().take(3).map(|k| k.sign(wish_digest(v))).collect();
+        let sigs: Vec<_> = keys
+            .iter()
+            .take(3)
+            .map(|k| k.sign(wish_digest(v)))
+            .collect();
         let forged = ViewCert {
             view: v,
             tsig: ThresholdSignature::aggregate(wish_digest(v), &sigs, 3).unwrap(),

@@ -213,7 +213,7 @@ mod tests {
             let mut now = Time::ZERO;
             let mut last = Duration::ZERO;
             for (op, arg) in ops {
-                now = now + Duration::from_micros(arg);
+                now += Duration::from_micros(arg);
                 match op {
                     0 => clock.pause(now),
                     1 => clock.unpause(now),

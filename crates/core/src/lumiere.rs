@@ -196,12 +196,7 @@ impl Lumiere {
 
     /// Lines 18 / 38 / 46: send (not-yet-sent) view messages for every
     /// initial view in `[view(p), upto)`.
-    fn send_skipped_view_msgs(
-        &mut self,
-        upto: View,
-        now: Time,
-        out: &mut Vec<PacemakerAction>,
-    ) {
+    fn send_skipped_view_msgs(&mut self, upto: View, now: Time, out: &mut Vec<PacemakerAction>) {
         let start = self.view.as_i64().max(0);
         for v in start..upto.as_i64() {
             let view = View::new(v);
@@ -389,9 +384,7 @@ impl Lumiere {
 
             // --- Epoch-view trigger (lines 9–14) ---
             let next_epoch_view = self.cfg.layout.next_epoch_view_after(self.view);
-            if self.view < next_epoch_view
-                && self.clock.reading(now) >= self.c(next_epoch_view)
-            {
+            if self.view < next_epoch_view && self.clock.reading(now) >= self.c(next_epoch_view) {
                 let prev_epoch = self.cfg.layout.epoch_of(next_epoch_view).prev().as_i64();
                 if self.success.contains(&prev_epoch) {
                     // Line 13–14: treat the epoch view as a standard initial
@@ -520,9 +513,7 @@ impl Lumiere {
     fn handle_epoch_cert(&mut self, ec: &EpochCert, now: Time) -> Vec<PacemakerAction> {
         let mut out = Vec::new();
         let view = ec.view();
-        if !self.cfg.layout.is_epoch_view(view)
-            || ec.verify(&self.pki, &self.cfg.params).is_err()
-        {
+        if !self.cfg.layout.is_epoch_view(view) || ec.verify(&self.pki, &self.cfg.params).is_err() {
             return out;
         }
         if !self.seen_tc.contains(&view.as_i64()) {
@@ -540,9 +531,7 @@ impl Lumiere {
     fn handle_timeout_cert(&mut self, tc: &TimeoutCert, now: Time) -> Vec<PacemakerAction> {
         let mut out = Vec::new();
         let view = tc.view();
-        if !self.cfg.layout.is_epoch_view(view)
-            || tc.verify(&self.pki, &self.cfg.params).is_err()
-        {
+        if !self.cfg.layout.is_epoch_view(view) || tc.verify(&self.pki, &self.cfg.params).is_err() {
             return out;
         }
         if !self.seen_tc.contains(&view.as_i64()) {
@@ -747,7 +736,9 @@ mod tests {
             .map(|k| Lumiere::new(cfg.clone(), k.clone(), pki.clone()))
             .collect();
         let mut pending: Vec<(usize, usize, PacemakerMessage)> = Vec::new();
-        let route = |from: usize, acts: Vec<PacemakerAction>, pending: &mut Vec<(usize, usize, PacemakerMessage)>| {
+        let route = |from: usize,
+                     acts: Vec<PacemakerAction>,
+                     pending: &mut Vec<(usize, usize, PacemakerMessage)>| {
             for a in acts {
                 match a {
                     PacemakerAction::SendTo(to, m) => pending.push((from, to.as_usize(), m)),
@@ -879,7 +870,7 @@ mod tests {
         // Feed a QC for every view of epoch 0 (so *every* leader trivially
         // reaches 10 QCs and the success criterion holds).
         for v in 0..epoch_len {
-            now = now + Duration::from_micros(200);
+            now += Duration::from_micros(200);
             let digest = QuorumCert::vote_digest(View::new(v), v as u64 + 1);
             let votes: Vec<_> = keys.iter().take(3).map(|k| k.sign(digest)).collect();
             let qc = QuorumCert::aggregate(View::new(v), v as u64 + 1, &votes, &params).unwrap();
@@ -906,11 +897,18 @@ mod tests {
             .map(|k| k.sign(epoch_view_digest(View::new(0))))
             .collect();
         let ec = EpochCert::aggregate(View::new(0), &sigs, &params).unwrap();
-        pm.on_message(keys[1].id(), &PacemakerMessage::EpochCert(ec), Time::from_millis(1));
+        pm.on_message(
+            keys[1].id(),
+            &PacemakerMessage::EpochCert(ec),
+            Time::from_millis(1),
+        );
         // No QCs at all: let the local clock run to the end of the epoch.
         let end_of_epoch = Time::from_millis(1) + gamma * epoch_len;
         let out = pm.on_wake(end_of_epoch);
-        assert!(pm.is_paused(), "no success: the clock pauses at the boundary");
+        assert!(
+            pm.is_paused(),
+            "no success: the clock pauses at the boundary"
+        );
         assert!(actions::earliest_wake(&out).is_some());
         // Δ later the epoch-view message for V(1) goes out.
         let out = pm.on_wake(end_of_epoch + params.delta_cap);
@@ -954,15 +952,21 @@ mod tests {
         let mut state = 0x12345u64;
         let mut now = Time::ZERO;
         for step in 0..400u64 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            now = now + Duration::from_micros((state % 900) as i64 + 1);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            now += Duration::from_micros((state % 900) as i64 + 1);
             let v = View::new((state >> 20) as i64 % 90);
             match state % 4 {
                 0 => {
                     let k = &keys[(state % 4) as usize];
                     let msg = PacemakerMessage::ViewMsg {
                         view: if v.is_initial() { v } else { v.next() },
-                        signature: k.sign(view_msg_digest(if v.is_initial() { v } else { v.next() })),
+                        signature: k.sign(view_msg_digest(if v.is_initial() {
+                            v
+                        } else {
+                            v.next()
+                        })),
                     };
                     pm.on_message(k.id(), &msg, now);
                 }

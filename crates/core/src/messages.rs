@@ -121,7 +121,11 @@ mod tests {
         let params = Params::new(4, Duration::from_millis(1));
         let (keys, _) = keygen(4, 0);
         let v = View::new(6);
-        let sigs: Vec<_> = keys.iter().take(2).map(|k| k.sign(view_msg_digest(v))).collect();
+        let sigs: Vec<_> = keys
+            .iter()
+            .take(2)
+            .map(|k| k.sign(view_msg_digest(v)))
+            .collect();
         let vc = ViewCert::aggregate(v, &sigs, &params).unwrap();
         let msgs = vec![
             PacemakerMessage::ViewMsg {

@@ -59,7 +59,7 @@ impl LeaderSchedule {
     pub fn lumiere(n: usize, seed: u64) -> Self {
         assert!(n > 0);
         let mut order: Vec<ProcessId> = ProcessId::all(n).collect();
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x4c75_6d69_6572_65u64);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x004c_756d_6965_7265_u64);
         order.shuffle(&mut rng);
         LeaderSchedule::PairedReverse { order }
     }
@@ -141,7 +141,10 @@ mod tests {
         for v in 0..(2 * n as i64) {
             counts[s.leader(View::new(v)).as_usize()] += 1;
         }
-        assert!(counts.iter().all(|&c| c == 2), "each leader twice: {counts:?}");
+        assert!(
+            counts.iter().all(|&c| c == 2),
+            "each leader twice: {counts:?}"
+        );
     }
 
     #[test]

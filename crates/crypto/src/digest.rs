@@ -131,8 +131,14 @@ mod tests {
 
     #[test]
     fn field_boundaries_matter() {
-        let a = Digest::new(b"x").push_bytes(b"ab").push_bytes(b"c").finish();
-        let b = Digest::new(b"x").push_bytes(b"a").push_bytes(b"bc").finish();
+        let a = Digest::new(b"x")
+            .push_bytes(b"ab")
+            .push_bytes(b"c")
+            .finish();
+        let b = Digest::new(b"x")
+            .push_bytes(b"a")
+            .push_bytes(b"bc")
+            .finish();
         assert_ne!(a, b);
     }
 

@@ -133,8 +133,18 @@ mod tests {
     fn events_pop_in_time_order() {
         let mut q = EventQueue::new();
         q.push(Time::from_millis(5), Event::Sample);
-        q.push(Time::from_millis(1), Event::Boot { node: ProcessId::new(0) });
-        q.push(Time::from_millis(3), Event::Wake { node: ProcessId::new(1) });
+        q.push(
+            Time::from_millis(1),
+            Event::Boot {
+                node: ProcessId::new(0),
+            },
+        );
+        q.push(
+            Time::from_millis(3),
+            Event::Wake {
+                node: ProcessId::new(1),
+            },
+        );
         let order: Vec<i64> = std::iter::from_fn(|| q.pop())
             .map(|(t, _)| t.as_micros() / 1000)
             .collect();
@@ -144,9 +154,24 @@ mod tests {
     #[test]
     fn ties_break_by_insertion_order() {
         let mut q = EventQueue::new();
-        q.push(Time::from_millis(1), Event::Boot { node: ProcessId::new(0) });
-        q.push(Time::from_millis(1), Event::Boot { node: ProcessId::new(1) });
-        q.push(Time::from_millis(1), Event::Boot { node: ProcessId::new(2) });
+        q.push(
+            Time::from_millis(1),
+            Event::Boot {
+                node: ProcessId::new(0),
+            },
+        );
+        q.push(
+            Time::from_millis(1),
+            Event::Boot {
+                node: ProcessId::new(1),
+            },
+        );
+        q.push(
+            Time::from_millis(1),
+            Event::Boot {
+                node: ProcessId::new(2),
+            },
+        );
         let nodes: Vec<usize> = std::iter::from_fn(|| q.pop())
             .map(|(_, e)| match e {
                 Event::Boot { node } => node.as_usize(),

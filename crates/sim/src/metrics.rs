@@ -321,10 +321,25 @@ mod tests {
         for ms in [101, 102, 103, 108, 109] {
             c.record_honest_sends(Time::from_millis(ms), 1, false);
         }
-        c.record_qc(Time::from_millis(115), View::new(0), ProcessId::new(0), true);
+        c.record_qc(
+            Time::from_millis(115),
+            View::new(0),
+            ProcessId::new(0),
+            true,
+        );
         c.record_honest_sends(Time::from_millis(116), 2, true);
-        c.record_qc(Time::from_millis(130), View::new(1), ProcessId::new(1), true);
-        c.record_qc(Time::from_millis(140), View::new(2), ProcessId::new(2), false);
+        c.record_qc(
+            Time::from_millis(130),
+            View::new(1),
+            ProcessId::new(1),
+            true,
+        );
+        c.record_qc(
+            Time::from_millis(140),
+            View::new(2),
+            ProcessId::new(2),
+            false,
+        );
         c.record_commit(Time::from_millis(131), 1);
         c.record_commit(Time::from_millis(132), 1); // duplicate height ignored
         c.record_commit(Time::from_millis(133), 2);

@@ -98,11 +98,11 @@ impl Node {
     }
 
     fn runs_pacemaker(&self) -> bool {
-        self.behavior.map_or(true, |b| b.runs_pacemaker())
+        self.behavior.is_none_or(|b| b.runs_pacemaker())
     }
 
     fn runs_consensus(&self) -> bool {
-        self.behavior.map_or(true, |b| b.runs_consensus())
+        self.behavior.is_none_or(|b| b.runs_consensus())
     }
 
     /// Boots the processor.
@@ -148,12 +148,7 @@ impl Node {
     /// Processes pacemaker actions, cascading into the consensus engine as
     /// needed (view entries trigger proposals, which may trigger QCs, which
     /// feed back into the pacemaker, and so on until quiescence).
-    fn drain_pacemaker(
-        &mut self,
-        actions: Vec<PacemakerAction>,
-        now: Time,
-        out: &mut NodeOutput,
-    ) {
+    fn drain_pacemaker(&mut self, actions: Vec<PacemakerAction>, now: Time, out: &mut NodeOutput) {
         let mut pm_queue: VecDeque<PacemakerAction> = actions.into();
         let mut cons_queue: VecDeque<ConsensusAction> = VecDeque::new();
         loop {
@@ -213,12 +208,7 @@ impl Node {
     }
 
     /// Processes consensus actions, cascading into the pacemaker as needed.
-    fn drain_consensus(
-        &mut self,
-        actions: Vec<ConsensusAction>,
-        now: Time,
-        out: &mut NodeOutput,
-    ) {
+    fn drain_consensus(&mut self, actions: Vec<ConsensusAction>, now: Time, out: &mut NodeOutput) {
         // Reuse the same cascade machinery by starting from an empty
         // pacemaker queue and a pre-filled consensus queue.
         let mut pm_actions = Vec::new();
@@ -314,8 +304,9 @@ mod tests {
     fn non_leader_boot_sends_its_view_message() {
         let mut node = build(4, 2, None);
         let out = node.boot(Time::ZERO);
-        assert!(out.sends.iter().any(|(to, m)| {
-            *to == ProcessId::new(0) && matches!(m, SimMessage::Pacemaker(_))
-        }));
+        assert!(out
+            .sends
+            .iter()
+            .any(|(to, m)| { *to == ProcessId::new(0) && matches!(m, SimMessage::Pacemaker(_)) }));
     }
 }

@@ -213,12 +213,10 @@ impl Simulation {
     }
 
     fn schedule_delivery(&mut self, from: ProcessId, to: ProcessId, message: SimMessage) {
-        let at = self.cfg.delay.delivery_time(
-            self.now,
-            self.cfg.gst,
-            self.cfg.delta_cap,
-            &mut self.rng,
-        );
+        let at =
+            self.cfg
+                .delay
+                .delivery_time(self.now, self.cfg.gst, self.cfg.delta_cap, &mut self.rng);
         self.queue.push(at, Event::Deliver { to, from, message });
     }
 

@@ -82,11 +82,9 @@ impl ProtocolKind {
         seed: u64,
     ) -> Box<dyn Pacemaker> {
         match self {
-            ProtocolKind::Lumiere => Box::new(Lumiere::new(
-                LumiereConfig::new(params, seed),
-                keys,
-                pki,
-            )),
+            ProtocolKind::Lumiere => {
+                Box::new(Lumiere::new(LumiereConfig::new(params, seed), keys, pki))
+            }
             ProtocolKind::BasicLumiere => Box::new(BasicLumiere::new(params, keys, pki)),
             ProtocolKind::Lp22 => Box::new(Lp22::new(params, keys, pki)),
             ProtocolKind::Fever => Box::new(Fever::new(params, keys, pki)),
@@ -368,9 +366,6 @@ mod tests {
     #[test]
     fn table1_contains_the_papers_protocols() {
         let names: Vec<_> = ProtocolKind::table1().iter().map(|p| p.name()).collect();
-        assert_eq!(
-            names,
-            vec!["cogsworth", "nk20", "lp22", "fever", "lumiere"]
-        );
+        assert_eq!(names, vec!["cogsworth", "nk20", "lp22", "fever", "lumiere"]);
     }
 }

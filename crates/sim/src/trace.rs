@@ -72,7 +72,11 @@ impl Trace {
     /// textual equivalent of Figure 1.
     pub fn render_view_timeline(&self, up_to_view: View) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "{:>6} | {:>14} | {:>14} | note", "view", "entered", "qc");
+        let _ = writeln!(
+            out,
+            "{:>6} | {:>14} | {:>14} | note",
+            "view", "entered", "qc"
+        );
         for v in 0..=up_to_view.as_i64() {
             let view = View::new(v);
             let entered = self.first_entry(view);

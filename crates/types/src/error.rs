@@ -59,7 +59,10 @@ impl fmt::Display for Error {
                 write!(f, "certificate has {got} signers but needs {need}")
             }
             Error::ViewMismatch { expected, found } => {
-                write!(f, "certificate for {found} presented where {expected} expected")
+                write!(
+                    f,
+                    "certificate for {found} presented where {expected} expected"
+                )
             }
             Error::UnknownProcess { id } => write!(f, "unknown processor {id}"),
             Error::UnknownBlock { hash } => write!(f, "unknown block {hash:#x}"),

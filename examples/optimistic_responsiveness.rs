@@ -12,9 +12,7 @@ use lumiere::prelude::*;
 fn main() {
     let n = 10;
     let delta_cap = Duration::from_millis(40);
-    println!(
-        "n = {n}, Δ = {delta_cap}; sweeping the actual network delay δ (no faults)\n"
-    );
+    println!("n = {n}, Δ = {delta_cap}; sweeping the actual network delay δ (no faults)\n");
     println!(
         "{:<15} {:>8} {:>18} {:>22}",
         "protocol", "δ (ms)", "avg latency (ms)", "worst gap (ms)"

@@ -1,0 +1,269 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The container has no crates.io access, so the workspace vendors a
+//! miniature property-testing harness covering the surface the test suite
+//! uses: the [`proptest!`] macro (with `#![proptest_config(..)]`), range and
+//! tuple strategies, [`collection::vec`], `any::<T>()`, and the
+//! `prop_assert*` / [`prop_assume!`] macros. Sampling is deterministic —
+//! case `i` of every test always sees the same inputs — so failures
+//! reproduce without persisted regression files. Shrinking is not
+//! implemented; the harness reports the failing inputs instead.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How a strategy draws values. Mirrors `proptest::strategy::Strategy` just
+/// far enough for direct sampling (no shrink trees).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value from the deterministic generator.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Samples an unconstrained value of `Self`.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                use rand::RngCore;
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy of all values of `T` — mirrors `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Range, StdRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length is uniform in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property test runs.
+    pub cases: u32,
+    /// Accepted for compatibility with the real crate; the shim never
+    /// shrinks, so this is ignored.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+#[doc(hidden)]
+pub fn __case_rng(case: u32) -> StdRng {
+    // Distinct, deterministic stream per case index.
+    StdRng::seed_from_u64(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(case) + 1))
+}
+
+/// Declares deterministic property tests. Supports the subset of the real
+/// macro's grammar used in this workspace: an optional leading
+/// `#![proptest_config(expr)]`, then `fn name(pat in strategy, ...) { .. }`
+/// items carrying their own `#[test]` attributes.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::__case_rng(__case);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                // Each case runs in a closure so `prop_assume!` can skip the
+                // case with an early return.
+                let __one_case = move || $body;
+                __one_case();
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skips the current case when its sampled inputs don't satisfy a
+/// precondition. Expands to an early return from the per-case closure.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// The usual glob import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    pub use super::{any, Any, Arbitrary, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 4usize..10, x in -3i64..3) {
+            prop_assert!((4..10).contains(&n));
+            prop_assert!((-3..3).contains(&x));
+        }
+
+        #[test]
+        fn assume_skips_cases(a in 0u64..10, b in 0u64..10) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn vec_strategy_respects_length(v in crate::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+        }
+
+        #[test]
+        fn tuples_sample_componentwise(pair in (0u8..4, 0i64..1000)) {
+            prop_assert!(pair.0 < 4);
+            prop_assert!((0..1000).contains(&pair.1));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_case() {
+        let s = 0u64..1_000_000;
+        let a = Strategy::sample(&s, &mut crate::__case_rng(3));
+        let b = Strategy::sample(&s, &mut crate::__case_rng(3));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,40 @@
+//! Offline stand-in for `serde`.
+//!
+//! This container has no network access to crates.io, so the workspace
+//! vendors the minimal serde surface the codebase actually relies on: the
+//! `Serialize` / `Deserialize` trait *names* (used in bounds and derives).
+//! No wire format is implemented — nothing in the repo serializes to bytes;
+//! the derives are forward-compatibility decoration. Both traits carry
+//! blanket implementations so the no-op derives in `shims/serde_derive`
+//! stay coherent with hand-written bounds.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. Blanket-implemented for every
+/// type; the paired derive macro expands to nothing.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`. Blanket-implemented for
+/// every type; the paired derive macro expands to nothing.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T {}
+
+/// Mirrors `serde::de` far enough for `DeserializeOwned` bounds.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// Mirrors `serde::ser` for symmetric imports.
+pub mod ser {
+    pub use super::Serialize;
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace vendors a minimal `serde` facade (see `shims/serde`) whose
+//! `Serialize` / `Deserialize` traits carry blanket implementations, so the
+//! derive macros here only need to exist for `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` attributes to resolve — they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op derive: `Serialize` is blanket-implemented in the `serde` shim.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op derive: `Deserialize` is blanket-implemented in the `serde` shim.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -87,7 +87,11 @@ fn lumiere_recovers_after_a_late_gst_under_adversarial_delays() {
 
 #[test]
 fn larger_clusters_remain_live() {
-    for protocol in [ProtocolKind::Lumiere, ProtocolKind::Fever, ProtocolKind::Lp22] {
+    for protocol in [
+        ProtocolKind::Lumiere,
+        ProtocolKind::Fever,
+        ProtocolKind::Lp22,
+    ] {
         let report = base(protocol, 19)
             .with_byzantine(3, ByzBehavior::SilentLeader)
             .with_horizon(Duration::from_secs(10))
@@ -107,7 +111,11 @@ fn sync_silent_byzantine_nodes_cannot_block_synchronization() {
     // only 2f+1 contributors for every certificate — exactly the threshold.
     let n = 7;
     let f = (n - 1) / 3;
-    for protocol in [ProtocolKind::Lumiere, ProtocolKind::BasicLumiere, ProtocolKind::Fever] {
+    for protocol in [
+        ProtocolKind::Lumiere,
+        ProtocolKind::BasicLumiere,
+        ProtocolKind::Fever,
+    ] {
         let report = base(protocol, n)
             .with_byzantine(f, ByzBehavior::SyncSilent)
             .with_horizon(Duration::from_secs(12))

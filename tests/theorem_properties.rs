@@ -66,7 +66,9 @@ fn smooth_optimistic_responsiveness_with_no_faults() {
         .with_horizon(Duration::from_secs(5))
         .run();
     let warmup = report.default_warmup();
-    let avg = report.average_latency(warmup).expect("steady state reached");
+    let avg = report
+        .average_latency(warmup)
+        .expect("steady state reached");
     // One view needs ~3δ; "network speed" means a small multiple of δ and far
     // below Δ.
     assert!(
