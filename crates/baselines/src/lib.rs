@@ -21,6 +21,13 @@
 //!   `O(f_a²Δ)` eventual latency under faults, `O(n³)` / `O(n²Δ)` worst case.
 //! * [`naive::NaiveQuadratic`] — a PBFT-style all-to-all timeout pacemaker,
 //!   used as an extra ablation: always `Θ(n²)` per view change.
+//!
+//! # Paper mapping
+//!
+//! Sections 3.1–3.3 (the prior-work protocols Lumiere is measured against)
+//! and the Cogsworth/NK20, LP22 and Fever rows of Table 1; the LP22 stall
+//! of Figure 1 is reproduced against [`lp22::Lp22`] by the `figure1`
+//! experiment in `crates/bench`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

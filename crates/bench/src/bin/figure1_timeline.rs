@@ -1,8 +1,10 @@
-//! Regenerates the "figure1_timeline" experiment (see EXPERIMENTS.md).
+//! Regenerates the "figure1" experiment (see EXPERIMENTS.md). Accepts the shared
+//! sweep flags (`--out`, `--threads`, `--full`, `--check`, `--diff`).
 
-use lumiere_bench::experiments::{figure1_report, ExperimentScale};
+use lumiere_bench::cli;
+use lumiere_bench::experiments::experiment;
+use std::process::ExitCode;
 
-fn main() {
-    let scale = ExperimentScale::from_env();
-    println!("{}", figure1_report(scale));
+fn main() -> ExitCode {
+    cli::run_main("figure1_timeline", None, &[experiment("figure1")])
 }

@@ -1,8 +1,10 @@
-//! Regenerates the "heavy_syncs" experiment (see EXPERIMENTS.md).
+//! Regenerates the "heavy_syncs" experiment (see EXPERIMENTS.md). Accepts the shared
+//! sweep flags (`--out`, `--threads`, `--full`, `--check`, `--diff`).
 
-use lumiere_bench::experiments::{heavy_sync_report, ExperimentScale};
+use lumiere_bench::cli;
+use lumiere_bench::experiments::experiment;
+use std::process::ExitCode;
 
-fn main() {
-    let scale = ExperimentScale::from_env();
-    println!("{}", heavy_sync_report(scale));
+fn main() -> ExitCode {
+    cli::run_main("heavy_syncs", None, &[experiment("heavy_syncs")])
 }

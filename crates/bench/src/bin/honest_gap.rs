@@ -1,8 +1,10 @@
-//! Regenerates the "honest_gap" experiment (see EXPERIMENTS.md).
+//! Regenerates the "honest_gap" experiment (see EXPERIMENTS.md). Accepts the shared
+//! sweep flags (`--out`, `--threads`, `--full`, `--check`, `--diff`).
 
-use lumiere_bench::experiments::{honest_gap_report, ExperimentScale};
+use lumiere_bench::cli;
+use lumiere_bench::experiments::experiment;
+use std::process::ExitCode;
 
-fn main() {
-    let scale = ExperimentScale::from_env();
-    println!("{}", honest_gap_report(scale));
+fn main() -> ExitCode {
+    cli::run_main("honest_gap", None, &[experiment("honest_gap")])
 }

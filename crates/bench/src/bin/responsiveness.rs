@@ -1,8 +1,10 @@
-//! Regenerates the "responsiveness" experiment (see EXPERIMENTS.md).
+//! Regenerates the "responsiveness" experiment (see EXPERIMENTS.md). Accepts the shared
+//! sweep flags (`--out`, `--threads`, `--full`, `--check`, `--diff`).
 
-use lumiere_bench::experiments::{responsiveness_table, ExperimentScale};
+use lumiere_bench::cli;
+use lumiere_bench::experiments::experiment;
+use std::process::ExitCode;
 
-fn main() {
-    let scale = ExperimentScale::from_env();
-    println!("{}", responsiveness_table(scale));
+fn main() -> ExitCode {
+    cli::run_main("responsiveness", None, &[experiment("responsiveness")])
 }

@@ -1,13 +1,16 @@
 //! Runs every experiment in sequence, printing one report per section.
-//! This is the binary used to regenerate EXPERIMENTS.md.
+//! This is the binary used to regenerate EXPERIMENTS.md; with `--out DIR`
+//! it also persists every sweep cell as JSON (see docs/REPORT_SCHEMA.md).
 
-use lumiere_bench::experiments::{ExperimentScale, ALL_EXPERIMENTS};
+use lumiere_bench::cli;
+use lumiere_bench::experiments::ALL_EXPERIMENTS;
+use std::process::ExitCode;
 
-fn main() {
-    let scale = ExperimentScale::from_env();
-    println!("# Lumiere reproduction — experiment reports\n");
-    for (name, run) in ALL_EXPERIMENTS {
-        eprintln!("running {name} ...");
-        println!("{}", run(scale));
-    }
+fn main() -> ExitCode {
+    let experiments: Vec<_> = ALL_EXPERIMENTS.iter().collect();
+    cli::run_main(
+        "table1_all",
+        Some("# Lumiere reproduction — experiment reports"),
+        &experiments,
+    )
 }

@@ -1,8 +1,14 @@
-//! Regenerates the "table1_eventual_latency" experiment (see EXPERIMENTS.md).
+//! Regenerates the "table1_eventual" experiment (see EXPERIMENTS.md). Accepts the shared
+//! sweep flags (`--out`, `--threads`, `--full`, `--check`, `--diff`).
 
-use lumiere_bench::experiments::{eventual_table, ExperimentScale};
+use lumiere_bench::cli;
+use lumiere_bench::experiments::experiment;
+use std::process::ExitCode;
 
-fn main() {
-    let scale = ExperimentScale::from_env();
-    println!("{}", eventual_table(scale));
+fn main() -> ExitCode {
+    cli::run_main(
+        "table1_eventual_latency",
+        None,
+        &[experiment("table1_eventual")],
+    )
 }

@@ -1,8 +1,10 @@
-//! Regenerates the "table1_worst_comm" experiment (see EXPERIMENTS.md).
+//! Regenerates the "table1_worst" experiment (see EXPERIMENTS.md). Accepts the shared
+//! sweep flags (`--out`, `--threads`, `--full`, `--check`, `--diff`).
 
-use lumiere_bench::experiments::{worst_case_table, ExperimentScale};
+use lumiere_bench::cli;
+use lumiere_bench::experiments::experiment;
+use std::process::ExitCode;
 
-fn main() {
-    let scale = ExperimentScale::from_env();
-    println!("{}", worst_case_table(scale));
+fn main() -> ExitCode {
+    cli::run_main("table1_worst_comm", None, &[experiment("table1_worst")])
 }

@@ -1,8 +1,21 @@
 //! The experiments that regenerate the paper's tables and figures.
+//!
+//! Every experiment is a grid of independent, seeded simulations
+//! (`protocol × n` or `protocol × f_a` or `protocol × δ`). The grid is
+//! scattered over worker threads by [`run_grid`] and the results are
+//! assembled *in grid order*, so the rendered tables and the emitted
+//! [`SweepCell`]s are identical for every thread count. Each experiment
+//! returns an [`ExperimentRun`]: the markdown report that used to be printed
+//! to stdout, plus one [`SweepCell`] per grid cell for persistence under
+//! `--out` (see `crate::report` and `docs/REPORT_SCHEMA.md`).
 
+use crate::grid::run_grid;
+use crate::report::{SweepCell, SCHEMA_VERSION};
 use crate::table::TextTable;
 use lumiere_core::schedule::LeaderSchedule;
+use lumiere_sim::metrics::SimReport;
 use lumiere_sim::scenario::{ProtocolKind, SimConfig};
+use lumiere_sim::trace::Trace;
 use lumiere_sim::ByzBehavior;
 use lumiere_types::{Duration, Time, View};
 use std::collections::BTreeSet;
@@ -25,6 +38,14 @@ impl ExperimentScale {
             ExperimentScale::Full
         } else {
             ExperimentScale::Quick
+        }
+    }
+
+    /// The name recorded in report files (`"quick"` / `"full"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExperimentScale::Quick => "quick",
+            ExperimentScale::Full => "full",
         }
     }
 
@@ -57,19 +78,101 @@ impl ExperimentScale {
     }
 }
 
-/// An experiment entry point: renders one report at the given scale.
-pub type Experiment = fn(ExperimentScale) -> String;
+/// The outcome of one experiment: the rendered report and the persistable
+/// grid cells behind it.
+#[derive(Debug, Clone)]
+pub struct ExperimentRun {
+    /// The markdown report (tables, scenario descriptions, timelines).
+    pub markdown: String,
+    /// One cell per simulation in the grid, in deterministic grid order.
+    pub cells: Vec<SweepCell>,
+}
+
+/// An experiment entry point: runs its grid at the given scale over at most
+/// `threads` worker threads.
+pub type Experiment = fn(ExperimentScale, usize) -> ExperimentRun;
+
+/// A named experiment in the registry.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentDef {
+    /// Short identifier used in report file names (`"table1_worst"`, ...).
+    pub slug: &'static str,
+    /// Human-readable title printed when the experiment starts.
+    pub title: &'static str,
+    /// The entry point.
+    pub run: Experiment,
+}
 
 /// Named experiments, used by the `table1_all` binary and the integration
 /// tests.
-pub const ALL_EXPERIMENTS: &[(&str, Experiment)] = &[
-    ("table1_worst_case (E1+E3)", worst_case_table),
-    ("table1_eventual (E2+E4)", eventual_table),
-    ("responsiveness (Thm 1.1(3))", responsiveness_table),
-    ("figure1 (LP22 stall)", figure1_report),
-    ("heavy_syncs (Thm 1.1(4))", heavy_sync_report),
-    ("honest_gap (Lemmas 5.9-5.12)", honest_gap_report),
+pub const ALL_EXPERIMENTS: &[ExperimentDef] = &[
+    ExperimentDef {
+        slug: "table1_worst",
+        title: "table1_worst_case (E1+E3)",
+        run: worst_case_table,
+    },
+    ExperimentDef {
+        slug: "table1_eventual",
+        title: "table1_eventual (E2+E4)",
+        run: eventual_table,
+    },
+    ExperimentDef {
+        slug: "responsiveness",
+        title: "responsiveness (Thm 1.1(3))",
+        run: responsiveness_table,
+    },
+    ExperimentDef {
+        slug: "figure1",
+        title: "figure1 (LP22 stall)",
+        run: figure1_report,
+    },
+    ExperimentDef {
+        slug: "heavy_syncs",
+        title: "heavy_syncs (Thm 1.1(4))",
+        run: heavy_sync_report,
+    },
+    ExperimentDef {
+        slug: "honest_gap",
+        title: "honest_gap (Lemmas 5.9-5.12)",
+        run: honest_gap_report,
+    },
 ];
+
+/// Looks up an experiment by slug.
+///
+/// # Panics
+///
+/// Panics if the slug is not in [`ALL_EXPERIMENTS`] — the binaries pass
+/// compile-time constants.
+pub fn experiment(slug: &str) -> &'static ExperimentDef {
+    ALL_EXPERIMENTS
+        .iter()
+        .find(|def| def.slug == slug)
+        .unwrap_or_else(|| panic!("unknown experiment slug `{slug}`"))
+}
+
+/// Wraps a finished simulation into its persistable cell.
+fn make_cell(
+    slug: &str,
+    label: String,
+    scale: ExperimentScale,
+    seed: u64,
+    report: SimReport,
+    trace: Option<Trace>,
+) -> SweepCell {
+    SweepCell {
+        schema_version: SCHEMA_VERSION,
+        experiment: slug.to_string(),
+        label,
+        protocol: report.protocol.clone(),
+        n: report.n,
+        f_a: report.f_a,
+        seed,
+        scale: scale.name().to_string(),
+        report,
+        trace,
+    }
+}
 
 /// The protocols compared in the experiments: the Table 1 protocols plus the
 /// two ablations implemented in this workspace.
@@ -117,10 +220,29 @@ fn worst_case_byzantine_ids(protocol: ProtocolKind, n: usize, seed: u64) -> Vec<
 /// Scenario: `f` silent-leader Byzantine processors corrupting the first
 /// leaders after GST, the adversarial network (every message takes exactly
 /// Δ), and GST > 0 so that pre-GST traffic cannot help.
-pub fn worst_case_table(scale: ExperimentScale) -> String {
+pub fn worst_case_table(scale: ExperimentScale, threads: usize) -> ExperimentRun {
     let delta = Duration::from_millis(10);
     let gst = Time::from_millis(200);
     let seed = 42;
+    let mut jobs = Vec::new();
+    for protocol in compared_protocols() {
+        for &n in &scale.worst_case_ns() {
+            jobs.push((protocol, n));
+        }
+    }
+    let reports = run_grid(jobs.clone(), threads, |(protocol, n)| {
+        let byz = worst_case_byzantine_ids(protocol, n, seed);
+        let horizon = Duration::from_millis(200 + 10 * (40 * n as i64 + 300));
+        SimConfig::new(protocol, n)
+            .with_delta(delta)
+            .with_adversarial_delay()
+            .with_gst(gst)
+            .with_byzantine_ids(byz, ByzBehavior::SilentLeader)
+            .with_horizon(horizon)
+            .with_max_honest_qcs(3)
+            .with_seed(seed)
+            .run()
+    });
     let mut table = TextTable::new(vec![
         "protocol",
         "n",
@@ -130,49 +252,62 @@ pub fn worst_case_table(scale: ExperimentScale) -> String {
         "msgs / n^2",
         "latency / nΔ",
     ]);
-    for protocol in compared_protocols() {
-        for &n in &scale.worst_case_ns() {
-            let byz = worst_case_byzantine_ids(protocol, n, seed);
-            let f_a = byz.len();
-            let horizon = Duration::from_millis(200 + 10 * (40 * n as i64 + 300));
-            let report = SimConfig::new(protocol, n)
-                .with_delta(delta)
-                .with_adversarial_delay()
-                .with_gst(gst)
-                .with_byzantine_ids(byz, ByzBehavior::SilentLeader)
-                .with_horizon(horizon)
-                .with_max_honest_qcs(3)
-                .with_seed(seed)
-                .run();
-            let msgs = report.worst_case_communication();
-            let latency = report
-                .worst_case_latency()
-                .map(|d| d.as_millis_f64())
-                .unwrap_or(f64::NAN);
-            table.push_row(vec![
-                protocol.name().to_string(),
-                n.to_string(),
-                f_a.to_string(),
-                msgs.to_string(),
-                format!("{latency:.1}"),
-                format!("{:.2}", msgs as f64 / (n * n) as f64),
-                format!("{:.2}", latency / (n as f64 * delta.as_millis_f64())),
-            ]);
-        }
+    let mut cells = Vec::with_capacity(reports.len());
+    for ((protocol, n), report) in jobs.into_iter().zip(reports) {
+        let msgs = report.worst_case_communication();
+        let latency = report
+            .worst_case_latency()
+            .map(|d| d.as_millis_f64())
+            .unwrap_or(f64::NAN);
+        table.push_row(vec![
+            protocol.name().to_string(),
+            n.to_string(),
+            report.f_a.to_string(),
+            msgs.to_string(),
+            format!("{latency:.1}"),
+            format!("{:.2}", msgs as f64 / (n * n) as f64),
+            format!("{:.2}", latency / (n as f64 * delta.as_millis_f64())),
+        ]);
+        cells.push(make_cell(
+            "table1_worst",
+            format!("n{n:03}"),
+            scale,
+            seed,
+            report,
+            None,
+        ));
     }
-    format!(
+    let markdown = format!(
         "## E1 + E3 — worst-case communication and latency after GST\n\n\
          Adversary: f silent leaders placed on the first leader slots, all messages delayed exactly Δ = 10 ms, GST = 200 ms.\n\n{}",
         table.render()
-    )
+    );
+    ExperimentRun { markdown, cells }
 }
 
 /// E2 + E4: eventual (steady-state) communication and latency, sweeping the
 /// number of actual faults `f_a` at fixed `n`.
-pub fn eventual_table(scale: ExperimentScale) -> String {
+pub fn eventual_table(scale: ExperimentScale, threads: usize) -> ExperimentRun {
     let n = scale.eventual_n();
     let delta = Duration::from_millis(10);
     let actual = Duration::from_millis(1);
+    let seed = 7;
+    let mut jobs = Vec::new();
+    for protocol in compared_protocols() {
+        for &f_a in &scale.eventual_fas() {
+            jobs.push((protocol, f_a));
+        }
+    }
+    let reports = run_grid(jobs.clone(), threads, |(protocol, f_a)| {
+        let horizon = Duration::from_millis(4_000 + 3_500 * f_a as i64);
+        SimConfig::new(protocol, n)
+            .with_delta(delta)
+            .with_actual_delay(actual)
+            .with_byzantine(f_a, ByzBehavior::SilentLeader)
+            .with_horizon(horizon)
+            .with_seed(seed)
+            .run()
+    });
     let mut table = TextTable::new(vec![
         "protocol",
         "n",
@@ -183,50 +318,66 @@ pub fn eventual_table(scale: ExperimentScale) -> String {
         "msgs / n",
         "latency / Δ",
     ]);
-    for protocol in compared_protocols() {
-        for &f_a in &scale.eventual_fas() {
-            let horizon = Duration::from_millis(4_000 + 3_500 * f_a as i64);
-            let report = SimConfig::new(protocol, n)
-                .with_delta(delta)
-                .with_actual_delay(actual)
-                .with_byzantine(f_a, ByzBehavior::SilentLeader)
-                .with_horizon(horizon)
-                .with_seed(7)
-                .run();
-            let warmup = report.default_warmup();
-            let msgs = report.eventual_worst_communication(warmup);
-            let worst = report
-                .eventual_worst_latency(warmup)
-                .map(|d| d.as_millis_f64())
-                .unwrap_or(f64::NAN);
-            let avg = report
-                .average_latency(warmup)
-                .map(|d| d.as_millis_f64())
-                .unwrap_or(f64::NAN);
-            table.push_row(vec![
-                protocol.name().to_string(),
-                n.to_string(),
-                f_a.to_string(),
-                msgs.to_string(),
-                format!("{worst:.1}"),
-                format!("{avg:.2}"),
-                format!("{:.1}", msgs as f64 / n as f64),
-                format!("{:.1}", worst / delta.as_millis_f64()),
-            ]);
-        }
+    let mut cells = Vec::with_capacity(reports.len());
+    for ((protocol, f_a), report) in jobs.into_iter().zip(reports) {
+        let warmup = report.default_warmup();
+        let msgs = report.eventual_worst_communication(warmup);
+        let worst = report
+            .eventual_worst_latency(warmup)
+            .map(|d| d.as_millis_f64())
+            .unwrap_or(f64::NAN);
+        let avg = report
+            .average_latency(warmup)
+            .map(|d| d.as_millis_f64())
+            .unwrap_or(f64::NAN);
+        table.push_row(vec![
+            protocol.name().to_string(),
+            n.to_string(),
+            f_a.to_string(),
+            msgs.to_string(),
+            format!("{worst:.1}"),
+            format!("{avg:.2}"),
+            format!("{:.1}", msgs as f64 / n as f64),
+            format!("{:.1}", worst / delta.as_millis_f64()),
+        ]);
+        cells.push(make_cell(
+            "table1_eventual",
+            format!("fa{f_a}"),
+            scale,
+            seed,
+            report,
+            None,
+        ));
     }
-    format!(
+    let markdown = format!(
         "## E2 + E4 — eventual worst-case communication and latency vs f_a\n\n\
          Scenario: n = {n}, Δ = 10 ms, actual delay δ = 1 ms, GST = 0, f_a silent leaders; measures are taken over consecutive honest-leader QCs after the warm-up window (4nΔ).\n\n{}",
         table.render()
-    )
+    );
+    ExperimentRun { markdown, cells }
 }
 
 /// Theorem 1.1(3): smooth optimistic responsiveness — steady-state latency as
 /// a function of the actual network delay δ with no faults.
-pub fn responsiveness_table(scale: ExperimentScale) -> String {
+pub fn responsiveness_table(scale: ExperimentScale, threads: usize) -> ExperimentRun {
     let n = 10;
     let delta_cap = Duration::from_millis(40);
+    let seed = 3;
+    let mut jobs = Vec::new();
+    for protocol in compared_protocols() {
+        for &delta_ms in &scale.responsiveness_deltas_ms() {
+            jobs.push((protocol, delta_ms));
+        }
+    }
+    let reports = run_grid(jobs.clone(), threads, |(protocol, delta_ms)| {
+        SimConfig::new(protocol, n)
+            .with_delta(delta_cap)
+            .with_actual_delay(Duration::from_millis(delta_ms))
+            .with_horizon(Duration::from_secs(20))
+            .with_max_honest_qcs(3_000)
+            .with_seed(seed)
+            .run()
+    });
     let mut table = TextTable::new(vec![
         "protocol",
         "δ (ms)",
@@ -234,46 +385,75 @@ pub fn responsiveness_table(scale: ExperimentScale) -> String {
         "eventual worst latency (ms)",
         "latency / δ",
     ]);
-    for protocol in compared_protocols() {
-        for &delta_ms in &scale.responsiveness_deltas_ms() {
-            let report = SimConfig::new(protocol, n)
-                .with_delta(delta_cap)
-                .with_actual_delay(Duration::from_millis(delta_ms))
-                .with_horizon(Duration::from_secs(20))
-                .with_max_honest_qcs(3_000)
-                .with_seed(3)
-                .run();
-            let warmup = report.default_warmup();
-            let avg = report
-                .average_latency(warmup)
-                .map(|d| d.as_millis_f64())
-                .unwrap_or(f64::NAN);
-            let worst = report
-                .eventual_worst_latency(warmup)
-                .map(|d| d.as_millis_f64())
-                .unwrap_or(f64::NAN);
-            table.push_row(vec![
-                protocol.name().to_string(),
-                delta_ms.to_string(),
-                format!("{avg:.2}"),
-                format!("{worst:.1}"),
-                format!("{:.2}", avg / delta_ms as f64),
-            ]);
-        }
+    let mut cells = Vec::with_capacity(reports.len());
+    for ((protocol, delta_ms), report) in jobs.into_iter().zip(reports) {
+        let warmup = report.default_warmup();
+        let avg = report
+            .average_latency(warmup)
+            .map(|d| d.as_millis_f64())
+            .unwrap_or(f64::NAN);
+        let worst = report
+            .eventual_worst_latency(warmup)
+            .map(|d| d.as_millis_f64())
+            .unwrap_or(f64::NAN);
+        table.push_row(vec![
+            protocol.name().to_string(),
+            delta_ms.to_string(),
+            format!("{avg:.2}"),
+            format!("{worst:.1}"),
+            format!("{:.2}", avg / delta_ms as f64),
+        ]);
+        cells.push(make_cell(
+            "responsiveness",
+            format!("delta{delta_ms:03}ms"),
+            scale,
+            seed,
+            report,
+            None,
+        ));
     }
-    format!(
+    let markdown = format!(
         "## Responsiveness — Theorem 1.1(3): steady-state latency vs actual delay δ (f_a = 0)\n\n\
          Scenario: n = {n}, Δ = 40 ms, no faults. A smoothly optimistically responsive protocol tracks δ (constant latency/δ); LP22 shows Θ(nΔ) epoch-boundary stalls in the eventual-worst column regardless of δ.\n\n{}",
         table.render()
-    )
+    );
+    ExperimentRun { markdown, cells }
 }
 
 /// Figure 1: the LP22 stall caused by a single silent Byzantine leader,
 /// compared with Lumiere in the identical scenario.
-pub fn figure1_report(_scale: ExperimentScale) -> String {
+pub fn figure1_report(scale: ExperimentScale, threads: usize) -> ExperimentRun {
     let n = 13; // f = 4, LP22 epochs of 5 views
     let delta = Duration::from_millis(10);
     let actual = Duration::from_millis(1);
+    let seed = 42;
+    let mut cells = Vec::new();
+
+    // Part 1 — per-view timelines for LP22 vs Lumiere with one silent leader.
+    let trace_jobs = vec![ProtocolKind::Lp22, ProtocolKind::Lumiere];
+    let traced = run_grid(trace_jobs.clone(), threads, |protocol| {
+        // The fourth leader slot: views 6/7 for two-view-per-leader
+        // schedules, view 3 for one-view-per-leader schedules.
+        let slot_view = match protocol {
+            ProtocolKind::Lp22
+            | ProtocolKind::Cogsworth
+            | ProtocolKind::Nk20
+            | ProtocolKind::Naive => View::new(3),
+            _ => View::new(6),
+        };
+        let byz = schedule_for(protocol, n, seed).leader(slot_view).as_usize();
+        let (report, trace) = SimConfig::new(protocol, n)
+            .with_delta(delta)
+            .with_actual_delay(actual)
+            .with_byzantine_ids(vec![byz], ByzBehavior::SilentLeader)
+            .with_horizon(Duration::from_secs(3))
+            .with_max_honest_qcs(10)
+            .with_seed(seed)
+            .with_trace()
+            .run_with_trace();
+        (byz, report, trace)
+    });
+
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -285,26 +465,7 @@ pub fn figure1_report(_scale: ExperimentScale) -> String {
          placed on the fourth leader slot of the first epoch. The tables show, per view, when the \
          view was first entered and when its QC was produced.\n"
     );
-    for protocol in [ProtocolKind::Lp22, ProtocolKind::Lumiere] {
-        // The fourth leader slot: views 6/7 for two-view-per-leader
-        // schedules, view 3 for one-view-per-leader schedules.
-        let slot_view = match protocol {
-            ProtocolKind::Lp22
-            | ProtocolKind::Cogsworth
-            | ProtocolKind::Nk20
-            | ProtocolKind::Naive => View::new(3),
-            _ => View::new(6),
-        };
-        let byz = schedule_for(protocol, n, 42).leader(slot_view).as_usize();
-        let (report, trace) = SimConfig::new(protocol, n)
-            .with_delta(delta)
-            .with_actual_delay(actual)
-            .with_byzantine_ids(vec![byz], ByzBehavior::SilentLeader)
-            .with_horizon(Duration::from_secs(3))
-            .with_max_honest_qcs(10)
-            .with_seed(42)
-            .with_trace()
-            .run_with_trace();
+    for (protocol, (byz, report, trace)) in trace_jobs.into_iter().zip(traced) {
         let _ = writeln!(
             out,
             "### {} (Byzantine processor p{byz})\n",
@@ -326,14 +487,45 @@ pub fn figure1_report(_scale: ExperimentScale) -> String {
             out,
             "Largest gap between consecutive honest-leader QCs: {stall:.1} ms (view duration Γ = {gamma_ms:.0} ms).\n"
         );
+        cells.push(make_cell(
+            "figure1",
+            "trace".to_string(),
+            scale,
+            seed,
+            report,
+            Some(trace),
+        ));
     }
 
-    // Scaling companion: the stall caused by ONE silent Byzantine leader as a
-    // function of n. For LP22 the adversary corrupts the leader of the last
-    // view of the first epoch, so the cluster must wait for local clocks to
-    // reach the next epoch boundary — a Θ(nΔ) stall. For Lumiere the faulty
-    // leader only wastes its own two (or, at a window boundary, four) views:
-    // an O(Γ) = O(Δ) stall independent of n.
+    // Part 2 — the stall caused by ONE silent Byzantine leader as a function
+    // of n. For LP22 the adversary corrupts the leader of the last view of
+    // the first epoch, so the cluster must wait for local clocks to reach the
+    // next epoch boundary — a Θ(nΔ) stall. For Lumiere the faulty leader only
+    // wastes its own two (or, at a window boundary, four) views: an
+    // O(Γ) = O(Δ) stall independent of n.
+    let mut stall_jobs = Vec::new();
+    for &n in &[7usize, 13, 22, 31] {
+        let f = (n - 1) / 3;
+        stall_jobs.push((n, ProtocolKind::Lp22, View::new(f as i64)));
+        stall_jobs.push((n, ProtocolKind::Lumiere, View::new(6)));
+    }
+    let stall_reports = run_grid(stall_jobs.clone(), threads, |(n, protocol, byz_slot)| {
+        let byz = schedule_for(protocol, n, seed).leader(byz_slot).as_usize();
+        SimConfig::new(protocol, n)
+            .with_delta(delta)
+            .with_actual_delay(actual)
+            .with_byzantine_ids(vec![byz], ByzBehavior::SilentLeader)
+            .with_horizon(Duration::from_secs(8))
+            .with_max_honest_qcs(8 * n)
+            .with_seed(seed)
+            .run()
+    });
+    let stall_of = |report: &SimReport| -> f64 {
+        report
+            .eventual_worst_latency(Time::ZERO)
+            .map(|d| d.as_millis_f64())
+            .unwrap_or(f64::NAN)
+    };
     let mut table = TextTable::new(vec![
         "n",
         "lp22 stall (ms)",
@@ -341,46 +533,73 @@ pub fn figure1_report(_scale: ExperimentScale) -> String {
         "lumiere stall (ms)",
         "lumiere stall / Γ",
     ]);
-    for &n in &[7usize, 13, 22, 31] {
-        let f = (n - 1) / 3;
-        let stall = |protocol: ProtocolKind, byz_slot: View| -> f64 {
-            let byz = schedule_for(protocol, n, 42).leader(byz_slot).as_usize();
-            let report = SimConfig::new(protocol, n)
-                .with_delta(delta)
-                .with_actual_delay(actual)
-                .with_byzantine_ids(vec![byz], ByzBehavior::SilentLeader)
-                .with_horizon(Duration::from_secs(8))
-                .with_max_honest_qcs(8 * n)
-                .with_seed(42)
-                .run();
-            report
-                .eventual_worst_latency(Time::ZERO)
-                .map(|d| d.as_millis_f64())
-                .unwrap_or(f64::NAN)
-        };
-        let lp22 = stall(ProtocolKind::Lp22, View::new(f as i64));
-        let lumiere = stall(ProtocolKind::Lumiere, View::new(6));
+    // Jobs alternate lp22/lumiere per n; consume them pairwise for the rows.
+    for pair in stall_jobs
+        .iter()
+        .zip(&stall_reports)
+        .collect::<Vec<_>>()
+        .chunks(2)
+    {
+        let ((n, _, _), lp22_report) = pair[0];
+        let (_, lumiere_report) = pair[1];
+        let lp22 = stall_of(lp22_report);
+        let lumiere = stall_of(lumiere_report);
         table.push_row(vec![
             n.to_string(),
             format!("{lp22:.1}"),
-            format!("{:.2}", lp22 / (n as f64 * delta.as_millis_f64())),
+            format!("{:.2}", lp22 / (*n as f64 * delta.as_millis_f64())),
             format!("{lumiere:.1}"),
             format!("{:.2}", lumiere / (10.0 * delta.as_millis_f64())),
         ]);
+    }
+    for ((n, _, _), report) in stall_jobs.into_iter().zip(stall_reports) {
+        cells.push(make_cell(
+            "figure1",
+            format!("stall-n{n:03}"),
+            scale,
+            seed,
+            report,
+            None,
+        ));
     }
     let _ = writeln!(
         out,
         "### Stall caused by one silent Byzantine leader, as a function of n\n\n{}",
         table.render()
     );
-    out
+    ExperimentRun {
+        markdown: out,
+        cells,
+    }
 }
 
 /// Theorem 1.1(4): heavy epoch synchronizations stop after GST for Lumiere
 /// but recur forever for Basic Lumiere and LP22.
-pub fn heavy_sync_report(scale: ExperimentScale) -> String {
+pub fn heavy_sync_report(scale: ExperimentScale, threads: usize) -> ExperimentRun {
     let n = scale.eventual_n();
     let delta = Duration::from_millis(10);
+    let seed = 11;
+    let f = (n - 1) / 3;
+    let mut jobs = Vec::new();
+    for protocol in [
+        ProtocolKind::Lumiere,
+        ProtocolKind::BasicLumiere,
+        ProtocolKind::Lp22,
+    ] {
+        for f_a in [0usize, f] {
+            jobs.push((protocol, f_a));
+        }
+    }
+    let reports = run_grid(jobs.clone(), threads, |(protocol, f_a)| {
+        let horizon = Duration::from_millis(6_000 + 3_000 * f_a as i64);
+        SimConfig::new(protocol, n)
+            .with_delta(delta)
+            .with_actual_delay(Duration::from_millis(1))
+            .with_byzantine(f_a, ByzBehavior::SilentLeader)
+            .with_horizon(horizon)
+            .with_seed(seed)
+            .run()
+    });
     let mut table = TextTable::new(vec![
         "protocol",
         "f_a",
@@ -388,47 +607,62 @@ pub fn heavy_sync_report(scale: ExperimentScale) -> String {
         "heavy msgs after warm-up",
         "decisions",
     ]);
-    let f = (n - 1) / 3;
-    for protocol in [
-        ProtocolKind::Lumiere,
-        ProtocolKind::BasicLumiere,
-        ProtocolKind::Lp22,
-    ] {
-        for f_a in [0usize, f] {
-            let horizon = Duration::from_millis(6_000 + 3_000 * f_a as i64);
-            let report = SimConfig::new(protocol, n)
-                .with_delta(delta)
-                .with_actual_delay(Duration::from_millis(1))
-                .with_byzantine(f_a, ByzBehavior::SilentLeader)
-                .with_horizon(horizon)
-                .with_seed(11)
-                .run();
-            let warmup = report.default_warmup();
-            table.push_row(vec![
-                protocol.name().to_string(),
-                f_a.to_string(),
-                report.heavy_sync_epochs_after(warmup).to_string(),
-                report
-                    .heavy_messages_between(warmup, report.end_time)
-                    .to_string(),
-                report.decisions().to_string(),
-            ]);
-        }
+    let mut cells = Vec::with_capacity(reports.len());
+    for ((protocol, f_a), report) in jobs.into_iter().zip(reports) {
+        let warmup = report.default_warmup();
+        table.push_row(vec![
+            protocol.name().to_string(),
+            f_a.to_string(),
+            report.heavy_sync_epochs_after(warmup).to_string(),
+            report
+                .heavy_messages_between(warmup, report.end_time)
+                .to_string(),
+            report.decisions().to_string(),
+        ]);
+        cells.push(make_cell(
+            "heavy_syncs",
+            format!("fa{f_a}"),
+            scale,
+            seed,
+            report,
+            None,
+        ));
     }
-    format!(
+    let markdown = format!(
         "## Heavy-sync suppression — Theorem 1.1(4)\n\n\
          Scenario: n = {n}, Δ = 10 ms, δ = 1 ms, GST = 0. After the warm-up window Lumiere should need no further heavy (Θ(n²)) epoch synchronizations, while Basic Lumiere and LP22 keep paying them at every epoch boundary.\n\n{}",
         table.render()
-    )
+    );
+    ExperimentRun { markdown, cells }
 }
 
 /// Lemmas 5.9–5.12: the `(f+1)`-st honest clock gap stays bounded by Γ in the
 /// steady state.
-pub fn honest_gap_report(scale: ExperimentScale) -> String {
+pub fn honest_gap_report(scale: ExperimentScale, threads: usize) -> ExperimentRun {
     let n = scale.eventual_n();
     let delta = Duration::from_millis(10);
     let gamma = Duration::from_millis(10) * 10; // 2(x+2)Δ with x = 3
+    let seed = 13;
     let f = (n - 1) / 3;
+    let mut jobs = Vec::new();
+    for protocol in [
+        ProtocolKind::Lumiere,
+        ProtocolKind::Fever,
+        ProtocolKind::Lp22,
+    ] {
+        for f_a in [0usize, f] {
+            jobs.push((protocol, f_a));
+        }
+    }
+    let reports = run_grid(jobs.clone(), threads, |(protocol, f_a)| {
+        SimConfig::new(protocol, n)
+            .with_delta(delta)
+            .with_actual_delay(Duration::from_millis(1))
+            .with_byzantine(f_a, ByzBehavior::SilentLeader)
+            .with_horizon(Duration::from_millis(6_000 + 3_000 * f_a as i64))
+            .with_seed(seed)
+            .run()
+    });
     let mut table = TextTable::new(vec![
         "protocol",
         "f_a",
@@ -436,38 +670,35 @@ pub fn honest_gap_report(scale: ExperimentScale) -> String {
         "Γ (ms)",
         "gap ≤ Γ + 2Δ?",
     ]);
-    for protocol in [
-        ProtocolKind::Lumiere,
-        ProtocolKind::Fever,
-        ProtocolKind::Lp22,
-    ] {
-        for f_a in [0usize, f] {
-            let report = SimConfig::new(protocol, n)
-                .with_delta(delta)
-                .with_actual_delay(Duration::from_millis(1))
-                .with_byzantine(f_a, ByzBehavior::SilentLeader)
-                .with_horizon(Duration::from_millis(6_000 + 3_000 * f_a as i64))
-                .with_seed(13)
-                .run();
-            let warmup = report.default_warmup();
-            let gap = report
-                .max_honest_gap_after(warmup)
-                .unwrap_or(Duration::ZERO);
-            let bound = gamma + delta * 2;
-            table.push_row(vec![
-                protocol.name().to_string(),
-                f_a.to_string(),
-                format!("{:.1}", gap.as_millis_f64()),
-                format!("{:.0}", gamma.as_millis_f64()),
-                if gap <= bound { "yes" } else { "no" }.to_string(),
-            ]);
-        }
+    let mut cells = Vec::with_capacity(reports.len());
+    for ((protocol, f_a), report) in jobs.into_iter().zip(reports) {
+        let warmup = report.default_warmup();
+        let gap = report
+            .max_honest_gap_after(warmup)
+            .unwrap_or(Duration::ZERO);
+        let bound = gamma + delta * 2;
+        table.push_row(vec![
+            protocol.name().to_string(),
+            f_a.to_string(),
+            format!("{:.1}", gap.as_millis_f64()),
+            format!("{:.0}", gamma.as_millis_f64()),
+            if gap <= bound { "yes" } else { "no" }.to_string(),
+        ]);
+        cells.push(make_cell(
+            "honest_gap",
+            format!("fa{f_a}"),
+            scale,
+            seed,
+            report,
+            None,
+        ));
     }
-    format!(
+    let markdown = format!(
         "## Honest-gap dynamics — Lemmas 5.9–5.12\n\n\
          Scenario: n = {n}, Δ = 10 ms, δ = 1 ms. For clock-bumping protocols (Lumiere, Fever) the (f+1)-st honest gap must stay below Γ (+ small slack) once synchronized; LP22 is shown for contrast (its clocks are never bumped, so the gap is naturally small but its views crawl at clock speed).\n\n{}",
         table.render()
-    )
+    );
+    ExperimentRun { markdown, cells }
 }
 
 #[cfg(test)]
@@ -490,16 +721,32 @@ mod tests {
 
     #[test]
     fn scale_is_read_from_the_environment() {
-        // Default (unset or not "1") is Quick.
-        std::env::remove_var("LUMIERE_FULL");
-        assert_eq!(ExperimentScale::from_env(), ExperimentScale::Quick);
+        // Read-only check against the ambient environment (mutating env vars
+        // from concurrently running tests is undefined behaviour on glibc):
+        // Full exactly when LUMIERE_FULL=1, Quick otherwise.
+        let expect_full = std::env::var("LUMIERE_FULL").is_ok_and(|v| v == "1");
+        let expected = if expect_full {
+            ExperimentScale::Full
+        } else {
+            ExperimentScale::Quick
+        };
+        assert_eq!(ExperimentScale::from_env(), expected);
+        assert_eq!(ExperimentScale::Quick.name(), "quick");
+        assert_eq!(ExperimentScale::Full.name(), "full");
     }
 
     #[test]
     fn experiment_registry_is_complete() {
         assert_eq!(ALL_EXPERIMENTS.len(), 6);
-        let names: Vec<_> = ALL_EXPERIMENTS.iter().map(|(n, _)| *n).collect();
-        assert!(names.iter().any(|n| n.contains("figure1")));
-        assert!(names.iter().any(|n| n.contains("heavy_syncs")));
+        let slugs: BTreeSet<_> = ALL_EXPERIMENTS.iter().map(|d| d.slug).collect();
+        assert_eq!(slugs.len(), 6, "experiment slugs must be unique");
+        assert_eq!(experiment("figure1").title, "figure1 (LP22 stall)");
+        assert_eq!(experiment("heavy_syncs").slug, "heavy_syncs");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment slug")]
+    fn unknown_slugs_are_rejected() {
+        let _ = experiment("does_not_exist");
     }
 }

@@ -22,15 +22,39 @@
 //! | `honest_gap` | Lemmas 5.9–5.12, honest-gap dynamics |
 //! | `table1_all` | runs everything above in sequence |
 //!
-//! All experiments accept the environment variable `LUMIERE_FULL=1` to run
-//! the larger parameter sweeps used for the reference numbers; the default
-//! "quick" sweeps finish in well under a minute on a laptop.
+//! All experiments accept the environment variable `LUMIERE_FULL=1` (or the
+//! `--full` flag) to run the larger parameter sweeps used for the reference
+//! numbers; the default "quick" sweeps finish in well under a minute on a
+//! laptop.
+//!
+//! # Persistent reports and parallel sweeps
+//!
+//! Since PR 2 the harness is organised as a pipeline:
+//!
+//! * [`experiments`] — each experiment builds a grid of independent seeded
+//!   simulations and renders the markdown tables;
+//! * [`grid`] — the grid is scattered over OS threads ([`grid::run_grid`]),
+//!   with results restored to deterministic grid order;
+//! * [`report`] — every grid cell can be persisted as a JSON file
+//!   ([`report::SweepCell`], format in `docs/REPORT_SCHEMA.md`), loaded back,
+//!   and diffed across runs for regression checks;
+//! * [`cli`] — the shared `--out` / `--threads` / `--check` / `--diff`
+//!   front end of all nine binaries.
+//!
+//! Because each simulation carries its own seed and output ordering is
+//! independent of scheduling, a sweep writes byte-identical files for every
+//! `--threads` value.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod experiments;
+pub mod grid;
+pub mod report;
 pub mod table;
 
-pub use experiments::{ExperimentScale, ALL_EXPERIMENTS};
+pub use experiments::{ExperimentDef, ExperimentRun, ExperimentScale, ALL_EXPERIMENTS};
+pub use grid::run_grid;
+pub use report::SweepCell;
 pub use table::TextTable;

@@ -1,0 +1,110 @@
+//! The parallel sweep pipeline must be deterministic end to end: the same
+//! grid swept with 2 and with 8 worker threads has to produce byte-identical
+//! report files, and the loader must round-trip every one of them. (The
+//! release-mode equivalent over the real experiments is exercised in CI via
+//! `table1_all --out ... --threads N`.)
+
+use lumiere_bench::grid::run_grid;
+use lumiere_bench::report::{diff_cells, load_dir, write_cells, SweepCell, SCHEMA_VERSION};
+use lumiere_sim::scenario::{ProtocolKind, SimConfig};
+use lumiere_sim::ByzBehavior;
+use lumiere_types::Duration;
+use std::fs;
+use std::path::PathBuf;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "lumiere-parallel-sweep-{}-{name}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A miniature but real grid: every protocol at n ∈ {4, 7}, one silent
+/// leader at n = 7, short horizons so the whole grid finishes in seconds
+/// even unoptimized.
+fn tiny_grid() -> Vec<(ProtocolKind, usize)> {
+    let mut jobs = Vec::new();
+    for protocol in ProtocolKind::all() {
+        for n in [4usize, 7] {
+            jobs.push((protocol, n));
+        }
+    }
+    jobs
+}
+
+fn sweep_cells(threads: usize) -> Vec<SweepCell> {
+    let jobs = tiny_grid();
+    let reports = run_grid(jobs.clone(), threads, |(protocol, n)| {
+        let f_a = usize::from(n >= 7);
+        SimConfig::new(protocol, n)
+            .with_delta(Duration::from_millis(10))
+            .with_actual_delay(Duration::from_millis(1))
+            .with_byzantine(f_a, ByzBehavior::SilentLeader)
+            .with_horizon(Duration::from_secs(4))
+            .with_max_honest_qcs(12)
+            .with_seed(42)
+            .run()
+    });
+    jobs.into_iter()
+        .zip(reports)
+        .map(|((_, n), report)| SweepCell {
+            schema_version: SCHEMA_VERSION,
+            experiment: "tiny_sweep".to_string(),
+            label: format!("n{n:03}"),
+            protocol: report.protocol.clone(),
+            n: report.n,
+            f_a: report.f_a,
+            seed: 42,
+            scale: "quick".to_string(),
+            report,
+            trace: None,
+        })
+        .collect()
+}
+
+#[test]
+fn two_and_eight_thread_sweeps_write_byte_identical_files() {
+    let dir2 = temp_dir("threads2");
+    let dir8 = temp_dir("threads8");
+    let paths2 = write_cells(&dir2, &sweep_cells(2)).unwrap();
+    let paths8 = write_cells(&dir8, &sweep_cells(8)).unwrap();
+
+    assert_eq!(paths2.len(), paths8.len());
+    assert!(!paths2.is_empty());
+    for (p2, p8) in paths2.iter().zip(&paths8) {
+        assert_eq!(p2.file_name(), p8.file_name());
+        let bytes2 = fs::read(p2).unwrap();
+        let bytes8 = fs::read(p8).unwrap();
+        assert_eq!(
+            bytes2,
+            bytes8,
+            "{} differs between 2-thread and 8-thread sweeps",
+            p2.display()
+        );
+    }
+
+    // The loader round-trips every file and sees no difference at all.
+    let set2 = load_dir(&dir2).unwrap();
+    let set8 = load_dir(&dir8).unwrap();
+    assert_eq!(set2.len(), paths2.len());
+    let diff = diff_cells(&set2, &set8);
+    assert!(diff.is_empty(), "unexpected diff:\n{}", diff.render());
+
+    fs::remove_dir_all(&dir2).unwrap();
+    fs::remove_dir_all(&dir8).unwrap();
+}
+
+#[test]
+fn loaded_cells_match_the_in_memory_sweep() {
+    let dir = temp_dir("reload");
+    let cells = sweep_cells(4);
+    write_cells(&dir, &cells).unwrap();
+    let loaded = load_dir(&dir).unwrap();
+    // `load_dir` sorts by file name; align by key before comparing.
+    let mut expected = cells;
+    expected.sort_by_key(|c| c.filename());
+    assert_eq!(loaded, expected);
+    fs::remove_dir_all(&dir).unwrap();
+}

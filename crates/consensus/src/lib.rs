@@ -23,6 +23,13 @@
 //! [`ConsensusAction::QcFormed`] / [`ConsensusAction::QcObserved`]
 //! notifications the engine emits.
 //!
+//! # Paper mapping
+//!
+//! Section 2 (the *underlying protocol* and its ⋄1/⋄2 properties, quoted
+//! above); the QCs this engine produces are the events the paper's latency
+//! and communication measures are defined over, and which the Table 1
+//! experiments in `crates/bench` count.
+//!
 //! # Example
 //!
 //! ```

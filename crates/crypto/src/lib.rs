@@ -21,6 +21,14 @@
 //! cryptographically secure and must never be used outside the simulator;
 //! see `DESIGN.md` for the substitution rationale.
 //!
+//! # Paper mapping
+//!
+//! Section 2's cryptographic assumptions: the PKI and threshold signature
+//! setup every protocol of Table 1 presumes, and the `O(κ)` certificate
+//! size that makes the paper's per-message accounting (every message a
+//! constant number of hashes/signatures) meaningful in the simulator's
+//! communication measures.
+//!
 //! # Example
 //!
 //! ```

@@ -34,6 +34,15 @@
 //!     .run();
 //! assert!(report.decisions() > 0, "an honest run must commit blocks");
 //! ```
+//!
+//! # Paper mapping
+//!
+//! Section 2's partial-synchrony model and complexity measures, made
+//! executable: [`metrics::SimReport`] records the raw event series (honest
+//! sends, QCs, commits, heavy-sync participations, clock-gap samples) from
+//! which the worst-case and eventual measures of Table 1 are derived, and
+//! serializes to the JSON report format documented in
+//! `docs/REPORT_SCHEMA.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

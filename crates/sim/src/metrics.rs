@@ -24,7 +24,7 @@ pub struct QcEvent {
 }
 
 /// The outcome of one simulated execution.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
     /// Protocol name (`"lumiere"`, `"lp22"`, ...).
     pub protocol: String,

@@ -96,7 +96,7 @@ impl ProtocolKind {
 }
 
 /// Configuration of one simulated execution.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Protocol under test.
     pub protocol: ProtocolKind,

@@ -30,7 +30,7 @@ pub struct TraceEvent {
 
 /// An execution trace: the ordered list of view entries, QCs, heavy
 /// synchronizations and commits across all processors.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Trace {
     events: Vec<TraceEvent>,
 }

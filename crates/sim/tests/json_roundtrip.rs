@@ -1,0 +1,167 @@
+//! JSON round-trip property tests: serialize → deserialize must be the
+//! identity for every persistable simulation artifact ([`SimReport`],
+//! [`Trace`], [`SimConfig`]), in both the compact and the pretty rendering.
+//! These guard the vendored serde shim's data model, derive expansion, JSON
+//! writer and JSON parser all at once, over randomized inputs.
+
+use lumiere_sim::metrics::{MetricsCollector, SimReport};
+use lumiere_sim::scenario::{ProtocolKind, SimConfig};
+use lumiere_sim::trace::{Trace, TraceKind};
+use lumiere_sim::ByzBehavior;
+use lumiere_types::{Duration, ProcessId, Time, View};
+use proptest::collection;
+use proptest::prelude::*;
+use serde::json;
+
+fn protocol_from_index(i: usize) -> ProtocolKind {
+    let all = ProtocolKind::all();
+    all[i % all.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// A `SimReport` assembled from arbitrary event streams survives the
+    /// full JSON round trip unchanged.
+    #[test]
+    fn sim_reports_round_trip(
+        n in 4usize..30,
+        f_a in 0usize..9,
+        delta_us in 1i64..100_000,
+        gst_us in 0i64..1_000_000,
+        end_us in 0i64..10_000_000,
+        sends in collection::vec((0i64..1_000_000, 1usize..5, 0u32..2), 0..30),
+        qcs in collection::vec((0i64..1_000_000, -1i64..200, 0usize..30, 0u32..2), 0..20),
+        commits in collection::vec((0i64..1_000_000, 0u64..40), 0..20),
+        heavies in collection::vec((0i64..1_000_000, 0i64..200), 0..10),
+        gaps in collection::vec((0i64..1_000_000, -1_000i64..100_000), 0..10),
+    ) {
+        let f = (n - 1) / 3;
+        let mut collector = MetricsCollector::new(
+            format!("proto-{n}"),
+            n,
+            f,
+            f_a.min(f),
+            Duration::from_micros(delta_us),
+            Time::from_micros(gst_us),
+        );
+        for (at, count, heavy) in sends {
+            collector.record_honest_sends(Time::from_micros(at), count, heavy == 1);
+        }
+        for (at, view, leader, honest) in qcs {
+            collector.record_qc(
+                Time::from_micros(at),
+                View::new(view),
+                ProcessId::new(leader),
+                honest == 1,
+            );
+        }
+        for (at, height) in commits {
+            collector.record_commit(Time::from_micros(at), height);
+        }
+        for (at, view) in heavies {
+            collector.record_heavy_sync(Time::from_micros(at), View::new(view));
+        }
+        for (at, gap_us) in gaps {
+            collector.record_gap_sample(Time::from_micros(at), Duration::from_micros(gap_us));
+        }
+        let report = collector.finish(Time::from_micros(end_us));
+
+        let compact = json::to_string(&report);
+        prop_assert_eq!(&json::from_str::<SimReport>(&compact).unwrap(), &report);
+        let pretty = json::to_string_pretty(&report);
+        prop_assert_eq!(&json::from_str::<SimReport>(&pretty).unwrap(), &report);
+        // Both renderings describe the same value tree.
+        prop_assert_eq!(json::parse(&compact).unwrap(), json::parse(&pretty).unwrap());
+    }
+
+    /// A `Trace` with arbitrary events survives the JSON round trip
+    /// unchanged (all four `TraceKind` variants included).
+    #[test]
+    fn traces_round_trip(
+        events in collection::vec((0i64..1_000_000, 0usize..40, 0u32..4, 0i64..300), 0..60),
+    ) {
+        let mut trace = Trace::new();
+        for (at, node, kind, payload) in events {
+            let kind = match kind {
+                0 => TraceKind::EnteredView(View::new(payload)),
+                1 => TraceKind::QcFormed(View::new(payload)),
+                2 => TraceKind::HeavySync(View::new(payload)),
+                _ => TraceKind::Committed(payload as u64),
+            };
+            trace.push(Time::from_micros(at), ProcessId::new(node), kind);
+        }
+        let compact = json::to_string(&trace);
+        prop_assert_eq!(&json::from_str::<Trace>(&compact).unwrap(), &trace);
+        let pretty = json::to_string_pretty(&trace);
+        prop_assert_eq!(&json::from_str::<Trace>(&pretty).unwrap(), &trace);
+    }
+
+    /// Scenario configurations (including optional fields and every enum in
+    /// the config tree) round-trip unchanged.
+    #[test]
+    fn sim_configs_round_trip(
+        proto_idx in 0usize..7,
+        n in 4usize..30,
+        behavior_idx in 0u32..3,
+        explicit_ids in 0u32..2,
+        delay_kind in 0u32..3,
+        gst_ms in 0i64..1_000,
+        horizon_ms in 1i64..100_000,
+        limit in 0usize..100,
+        seed in 0u64..1_000_000,
+    ) {
+        let f = (n - 1) / 3;
+        let behavior = match behavior_idx {
+            0 => ByzBehavior::Crash,
+            1 => ByzBehavior::SilentLeader,
+            _ => ByzBehavior::SyncSilent,
+        };
+        let mut config = SimConfig::new(protocol_from_index(proto_idx), n)
+            .with_gst(Time::from_millis(gst_ms))
+            .with_horizon(Duration::from_millis(horizon_ms))
+            .with_seed(seed);
+        config = if explicit_ids == 1 {
+            config.with_byzantine_ids((0..f).collect(), behavior)
+        } else {
+            config.with_byzantine(f, behavior)
+        };
+        config = match delay_kind {
+            0 => config.with_actual_delay(Duration::from_millis(1)),
+            1 => config.with_adversarial_delay(),
+            _ => config.with_uniform_delay(Duration::from_millis(1), Duration::from_millis(5)),
+        };
+        if limit > 0 {
+            config = config.with_max_honest_qcs(limit);
+        }
+        if seed % 2 == 0 {
+            config = config.with_trace();
+        }
+        let compact = json::to_string(&config);
+        prop_assert_eq!(&json::from_str::<SimConfig>(&compact).unwrap(), &config);
+        let pretty = json::to_string_pretty(&config);
+        prop_assert_eq!(&json::from_str::<SimConfig>(&pretty).unwrap(), &config);
+    }
+}
+
+/// A real (non-synthetic) simulation report also round-trips — the proptest
+/// fixtures above could in principle miss a shape the simulator produces.
+#[test]
+fn a_real_simulation_report_round_trips() {
+    let (report, trace) = SimConfig::new(ProtocolKind::Lumiere, 7)
+        .with_delta(Duration::from_millis(10))
+        .with_actual_delay(Duration::from_millis(1))
+        .with_byzantine(2, ByzBehavior::SilentLeader)
+        .with_horizon(Duration::from_secs(3))
+        .with_max_honest_qcs(20)
+        .with_seed(42)
+        .with_trace()
+        .run_with_trace();
+    assert!(!report.qc_events.is_empty());
+    assert!(!trace.events().is_empty());
+
+    let report_json = json::to_string_pretty(&report);
+    assert_eq!(json::from_str(&report_json), Ok(report));
+    let trace_json = json::to_string_pretty(&trace);
+    assert_eq!(json::from_str(&trace_json), Ok(trace));
+}

@@ -6,6 +6,16 @@
 //! consensus engine, the pacemakers and the simulator all agree on what a
 //! *processor*, a *view*, an *epoch* and a *point in simulated time* are.
 //!
+//! # Paper mapping
+//!
+//! Section 2 of the paper (the model): `n` processors of which `f < n/3` may
+//! be Byzantine ([`Params`]), views `v` with clock time `c_v = Γ·v` and the
+//! sentinel view `-1` of Algorithm 1 ([`View`]), epochs as contiguous view
+//! batches ([`Epoch`], [`view::EpochLayout`]), the known delay bound Δ and
+//! partial-synchrony GST ([`Duration`], [`Time`]). All simulated time is
+//! integer microseconds, so every measurement in the Table 1 reports is
+//! exact.
+//!
 //! # Example
 //!
 //! ```

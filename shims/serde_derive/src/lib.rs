@@ -1,20 +1,447 @@
 //! Offline stand-in for `serde_derive`.
 //!
-//! The workspace vendors a minimal `serde` facade (see `shims/serde`) whose
-//! `Serialize` / `Deserialize` traits carry blanket implementations, so the
-//! derive macros here only need to exist for `#[derive(Serialize)]` /
-//! `#[derive(Deserialize)]` attributes to resolve — they expand to nothing.
+//! The workspace vendors a real (if small) `serde` facade in `shims/serde`:
+//! a self-describing [`Value`] data model with JSON rendering and parsing.
+//! The derive macros here generate working `Serialize` / `Deserialize`
+//! implementations against that facade, matching `serde_json`'s default
+//! encoding (structs → objects in field order, newtypes transparent, enums
+//! externally tagged).
+//!
+//! Because the container has no crates.io access there is no `syn` / `quote`;
+//! the input item is parsed directly from the raw [`TokenStream`]. The parser
+//! supports exactly the shapes the workspace uses — non-generic structs
+//! (unit, tuple, named) and enums whose variants are unit, tuple or struct
+//! like. Deriving on a generic type is a compile error with a clear message.
+//!
+//! [`Value`]: ../serde/enum.Value.html
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+use std::iter::Peekable;
 
-/// No-op derive: `Serialize` is blanket-implemented in the `serde` shim.
+/// Derives `serde::Serialize` by generating a `to_value` conversion into the
+/// shim's `Value` data model.
 #[proc_macro_derive(Serialize)]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item).parse().unwrap()
 }
 
-/// No-op derive: `Deserialize` is blanket-implemented in the `serde` shim.
+/// Derives `serde::Deserialize` by generating a `from_value` conversion out
+/// of the shim's `Value` data model.
 #[proc_macro_derive(Deserialize)]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item).parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Input model.
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Fields {
+    Unit,
+    /// Tuple struct/variant with this many fields.
+    Tuple(usize),
+    /// Named fields in declaration order.
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing (no syn available offline).
+// ---------------------------------------------------------------------------
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes(&mut tokens);
+    skip_visibility(&mut tokens);
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde derive: expected an item name, found {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!(
+            "serde derive (offline shim): generic type `{name}` is not supported; \
+             write the Serialize/Deserialize impls by hand"
+        );
+    }
+    let kind = match keyword.as_str() {
+        "struct" => ItemKind::Struct(parse_struct_fields(&mut tokens, &name)),
+        "enum" => ItemKind::Enum(parse_variants(&mut tokens, &name)),
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    };
+    Item { name, kind }
+}
+
+fn parse_struct_fields(tokens: &mut Tokens, name: &str) -> Fields {
+    match tokens.next() {
+        Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(group.stream()))
+        }
+        Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(count_tuple_fields(group.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        other => panic!("serde derive: malformed struct `{name}`: unexpected {other:?}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        let Some(token) = tokens.next() else { break };
+        let TokenTree::Ident(ident) = token else {
+            panic!("serde derive: expected a field name, found {token:?}");
+        };
+        fields.push(ident.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after a field name, found {other:?}"),
+        }
+        skip_type(&mut tokens);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut tokens = stream.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        count += 1;
+        skip_type(&mut tokens);
+    }
+    count
+}
+
+fn parse_variants(tokens: &mut Tokens, name: &str) -> Vec<Variant> {
+    let Some(TokenTree::Group(group)) = tokens.next() else {
+        panic!("serde derive: malformed enum `{name}`: missing body");
+    };
+    assert_eq!(group.delimiter(), Delimiter::Brace);
+    let mut body = group.stream().into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut body);
+        let Some(token) = body.next() else { break };
+        let TokenTree::Ident(ident) = token else {
+            panic!("serde derive: expected a variant name, found {token:?}");
+        };
+        let fields = match body.peek() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                let stream = group.stream();
+                body.next();
+                Fields::Tuple(count_tuple_fields(stream))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                let stream = group.stream();
+                body.next();
+                Fields::Named(parse_named_fields(stream))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant {
+            name: ident.to_string(),
+            fields,
+        });
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        skip_type(&mut body);
+    }
+    variants
+}
+
+/// Skips any number of `#[...]` attributes (doc comments included).
+fn skip_attributes(tokens: &mut Tokens) {
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next();
+        match tokens.next() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Bracket => {}
+            other => panic!("serde derive: malformed attribute, found {other:?}"),
+        }
+    }
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(super)`, `pub(in ...)`.
+fn skip_visibility(tokens: &mut Tokens) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(ident)) if ident.to_string() == "pub") {
+        tokens.next();
+        if matches!(
+            tokens.peek(),
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis
+        ) {
+            tokens.next();
+        }
+    }
+}
+
+/// Consumes tokens up to (and including) the next comma at angle-bracket
+/// depth zero. Commas inside `<...>` (and inside parenthesised/bracketed
+/// groups, which arrive as single tokens) do not terminate the scan.
+fn skip_type(tokens: &mut Tokens) {
+    let mut angle_depth = 0usize;
+    for token in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (emitted as source text, then re-parsed).
+// ---------------------------------------------------------------------------
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => serialize_fields_expr(fields, &FieldAccess::SelfDot),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.fields {
+                    Fields::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        );
+                    }
+                    Fields::Tuple(count) => {
+                        let bindings: Vec<String> =
+                            (0..*count).map(|i| format!("__f{i}")).collect();
+                        let payload =
+                            serialize_fields_expr(&variant.fields, &FieldAccess::Bound(&bindings));
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from(\"{vname}\"), {payload})]),",
+                            bindings.join(", ")
+                        );
+                    }
+                    Fields::Named(field_names) => {
+                        let payload = serialize_fields_expr(
+                            &variant.fields,
+                            &FieldAccess::Bound(field_names),
+                        );
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from(\"{vname}\"), {payload})]),",
+                            field_names.join(", ")
+                        );
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// How the generated code reaches each field: `self.<name>` / `self.<index>`
+/// in struct impls, or match-arm bindings in enum variants.
+enum FieldAccess<'a> {
+    SelfDot,
+    Bound(&'a [String]),
+}
+
+fn serialize_fields_expr(fields: &Fields, access: &FieldAccess<'_>) -> String {
+    let reference = |i: usize, name: &str| -> String {
+        match access {
+            FieldAccess::SelfDot => {
+                if name.is_empty() {
+                    format!("&self.{i}")
+                } else {
+                    format!("&self.{name}")
+                }
+            }
+            FieldAccess::Bound(bindings) => bindings[i].clone(),
+        }
+    };
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Tuple(1) => format!("::serde::Serialize::to_value({})", reference(0, "")),
+        Fields::Tuple(count) => {
+            let items: Vec<String> = (0..*count)
+                .map(|i| format!("::serde::Serialize::to_value({})", reference(i, "")))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .enumerate()
+                .map(|(i, field)| {
+                    format!(
+                        "(::std::string::String::from(\"{field}\"), \
+                         ::serde::Serialize::to_value({}))",
+                        reference(i, field)
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+    }
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => deserialize_fields_expr(fields, name, name, "__value"),
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.fields {
+                    Fields::Unit => {
+                        let _ = write!(
+                            unit_arms,
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                        );
+                    }
+                    fields => {
+                        let constructor = deserialize_fields_expr(
+                            fields,
+                            &format!("{name}::{vname}"),
+                            name,
+                            "__payload",
+                        );
+                        let _ = write!(payload_arms, "\"{vname}\" => {{ {constructor} }}");
+                    }
+                }
+            }
+            let unit_block = if unit_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "if let ::serde::Value::Str(__tag) = __value {{\n\
+                         return match __tag.as_str() {{\n\
+                             {unit_arms}\n\
+                             __other => ::std::result::Result::Err(::serde::Error::new(\
+                                 ::std::format!(\"unknown unit variant `{{__other}}` of {name}\"))),\n\
+                         }};\n\
+                     }}"
+                )
+            };
+            format!(
+                "{unit_block}\n\
+                 let (__tag, __payload) = ::serde::__enum_payload(__value, \"{name}\")?;\n\
+                 match __tag {{\n\
+                     {payload_arms}\n\
+                     __other => ::std::result::Result::Err(::serde::Error::new(\
+                         ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(__value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Generates an expression (of type `Result<_, Error>`) that reconstructs
+/// `constructor` (a struct name or `Enum::Variant` path) from the value bound
+/// to `source`.
+fn deserialize_fields_expr(
+    fields: &Fields,
+    constructor: &str,
+    context: &str,
+    source: &str,
+) -> String {
+    match fields {
+        Fields::Unit => format!(
+            "match {source} {{\n\
+                 ::serde::Value::Null => ::std::result::Result::Ok({constructor}),\n\
+                 __other => ::std::result::Result::Err(\
+                     ::serde::Error::expected(\"null\", __other, \"{context}\")),\n\
+             }}"
+        ),
+        Fields::Tuple(1) => format!(
+            "::std::result::Result::Ok({constructor}(\
+                 ::serde::Deserialize::from_value({source})?))"
+        ),
+        Fields::Tuple(count) => {
+            let elements: Vec<String> = (0..*count)
+                .map(|i| format!("::serde::__seq_field(__items, {i}, \"{context}\")?"))
+                .collect();
+            format!(
+                "{{\n\
+                     let __items = {source}.as_seq().ok_or_else(|| \
+                         ::serde::Error::expected(\"an array\", {source}, \"{context}\"))?;\n\
+                     if __items.len() != {count} {{\n\
+                         return ::std::result::Result::Err(::serde::Error::new(::std::format!(\
+                             \"expected {count} elements for {context}, found {{}}\", \
+                             __items.len())));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({constructor}({}))\n\
+                 }}",
+                elements.join(", ")
+            )
+        }
+        Fields::Named(names) => {
+            let fields_src: Vec<String> = names
+                .iter()
+                .map(|field| {
+                    format!("{field}: ::serde::__map_field({source}, \"{field}\", \"{context}\")?")
+                })
+                .collect();
+            format!(
+                "{{\n\
+                     if {source}.as_map().is_none() {{\n\
+                         return ::std::result::Result::Err(\
+                             ::serde::Error::expected(\"an object\", {source}, \"{context}\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({constructor} {{ {} }})\n\
+                 }}",
+                fields_src.join(", ")
+            )
+        }
+    }
 }
