@@ -1,0 +1,12 @@
+//! Regenerates the "adversaries" experiment: every protocol against the
+//! pluggable adversary strategies (equivocation, targeted partition,
+//! crash–recovery) at `f_a = f`. Accepts the shared sweep flags (`--out`,
+//! `--threads`, `--full`, `--check`, `--diff`). See `docs/ADVERSARIES.md`.
+
+use lumiere_bench::cli;
+use lumiere_bench::experiments::experiment;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    cli::run_main("adversary_suite", None, &[experiment("adversaries")])
+}

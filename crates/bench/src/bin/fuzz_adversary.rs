@@ -1,0 +1,54 @@
+//! Searches the adversary strategy/schedule space for safety violations and
+//! liveness stalls (see `docs/ADVERSARIES.md`). Deterministic per seed:
+//! `fuzz_adversary --seeds 0..200 --quick` prints the same report for every
+//! `--threads` value. Exit code 1 when there are findings.
+
+use lumiere_bench::fuzz;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match fuzz::parse_args(&args) {
+        Ok(Some(options)) => options,
+        Ok(None) => {
+            print!("{}", fuzz::usage("fuzz_adversary"));
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("error: {message}\n\n{}", fuzz::usage("fuzz_adversary"));
+            return ExitCode::from(2);
+        }
+    };
+    // Fail fast on an unwritable output dir, before minutes of simulations.
+    if let Some(dir) = &options.out {
+        if let Err(message) = lumiere_bench::report::ensure_writable(dir) {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!(
+        "fuzzing {} over seeds {}..{} ({} threads)...",
+        options.protocol.name(),
+        options.seed_start,
+        options.seed_end,
+        options.threads
+    );
+    let outcome = fuzz::run_fuzz(&options);
+    print!("{}", outcome.render());
+    if let Some(dir) = &options.out {
+        match fuzz::write_findings(dir, &outcome.findings) {
+            Ok(paths) => {
+                eprintln!("wrote {} finding file(s) to {}", paths.len(), dir.display());
+            }
+            Err(message) => {
+                eprintln!("error: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if outcome.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

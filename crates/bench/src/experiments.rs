@@ -16,7 +16,7 @@ use lumiere_core::schedule::LeaderSchedule;
 use lumiere_sim::metrics::SimReport;
 use lumiere_sim::scenario::{ProtocolKind, SimConfig};
 use lumiere_sim::trace::Trace;
-use lumiere_sim::ByzBehavior;
+use lumiere_sim::{AdversarySchedule, ByzBehavior};
 use lumiere_types::{Duration, Time, View};
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
@@ -135,6 +135,11 @@ pub const ALL_EXPERIMENTS: &[ExperimentDef] = &[
         slug: "honest_gap",
         title: "honest_gap (Lemmas 5.9-5.12)",
         run: honest_gap_report,
+    },
+    ExperimentDef {
+        slug: "adversaries",
+        title: "adversaries (equivocation / targeted partition / crash-recovery)",
+        run: adversary_suite,
     },
 ];
 
@@ -701,6 +706,108 @@ pub fn honest_gap_report(scale: ExperimentScale, threads: usize) -> ExperimentRu
     ExperimentRun { markdown, cells }
 }
 
+/// Adversary-suite sweep: every protocol against the pluggable strategies
+/// (equivocation, targeted partition, crash–recovery), all at `f_a = f`.
+///
+/// The equivocation and targeted-partition adversaries demonstrably degrade
+/// the relay/naive baselines (larger eventual worst-case latency and more
+/// messages per decision), while Lumiere's honest-commit latency must stay
+/// within its Θ-bound envelope (`≤ c·nΔ`, shown as the `lat/nΔ` column).
+pub fn adversary_suite(scale: ExperimentScale, threads: usize) -> ExperimentRun {
+    let n = scale.eventual_n();
+    let f = (n - 1) / 3;
+    let delta = Duration::from_millis(10);
+    let seed = 17;
+    let ids: Vec<usize> = (n - f..n).collect();
+    let scenarios: [(&str, AdversarySchedule); 3] = [
+        ("equivocate", AdversarySchedule::equivocation(&ids)),
+        (
+            "partition",
+            AdversarySchedule::targeted_partition(&ids, Duration::from_millis(1)),
+        ),
+        (
+            "crashrec",
+            AdversarySchedule::crash_recovery(
+                &ids,
+                Time::from_millis(500),
+                Duration::from_millis(1_200),
+                Duration::from_millis(400),
+            ),
+        ),
+    ];
+    let mut jobs = Vec::new();
+    for protocol in compared_protocols() {
+        for (label, schedule) in &scenarios {
+            jobs.push((protocol, *label, schedule.clone()));
+        }
+    }
+    let reports = run_grid(jobs.clone(), threads, |(protocol, _, schedule)| {
+        let horizon = Duration::from_millis(4_000 + 2_500 * f as i64);
+        SimConfig::new(protocol, n)
+            .with_delta(delta)
+            .with_actual_delay(Duration::from_millis(1))
+            .with_adversary(schedule)
+            .with_horizon(horizon)
+            .with_seed(seed)
+            .run()
+    });
+    let mut table = TextTable::new(vec![
+        "protocol",
+        "adversary",
+        "decisions",
+        "eventual worst latency (ms)",
+        "avg latency (ms)",
+        "lat/nΔ",
+        "msgs/decision",
+        "equivocations seen",
+        "safe?",
+    ]);
+    let mut cells = Vec::with_capacity(reports.len());
+    for ((protocol, label, _), report) in jobs.into_iter().zip(reports) {
+        let warmup = report.default_warmup();
+        let worst = report
+            .eventual_worst_latency(warmup)
+            .map(|d| d.as_millis_f64())
+            .unwrap_or(f64::NAN);
+        let avg = report
+            .average_latency(warmup)
+            .map(|d| d.as_millis_f64())
+            .unwrap_or(f64::NAN);
+        let decisions = report.decisions().max(1);
+        table.push_row(vec![
+            protocol.name().to_string(),
+            label.to_string(),
+            report.decisions().to_string(),
+            format!("{worst:.1}"),
+            format!("{avg:.2}"),
+            format!("{:.2}", worst / (n as f64 * delta.as_millis_f64())),
+            format!("{:.0}", report.total_messages() as f64 / decisions as f64),
+            report.equivocations_observed.to_string(),
+            if report.safety_ok { "yes" } else { "NO" }.to_string(),
+        ]);
+        cells.push(make_cell(
+            "adversaries",
+            label.to_string(),
+            scale,
+            seed,
+            report,
+            None,
+        ));
+    }
+    let markdown = format!(
+        "## Adversary suite — pluggable strategies at f_a = f\n\n\
+         Scenario: n = {n}, Δ = 10 ms, δ = 1 ms, GST = 0, f = {f} corrupted processors.\n\
+         `equivocate`: corrupted leaders send conflicting proposals to disjoint vote sets.\n\
+         `partition`: corrupted processors stay silent as leaders while honest→honest sync \
+         messages crawl at Δ and adversary edges are fast-pathed (per-edge delay rules).\n\
+         `crashrec`: corrupted processors go dark in staggered windows and rejoin mid-epoch.\n\
+         Lumiere's eventual worst-case honest-commit latency must stay within its Θ(nΔ) \
+         envelope (`lat/nΔ` column) while the relay/naive baselines degrade.\n\n{}",
+        table.render()
+    );
+    ExperimentRun { markdown, cells }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -737,11 +844,12 @@ mod tests {
 
     #[test]
     fn experiment_registry_is_complete() {
-        assert_eq!(ALL_EXPERIMENTS.len(), 6);
+        assert_eq!(ALL_EXPERIMENTS.len(), 7);
         let slugs: BTreeSet<_> = ALL_EXPERIMENTS.iter().map(|d| d.slug).collect();
-        assert_eq!(slugs.len(), 6, "experiment slugs must be unique");
+        assert_eq!(slugs.len(), 7, "experiment slugs must be unique");
         assert_eq!(experiment("figure1").title, "figure1 (LP22 stall)");
         assert_eq!(experiment("heavy_syncs").slug, "heavy_syncs");
+        assert_eq!(experiment("adversaries").slug, "adversaries");
     }
 
     #[test]

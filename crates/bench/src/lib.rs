@@ -50,11 +50,13 @@
 
 pub mod cli;
 pub mod experiments;
+pub mod fuzz;
 pub mod grid;
 pub mod report;
 pub mod table;
 
 pub use experiments::{ExperimentDef, ExperimentRun, ExperimentScale, ALL_EXPERIMENTS};
+pub use fuzz::{FuzzOptions, FuzzOutcome, Verdict};
 pub use grid::run_grid;
 pub use report::SweepCell;
 pub use table::TextTable;

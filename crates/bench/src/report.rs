@@ -21,7 +21,10 @@ use std::path::{Path, PathBuf};
 
 /// Version stamp written into every report file; bump when the cell layout
 /// changes incompatibly (see `docs/REPORT_SCHEMA.md` for the history).
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: `SimReport` gained `truncated` (event-cap overflow surfaced instead
+/// of silently breaking the run loop) and `equivocations_observed`.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One grid cell of one experiment: the sweep coordinates plus the complete
 /// simulation outcome measured there.

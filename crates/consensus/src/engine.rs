@@ -51,6 +51,8 @@ pub struct HotStuffEngine {
     pending_proposals: HashMap<i64, Block>,
     qc_deadlines: HashMap<i64, Time>,
     proposing_enabled: bool,
+    proposals_seen: HashMap<(i64, usize), HashSet<BlockHash>>,
+    equivocations_detected: usize,
 }
 
 impl HotStuffEngine {
@@ -74,6 +76,8 @@ impl HotStuffEngine {
             pending_proposals: HashMap::new(),
             qc_deadlines: HashMap::new(),
             proposing_enabled: true,
+            proposals_seen: HashMap::new(),
+            equivocations_detected: 0,
         }
     }
 
@@ -100,6 +104,25 @@ impl HotStuffEngine {
     /// Height of the highest committed block.
     pub fn committed_height(&self) -> u64 {
         self.store.committed_height()
+    }
+
+    /// The highest view this replica has voted in (safety-rule state,
+    /// exposed for the adversary fuzzer's oracles).
+    pub fn last_voted_view(&self) -> View {
+        self.last_voted_view
+    }
+
+    /// The view of the replica's lock (safety-rule state, exposed for the
+    /// adversary fuzzer's oracles).
+    pub fn locked_view(&self) -> View {
+        self.locked_view
+    }
+
+    /// How many equivocations this replica has witnessed: distinct
+    /// conflicting proposals for the same view and proposer. Honest leaders
+    /// never equivocate, so a non-zero count proves adversarial proposing.
+    pub fn equivocations_detected(&self) -> usize {
+        self.equivocations_detected
     }
 
     /// Enables or disables proposing. Disabling models the `SilentLeader`
@@ -186,6 +209,15 @@ impl HotStuffEngine {
         }
         if block.justify().verify(&self.pki, &self.params).is_err() {
             return Vec::new();
+        }
+        // Equivocation bookkeeping: a second, *distinct* block for the same
+        // (view, proposer) is tolerated — the vote rule below votes at most
+        // once per view regardless — but it is counted as evidence. Each
+        // conflicting hash counts once, so re-deliveries add nothing.
+        let slot = (block.view().as_i64(), block.proposer().as_usize());
+        let seen = self.proposals_seen.entry(slot).or_default();
+        if seen.insert(block.hash()) && seen.len() > 1 {
+            self.equivocations_detected += 1;
         }
         let mut out = self.process_qc(block.justify().clone());
         self.store.insert(block.clone());
@@ -490,6 +522,134 @@ mod tests {
         let out = cluster.engines[0].enter_view(View::new(0), ProcessId::new(0), Time::ZERO);
         assert!(out.is_empty());
         assert_eq!(cluster.engines[0].current_view(), View::new(1));
+    }
+
+    #[test]
+    fn equivocating_proposals_are_tolerated_counted_and_voted_at_most_once() {
+        let params = Params::new(4, Duration::from_millis(10));
+        let (keys, pki) = keygen(4, 1);
+        let mut replica =
+            HotStuffEngine::new(ProcessId::new(2), keys[2].clone(), pki.clone(), params);
+        let now = Time::ZERO;
+        replica.enter_view(View::new(0), ProcessId::new(1), now);
+        // The leader of view 0 equivocates: two well-formed blocks for the
+        // same view, different payloads.
+        let a = Block::new(
+            Block::genesis().hash(),
+            1,
+            View::new(0),
+            ProcessId::new(1),
+            7,
+            QuorumCert::genesis(),
+        );
+        let b = Block::new(
+            Block::genesis().hash(),
+            1,
+            View::new(0),
+            ProcessId::new(1),
+            8,
+            QuorumCert::genesis(),
+        );
+        let votes_in = |actions: &[ConsensusAction]| {
+            actions
+                .iter()
+                .filter(|x| matches!(x, ConsensusAction::Send(_, ConsensusMessage::Vote { .. })))
+                .count()
+        };
+        let out_a = replica.on_message(
+            ProcessId::new(1),
+            &ConsensusMessage::Proposal(a.clone()),
+            now,
+        );
+        assert_eq!(votes_in(&out_a), 1, "first proposal earns a vote");
+        let out_b = replica.on_message(
+            ProcessId::new(1),
+            &ConsensusMessage::Proposal(b.clone()),
+            now,
+        );
+        assert_eq!(votes_in(&out_b), 0, "the conflicting twin must not");
+        assert_eq!(replica.equivocations_detected(), 1);
+        // Replaying either block adds no further evidence: only *distinct*
+        // conflicting proposals count.
+        replica.on_message(ProcessId::new(1), &ConsensusMessage::Proposal(a), now);
+        replica.on_message(ProcessId::new(1), &ConsensusMessage::Proposal(b), now);
+        assert_eq!(replica.equivocations_detected(), 1, "re-delivery is free");
+        // A third distinct conflicting block is new evidence.
+        let c = Block::new(
+            Block::genesis().hash(),
+            1,
+            View::new(0),
+            ProcessId::new(1),
+            9,
+            QuorumCert::genesis(),
+        );
+        replica.on_message(ProcessId::new(1), &ConsensusMessage::Proposal(c), now);
+        assert_eq!(replica.equivocations_detected(), 2);
+        assert_eq!(replica.last_voted_view(), View::new(0));
+    }
+
+    #[test]
+    fn disjoint_vote_sets_cannot_both_form_a_qc() {
+        // An equivocating leader sends block A to one half and block B to
+        // the other; with n = 4 and quorum 3, neither disjoint half can
+        // produce a QC, so the view is wasted but safety holds.
+        let params = Params::new(4, Duration::from_millis(10));
+        let (keys, pki) = keygen(4, 1);
+        let mut engines: Vec<HotStuffEngine> = keys
+            .iter()
+            .map(|k| HotStuffEngine::new(k.id(), k.clone(), pki.clone(), params))
+            .collect();
+        let now = Time::ZERO;
+        for e in engines.iter_mut() {
+            e.enter_view(View::new(0), ProcessId::new(0), now);
+        }
+        // p0 is the equivocator: its own engine proposed a third block on
+        // view entry (payload 0); A and B use other payloads so all three
+        // conflict.
+        let a = Block::new(
+            Block::genesis().hash(),
+            1,
+            View::new(0),
+            ProcessId::new(0),
+            5,
+            QuorumCert::genesis(),
+        );
+        let b = Block::new(
+            Block::genesis().hash(),
+            1,
+            View::new(0),
+            ProcessId::new(0),
+            99,
+            QuorumCert::genesis(),
+        );
+        // p1, p2 get A; p3 gets B. Votes flow back to p0.
+        let mut votes = Vec::new();
+        for (i, block) in [(1usize, &a), (2, &a), (3, &b)] {
+            let out = engines[i].on_message(
+                ProcessId::new(0),
+                &ConsensusMessage::Proposal(block.clone()),
+                now,
+            );
+            for action in out {
+                if let ConsensusAction::Send(to, m @ ConsensusMessage::Vote { .. }) = action {
+                    assert_eq!(to, ProcessId::new(0));
+                    votes.push((ProcessId::new(i), m));
+                }
+            }
+        }
+        assert_eq!(votes.len(), 3);
+        let mut qcs = 0;
+        for (from, vote) in votes {
+            for action in engines[0].on_message(from, &vote, now) {
+                if matches!(action, ConsensusAction::QcFormed(_)) {
+                    qcs += 1;
+                }
+            }
+        }
+        // p0's engine proposed its own block (different hash than both A and
+        // B since its payload is derived from the view), so no vote set
+        // reaches quorum: 2 votes for A, 1 for B, 1 (local) for its own.
+        assert_eq!(qcs, 0, "disjoint vote sets must not produce a QC");
     }
 
     #[test]

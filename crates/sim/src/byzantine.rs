@@ -1,4 +1,14 @@
-//! Byzantine fault behaviours.
+//! Byzantine fault behaviours (legacy shorthand).
+//!
+//! Since the adversary subsystem became pluggable, this closed enum is a
+//! convenience layer: each variant maps onto an
+//! [`adversary::StrategyKind`](crate::adversary::StrategyKind) (via `From`),
+//! and [`SimConfig::with_byzantine`](crate::scenario::SimConfig::with_byzantine)
+//! translates it into an
+//! [`AdversarySchedule`](crate::adversary::AdversarySchedule) under the
+//! hood. Richer behaviours — equivocation, crash–recovery windows, targeted
+//! partitions — live in [`crate::adversary`]; `docs/ADVERSARIES.md` maps
+//! every strategy to the paper's attack arguments.
 
 use serde::{Deserialize, Serialize};
 
@@ -30,45 +40,36 @@ pub enum ByzBehavior {
     SyncSilent,
 }
 
-impl ByzBehavior {
-    /// Whether the processor runs its consensus engine (votes / proposes).
-    pub fn runs_consensus(&self) -> bool {
-        !matches!(self, ByzBehavior::Crash)
-    }
-
-    /// Whether the processor runs its pacemaker (view synchronization).
-    pub fn runs_pacemaker(&self) -> bool {
-        matches!(self, ByzBehavior::SilentLeader)
-    }
-
-    /// Whether the processor proposes blocks when it is the leader.
-    pub fn proposes(&self) -> bool {
-        false
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::adversary::StrategyKind;
+    use lumiere_types::Time;
 
+    /// The runtime behaviour lives in the strategy objects each variant
+    /// maps onto — check it through the mapping, so the legacy enum can
+    /// never drift from what the simulator actually executes.
     #[test]
     fn crash_does_nothing() {
-        assert!(!ByzBehavior::Crash.runs_consensus());
-        assert!(!ByzBehavior::Crash.runs_pacemaker());
-        assert!(!ByzBehavior::Crash.proposes());
+        let s = StrategyKind::from(ByzBehavior::Crash).build();
+        assert!(!s.runs_consensus(Time::ZERO));
+        assert!(!s.runs_pacemaker(Time::ZERO));
+        assert!(!s.proposes(Time::ZERO));
     }
 
     #[test]
     fn silent_leader_participates_but_never_proposes() {
-        assert!(ByzBehavior::SilentLeader.runs_consensus());
-        assert!(ByzBehavior::SilentLeader.runs_pacemaker());
-        assert!(!ByzBehavior::SilentLeader.proposes());
+        let s = StrategyKind::from(ByzBehavior::SilentLeader).build();
+        assert!(s.runs_consensus(Time::ZERO));
+        assert!(s.runs_pacemaker(Time::ZERO));
+        assert!(!s.proposes(Time::ZERO));
     }
 
     #[test]
     fn sync_silent_votes_but_does_not_synchronize() {
-        assert!(ByzBehavior::SyncSilent.runs_consensus());
-        assert!(!ByzBehavior::SyncSilent.runs_pacemaker());
-        assert!(!ByzBehavior::SyncSilent.proposes());
+        let s = StrategyKind::from(ByzBehavior::SyncSilent).build();
+        assert!(s.runs_consensus(Time::ZERO));
+        assert!(!s.runs_pacemaker(Time::ZERO));
+        assert!(!s.proposes(Time::ZERO));
     }
 }

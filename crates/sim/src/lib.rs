@@ -10,10 +10,16 @@
 //!   delay of every message subject to delivery by `max(GST, send) + Δ`;
 //!   pluggable [`network::DelayModel`]s cover the responsive (`δ ≪ Δ`),
 //!   adversarial (exactly `Δ`) and randomized regimes.
-//! * [`byzantine`] — fault behaviours: crashed processors and *silent
-//!   leaders* (processors that follow the protocol but never propose, the
-//!   adversary used by the paper's latency lower-bound discussion and
-//!   Figure 1).
+//! * [`adversary`] — the pluggable adversary subsystem: per-node
+//!   [`adversary::AdversaryStrategy`] trait objects (equivocation,
+//!   crash–recovery, the legacy silent behaviours) built from serializable
+//!   [`adversary::StrategyKind`]s, plus [`adversary::AdversarySchedule`]
+//!   plans that also carry per-edge, time-windowed delay rules (targeted
+//!   partitions). See `docs/ADVERSARIES.md` for the mapping to the paper's
+//!   attack arguments.
+//! * [`byzantine`] — the legacy closed behaviour enum
+//!   ([`byzantine::ByzBehavior`]), kept as a convenient shorthand that maps
+//!   onto the strategy subsystem.
 //! * [`node`] — couples a [`lumiere_core::Pacemaker`] with the underlying
 //!   [`lumiere_consensus::HotStuffEngine`] and cascades their notifications.
 //! * [`runner`] — the event loop; [`metrics`] — the measurements;
@@ -47,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod byzantine;
 pub mod event;
 pub mod metrics;
@@ -56,6 +63,9 @@ pub mod runner;
 pub mod scenario;
 pub mod trace;
 
+pub use adversary::{
+    AdversarySchedule, AdversaryStrategy, Corruption, DelayRule, EdgeClass, MsgClass, StrategyKind,
+};
 pub use byzantine::ByzBehavior;
 pub use metrics::SimReport;
 pub use network::DelayModel;

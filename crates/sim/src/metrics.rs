@@ -57,6 +57,13 @@ pub struct SimReport {
     /// Whether every pair of honest processors finished with consistent
     /// (prefix-ordered) committed chains — the SMR safety property.
     pub safety_ok: bool,
+    /// Whether the run hit the simulator's hard event cap before reaching
+    /// its horizon. A truncated report under-counts everything after the
+    /// cap; tier-1 tests assert this is `false` (schema v2).
+    pub truncated: bool,
+    /// Total number of equivocations (conflicting proposals for one view
+    /// and proposer) witnessed by honest consensus engines (schema v2).
+    pub equivocations_observed: usize,
 }
 
 impl SimReport {
@@ -300,6 +307,8 @@ impl MetricsCollector {
             heavy_sync_participations: self.heavy_sync_participations,
             gap_samples: self.gap_samples,
             safety_ok: true,
+            truncated: false,
+            equivocations_observed: 0,
         }
     }
 }

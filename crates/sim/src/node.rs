@@ -1,6 +1,6 @@
-//! A simulated processor: pacemaker + consensus engine + fault behaviour.
+//! A simulated processor: pacemaker + consensus engine + adversary strategy.
 
-use crate::byzantine::ByzBehavior;
+use crate::adversary::{AdversaryStrategy, StrategyCtx};
 use crate::event::SimMessage;
 use lumiere_consensus::{ConsensusAction, HotStuffEngine, QuorumCert};
 use lumiere_core::pacemaker::{Pacemaker, PacemakerAction};
@@ -27,33 +27,41 @@ pub struct NodeOutput {
 }
 
 /// A simulated processor.
+///
+/// Honest processors run their pacemaker and consensus engine unmodified.
+/// Corrupted processors are driven through an
+/// [`AdversaryStrategy`](crate::adversary::AdversaryStrategy): the strategy
+/// decides, per event time, which components run and whether the node
+/// proposes, and may rewrite the node's outgoing traffic (equivocation,
+/// selective starvation) before it reaches the network.
 #[derive(Debug)]
 pub struct Node {
     id: ProcessId,
+    n: usize,
     pacemaker: Box<dyn Pacemaker>,
     engine: HotStuffEngine,
-    behavior: Option<ByzBehavior>,
+    strategy: Option<Box<dyn AdversaryStrategy>>,
+    pacemaker_booted: bool,
 }
 
 impl Node {
-    /// Creates a processor from its pacemaker and consensus engine. `behavior`
-    /// is `None` for honest processors.
+    /// Creates a processor from its pacemaker and consensus engine.
+    /// `strategy` is `None` for honest processors; `n` is the cluster size
+    /// (strategies need it to target recipients).
     pub fn new(
         id: ProcessId,
+        n: usize,
         pacemaker: Box<dyn Pacemaker>,
-        mut engine: HotStuffEngine,
-        behavior: Option<ByzBehavior>,
+        engine: HotStuffEngine,
+        strategy: Option<Box<dyn AdversaryStrategy>>,
     ) -> Self {
-        if let Some(b) = behavior {
-            if !b.proposes() {
-                engine.set_proposing_enabled(false);
-            }
-        }
         Node {
             id,
+            n,
             pacemaker,
             engine,
-            behavior,
+            strategy,
+            pacemaker_booted: false,
         }
     }
 
@@ -64,12 +72,12 @@ impl Node {
 
     /// Whether the processor is honest.
     pub fn is_honest(&self) -> bool {
-        self.behavior.is_none()
+        self.strategy.is_none()
     }
 
-    /// The fault behaviour, if any.
-    pub fn behavior(&self) -> Option<ByzBehavior> {
-        self.behavior
+    /// The adversary strategy's name, if the processor is corrupted.
+    pub fn strategy_name(&self) -> Option<&'static str> {
+        self.strategy.as_ref().map(|s| s.name())
     }
 
     /// The processor's current view according to its pacemaker.
@@ -92,57 +100,102 @@ impl Node {
         self.engine.store().committed_chain().to_vec()
     }
 
+    /// How many equivocations (conflicting proposals for one view and
+    /// proposer) this processor's engine has witnessed.
+    pub fn equivocations_detected(&self) -> usize {
+        self.engine.equivocations_detected()
+    }
+
     /// The protocol name reported by the pacemaker.
     pub fn protocol_name(&self) -> &'static str {
         self.pacemaker.name()
     }
 
-    fn runs_pacemaker(&self) -> bool {
-        self.behavior.is_none_or(|b| b.runs_pacemaker())
+    fn runs_pacemaker(&self, now: Time) -> bool {
+        self.strategy.as_ref().is_none_or(|s| s.runs_pacemaker(now))
     }
 
-    fn runs_consensus(&self) -> bool {
-        self.behavior.is_none_or(|b| b.runs_consensus())
+    fn runs_consensus(&self, now: Time) -> bool {
+        self.strategy.as_ref().is_none_or(|s| s.runs_consensus(now))
+    }
+
+    /// Synchronizes the engine's proposing switch with the strategy (the
+    /// honest default is to propose).
+    fn sync_proposing(&mut self, now: Time) {
+        let proposes = self.strategy.as_ref().is_none_or(|s| s.proposes(now));
+        self.engine.set_proposing_enabled(proposes);
+    }
+
+    /// Runs the pacemaker's boot once, the first time the node is active.
+    fn maybe_boot_pacemaker(&mut self, now: Time, out: &mut NodeOutput) {
+        if self.pacemaker_booted || !self.runs_pacemaker(now) {
+            return;
+        }
+        self.pacemaker_booted = true;
+        let actions = self.pacemaker.boot(now);
+        self.drain_pacemaker(actions, now, out);
+    }
+
+    /// Applies the strategy's output rewrite (identity for honest nodes).
+    fn finish(&mut self, now: Time, out: NodeOutput) -> NodeOutput {
+        match &mut self.strategy {
+            None => out,
+            Some(strategy) => {
+                let ctx = StrategyCtx {
+                    id: self.id,
+                    n: self.n,
+                    now,
+                };
+                strategy.transform_output(&ctx, out)
+            }
+        }
     }
 
     /// Boots the processor.
     pub fn boot(&mut self, now: Time) -> NodeOutput {
+        self.sync_proposing(now);
         let mut out = NodeOutput::default();
-        if self.runs_pacemaker() {
-            let actions = self.pacemaker.boot(now);
-            self.drain_pacemaker(actions, now, &mut out);
+        if let Some(strategy) = &self.strategy {
+            // Strategy-requested wake-ups (e.g. crash-recovery rejoin) are
+            // scheduled even while the node is dark.
+            out.wakes.extend(strategy.boot_wakes());
         }
-        out
+        self.maybe_boot_pacemaker(now, &mut out);
+        self.finish(now, out)
     }
 
     /// Fires a wake-up.
     pub fn wake(&mut self, now: Time) -> NodeOutput {
+        self.sync_proposing(now);
         let mut out = NodeOutput::default();
-        if self.runs_pacemaker() {
+        self.maybe_boot_pacemaker(now, &mut out);
+        if self.runs_pacemaker(now) {
             let actions = self.pacemaker.on_wake(now);
             self.drain_pacemaker(actions, now, &mut out);
         }
-        out
+        self.finish(now, out)
     }
 
     /// Delivers a message.
     pub fn deliver(&mut self, from: ProcessId, msg: &SimMessage, now: Time) -> NodeOutput {
+        self.sync_proposing(now);
         let mut out = NodeOutput::default();
+        self.maybe_boot_pacemaker(now, &mut out);
         match msg {
             SimMessage::Pacemaker(m) => {
-                if self.runs_pacemaker() {
+                if self.runs_pacemaker(now) {
                     let actions = self.pacemaker.on_message(from, m, now);
                     self.drain_pacemaker(actions, now, &mut out);
                 }
             }
             SimMessage::Consensus(m) => {
-                if self.runs_consensus() {
+                if self.runs_consensus(now) {
                     let actions = self.engine.on_message(from, m, now);
                     self.drain_consensus(actions, now, &mut out);
                 }
             }
         }
-        out
+        self.finish(now, out)
     }
 
     /// Processes pacemaker actions, cascading into the consensus engine as
@@ -167,7 +220,7 @@ impl Node {
                     }
                     PacemakerAction::EnterView { view, leader } => {
                         out.entered_views.push(view);
-                        if self.runs_consensus() {
+                        if self.runs_consensus(now) {
                             for a in self.engine.enter_view(view, leader, now) {
                                 cons_queue.push_back(a);
                             }
@@ -187,14 +240,14 @@ impl Node {
                     ConsensusAction::Committed(block) => out.commits.push(block.height()),
                     ConsensusAction::QcFormed(qc) => {
                         out.qcs_formed.push(qc.clone());
-                        if self.runs_pacemaker() {
+                        if self.runs_pacemaker(now) {
                             for a in self.pacemaker.on_qc(&qc, true, now) {
                                 pm_queue.push_back(a);
                             }
                         }
                     }
                     ConsensusAction::QcObserved(qc) => {
-                        if self.runs_pacemaker() {
+                        if self.runs_pacemaker(now) {
                             for a in self.pacemaker.on_qc(&qc, false, now) {
                                 pm_queue.push_back(a);
                             }
@@ -220,12 +273,12 @@ impl Node {
                 ConsensusAction::Committed(block) => out.commits.push(block.height()),
                 ConsensusAction::QcFormed(qc) => {
                     out.qcs_formed.push(qc.clone());
-                    if self.runs_pacemaker() {
+                    if self.runs_pacemaker(now) {
                         pm_actions.extend(self.pacemaker.on_qc(&qc, true, now));
                     }
                 }
                 ConsensusAction::QcObserved(qc) => {
-                    if self.runs_pacemaker() {
+                    if self.runs_pacemaker(now) {
                         pm_actions.extend(self.pacemaker.on_qc(&qc, false, now));
                     }
                 }
@@ -240,16 +293,25 @@ impl Node {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::adversary::StrategyKind;
+    use crate::byzantine::ByzBehavior;
     use lumiere_baselines::Fever;
+    use lumiere_consensus::ConsensusMessage;
     use lumiere_crypto::keygen;
-    use lumiere_types::Params;
+    use lumiere_types::{Params, TimeRange};
 
-    fn build(n: usize, who: usize, behavior: Option<ByzBehavior>) -> Node {
+    fn build(n: usize, who: usize, strategy: Option<StrategyKind>) -> Node {
         let params = Params::new(n, Duration::from_millis(10));
         let (keys, pki) = keygen(n, 2);
         let pacemaker = Box::new(Fever::new(params, keys[who].clone(), pki.clone()));
         let engine = HotStuffEngine::new(keys[who].id(), keys[who].clone(), pki, params);
-        Node::new(ProcessId::new(who), pacemaker, engine, behavior)
+        Node::new(
+            ProcessId::new(who),
+            n,
+            pacemaker,
+            engine,
+            strategy.map(|k| k.build()),
+        )
     }
 
     #[test]
@@ -262,22 +324,24 @@ mod tests {
             .iter()
             .any(|m| matches!(m, SimMessage::Consensus(_))));
         assert!(node.is_honest());
+        assert_eq!(node.strategy_name(), None);
         assert_eq!(node.protocol_name(), "fever");
     }
 
     #[test]
     fn crash_nodes_emit_nothing() {
-        let mut node = build(4, 0, Some(ByzBehavior::Crash));
+        let mut node = build(4, 0, Some(StrategyKind::from(ByzBehavior::Crash)));
         let out = node.boot(Time::ZERO);
         assert!(out.sends.is_empty());
         assert!(out.broadcasts.is_empty());
         assert!(out.entered_views.is_empty());
         assert!(!node.is_honest());
+        assert_eq!(node.strategy_name(), Some("crash"));
     }
 
     #[test]
     fn silent_leader_enters_views_but_never_proposes() {
-        let mut node = build(4, 0, Some(ByzBehavior::SilentLeader));
+        let mut node = build(4, 0, Some(StrategyKind::SilentLeader));
         let out = node.boot(Time::ZERO);
         assert!(out.entered_views.contains(&View::new(0)));
         assert!(
@@ -294,7 +358,7 @@ mod tests {
 
     #[test]
     fn sync_silent_nodes_skip_the_pacemaker_entirely() {
-        let mut node = build(4, 1, Some(ByzBehavior::SyncSilent));
+        let mut node = build(4, 1, Some(StrategyKind::SyncSilent));
         let out = node.boot(Time::ZERO);
         assert!(out.sends.is_empty() && out.broadcasts.is_empty());
         assert_eq!(node.current_view(), View::SENTINEL);
@@ -308,5 +372,44 @@ mod tests {
             .sends
             .iter()
             .any(|(to, m)| { *to == ProcessId::new(0) && matches!(m, SimMessage::Pacemaker(_)) }));
+    }
+
+    #[test]
+    fn equivocating_leader_sends_conflicting_proposals() {
+        let mut node = build(4, 0, Some(StrategyKind::Equivocate));
+        let out = node.boot(Time::ZERO);
+        // The proposal broadcast is rewritten into targeted sends carrying
+        // two distinct blocks for the same view.
+        assert!(!out.sends.is_empty());
+        let hashes: std::collections::BTreeSet<u64> = out
+            .sends
+            .iter()
+            .filter_map(|(_, m)| match m {
+                SimMessage::Consensus(ConsensusMessage::Proposal(b)) => Some(b.hash()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(hashes.len(), 2, "expected two conflicting proposals");
+        assert!(!out
+            .broadcasts
+            .iter()
+            .any(|m| matches!(m, SimMessage::Consensus(ConsensusMessage::Proposal(_)))));
+    }
+
+    #[test]
+    fn crash_recovery_nodes_go_dark_and_rejoin() {
+        let down = TimeRange::new(Time::ZERO, Time::from_millis(50));
+        let mut node = build(4, 2, Some(StrategyKind::CrashRecovery { down }));
+        // Dark at boot: nothing but the rejoin wake.
+        let out = node.boot(Time::ZERO);
+        assert!(out.sends.is_empty() && out.broadcasts.is_empty());
+        assert_eq!(out.wakes, vec![Time::from_millis(50)]);
+        assert_eq!(node.current_view(), View::SENTINEL);
+        // The rejoin wake boots the pacemaker late.
+        let out = node.wake(Time::from_millis(50));
+        assert!(
+            !out.sends.is_empty() || !out.broadcasts.is_empty(),
+            "a rejoined node must resume participating"
+        );
     }
 }

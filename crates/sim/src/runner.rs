@@ -1,5 +1,6 @@
 //! The simulation event loop.
 
+use crate::adversary::AdversarySchedule;
 use crate::event::{Event, EventQueue, SimMessage};
 use crate::metrics::{MetricsCollector, SimReport};
 use crate::node::{Node, NodeOutput};
@@ -11,13 +12,15 @@ use rand::SeedableRng;
 use std::collections::HashSet;
 
 /// Hard cap on processed events, as a defence against configuration mistakes
-/// that would otherwise let a run grow without bound.
+/// that would otherwise let a run grow without bound. Exceeding it marks the
+/// report as [`SimReport::truncated`].
 const MAX_EVENTS: u64 = 200_000_000;
 
 /// A single simulated execution.
 #[derive(Debug)]
 pub struct Simulation {
     cfg: SimConfig,
+    schedule: AdversarySchedule,
     nodes: Vec<Node>,
     queue: EventQueue,
     rng: StdRng,
@@ -26,6 +29,7 @@ pub struct Simulation {
     scheduled_wakes: HashSet<(usize, i64)>,
     last_gap_sample: Time,
     now: Time,
+    truncated: bool,
 }
 
 impl Simulation {
@@ -47,8 +51,10 @@ impl Simulation {
             queue.push(Time::ZERO, Event::Boot { node: node.id() });
         }
         let seed = cfg.seed;
+        let schedule = cfg.effective_adversary();
         Simulation {
             cfg,
+            schedule,
             nodes,
             queue,
             rng: StdRng::seed_from_u64(seed ^ 0x5349_4d55_4c41_5445),
@@ -57,26 +63,36 @@ impl Simulation {
             scheduled_wakes: HashSet::new(),
             last_gap_sample: Time::ZERO,
             now: Time::ZERO,
+            truncated: false,
         }
     }
 
     /// Runs to completion and returns the metrics report.
     pub fn run(mut self) -> SimReport {
         self.run_loop();
-        let safety_ok = self.check_safety();
-        let mut report = self.collector.finish(self.now);
-        report.safety_ok = safety_ok;
-        report
+        self.finish_report().0
     }
 
     /// Runs to completion and returns both the report and the execution
     /// trace.
     pub fn run_with_trace(mut self) -> (SimReport, Trace) {
         self.run_loop();
+        self.finish_report()
+    }
+
+    fn finish_report(mut self) -> (SimReport, Trace) {
         let safety_ok = self.check_safety();
+        let equivocations = self
+            .nodes
+            .iter()
+            .filter(|n| n.is_honest())
+            .map(|n| n.equivocations_detected())
+            .sum();
         let trace = std::mem::take(&mut self.trace);
         let mut report = self.collector.finish(self.now);
         report.safety_ok = safety_ok;
+        report.truncated = self.truncated;
+        report.equivocations_observed = equivocations;
         (report, trace)
     }
 
@@ -110,6 +126,9 @@ impl Simulation {
             }
             processed += 1;
             if processed > MAX_EVENTS {
+                // Surfaced on the report so callers (and the fuzzer's
+                // oracles) can tell a truncated run from a quiescent one.
+                self.truncated = true;
                 break;
             }
             self.now = at;
@@ -212,11 +231,18 @@ impl Simulation {
         }
     }
 
+    /// Schedules a delivery, letting the adversary schedule's per-edge delay
+    /// rules override the base [`DelayModel`](crate::network::DelayModel)
+    /// for this particular message. Every model keeps the delivery within
+    /// the `max(GST, send) + Δ` envelope.
     fn schedule_delivery(&mut self, from: ProcessId, to: ProcessId, message: SimMessage) {
-        let at =
-            self.cfg
-                .delay
-                .delivery_time(self.now, self.cfg.gst, self.cfg.delta_cap, &mut self.rng);
+        let from_honest = self.nodes[from.as_usize()].is_honest();
+        let to_honest = self.nodes[to.as_usize()].is_honest();
+        let model = self
+            .schedule
+            .delay_for(from_honest, to_honest, &message, self.now)
+            .unwrap_or(self.cfg.delay);
+        let at = model.delivery_time(self.now, self.cfg.gst, self.cfg.delta_cap, &mut self.rng);
         self.queue.push(at, Event::Deliver { to, from, message });
     }
 

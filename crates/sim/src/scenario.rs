@@ -1,6 +1,7 @@
 //! Scenario configuration: which protocol, how many processors, which faults,
 //! which network adversary.
 
+use crate::adversary::AdversarySchedule;
 use crate::byzantine::ByzBehavior;
 use crate::metrics::SimReport;
 use crate::network::DelayModel;
@@ -122,6 +123,10 @@ pub struct SimConfig {
     pub seed: u64,
     /// Record a full execution trace (needed for Figure 1).
     pub record_trace: bool,
+    /// The pluggable adversary plan. When set it overrides `f_a`,
+    /// `byz_behavior` and `byzantine_ids`, and its delay rules steer the
+    /// [`DelayModel`] per edge instead of globally.
+    pub adversary: Option<AdversarySchedule>,
 }
 
 impl SimConfig {
@@ -143,6 +148,7 @@ impl SimConfig {
             max_honest_qcs: None,
             seed: 42,
             record_trace: false,
+            adversary: None,
         }
     }
 
@@ -197,6 +203,33 @@ impl SimConfig {
         self
     }
 
+    /// Installs a pluggable adversary plan (strategy assignments plus
+    /// per-edge delay targeting). Overrides any legacy
+    /// [`with_byzantine`](Self::with_byzantine) /
+    /// [`with_byzantine_ids`](Self::with_byzantine_ids) choice.
+    pub fn with_adversary(mut self, schedule: AdversarySchedule) -> Self {
+        self.f_a = schedule.corrupted_ids().len();
+        self.byzantine_ids = Some(schedule.corrupted_ids().into_iter().collect());
+        self.adversary = Some(schedule);
+        self
+    }
+
+    /// The adversary plan in effect: the explicit one, or the legacy
+    /// `byz_behavior` fields translated into a schedule.
+    pub fn effective_adversary(&self) -> AdversarySchedule {
+        match &self.adversary {
+            Some(schedule) => schedule.clone(),
+            None => {
+                let ids: Vec<usize> = {
+                    let mut v: Vec<usize> = self.byzantine_set().into_iter().collect();
+                    v.sort_unstable();
+                    v
+                };
+                AdversarySchedule::from_legacy(&ids, self.byz_behavior)
+            }
+        }
+    }
+
     /// Stops the run after this many honest-leader QCs.
     pub fn with_max_honest_qcs(mut self, limit: usize) -> Self {
         self.max_honest_qcs = Some(limit);
@@ -237,8 +270,11 @@ impl SimConfig {
             self.f_a,
             params.f
         );
+        let schedule = self.effective_adversary();
+        if let Err(message) = schedule.validate(self.n, params.f) {
+            panic!("invalid adversary schedule: {message}");
+        }
         let (keys, pki) = keygen(self.n, self.seed);
-        let byz = self.byzantine_set();
         keys.into_iter()
             .map(|k| {
                 let id = k.id();
@@ -246,12 +282,10 @@ impl SimConfig {
                     self.protocol
                         .build_pacemaker(params, k.clone(), pki.clone(), self.seed);
                 let engine = HotStuffEngine::new(id, k, pki.clone(), params);
-                let behavior = if byz.contains(&id.as_usize()) {
-                    Some(self.byz_behavior)
-                } else {
-                    None
-                };
-                Node::new(id, pacemaker, engine, behavior)
+                let strategy = schedule
+                    .strategy_for(id.as_usize())
+                    .map(|kind| kind.build());
+                Node::new(id, self.n, pacemaker, engine, strategy)
             })
             .collect()
     }
@@ -360,6 +394,97 @@ mod tests {
     fn too_many_faults_are_rejected() {
         let _ = SimConfig::new(ProtocolKind::Lumiere, 4)
             .with_byzantine(2, ByzBehavior::Crash)
+            .build_nodes();
+    }
+
+    #[test]
+    fn equivocating_leaders_cannot_break_safety_and_are_detected() {
+        let report = SimConfig::new(ProtocolKind::Lumiere, 7)
+            .with_delta(Duration::from_millis(10))
+            .with_actual_delay(Duration::from_millis(1))
+            .with_adversary(AdversarySchedule::equivocation(&[5, 6]))
+            .with_horizon(Duration::from_secs(8))
+            .with_max_honest_qcs(25)
+            .run();
+        assert!(report.safety_ok, "equivocation must never split the chain");
+        assert!(!report.truncated);
+        assert!(report.decisions() > 0, "honest views must still commit");
+        assert!(
+            report.equivocations_observed > 0,
+            "honest engines must witness the conflicting proposals"
+        );
+        assert_eq!(report.f_a, 2);
+    }
+
+    #[test]
+    fn targeted_partition_slows_sync_but_not_safety() {
+        let schedule = AdversarySchedule::targeted_partition(&[5, 6], Duration::from_millis(1));
+        let report = SimConfig::new(ProtocolKind::Lumiere, 7)
+            .with_delta(Duration::from_millis(10))
+            .with_actual_delay(Duration::from_millis(1))
+            .with_adversary(schedule)
+            .with_horizon(Duration::from_secs(8))
+            .with_max_honest_qcs(25)
+            .run();
+        assert!(report.safety_ok);
+        assert!(!report.truncated);
+        assert!(
+            report.decisions() > 0,
+            "Δ-bounded partitions cannot kill liveness after GST"
+        );
+    }
+
+    #[test]
+    fn crash_recovery_nodes_rejoin_mid_run() {
+        let schedule = AdversarySchedule::crash_recovery(
+            &[5, 6],
+            Time::from_millis(100),
+            Duration::from_millis(400),
+            Duration::from_millis(150),
+        );
+        let report = SimConfig::new(ProtocolKind::Lumiere, 7)
+            .with_delta(Duration::from_millis(10))
+            .with_actual_delay(Duration::from_millis(1))
+            .with_adversary(schedule)
+            .with_horizon(Duration::from_secs(8))
+            .with_max_honest_qcs(40)
+            .run();
+        assert!(report.safety_ok);
+        assert!(!report.truncated);
+        assert!(report.decisions() > 0);
+    }
+
+    #[test]
+    fn effective_adversary_translates_legacy_configs() {
+        let cfg = SimConfig::new(ProtocolKind::Lumiere, 7).with_byzantine(2, ByzBehavior::Crash);
+        let schedule = cfg.effective_adversary();
+        assert_eq!(
+            schedule.corrupted_ids().into_iter().collect::<Vec<_>>(),
+            vec![5, 6]
+        );
+        assert_eq!(
+            schedule.strategy_for(5),
+            Some(crate::adversary::StrategyKind::Crash)
+        );
+        assert!(schedule.delay_rules.is_empty());
+        // The explicit schedule wins over legacy fields.
+        let cfg = cfg.with_adversary(AdversarySchedule::equivocation(&[1]));
+        assert_eq!(cfg.f_a, 1);
+        assert_eq!(
+            cfg.effective_adversary().strategy_for(1),
+            Some(crate::adversary::StrategyKind::Equivocate)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid adversary schedule")]
+    fn invalid_adversary_schedules_are_rejected() {
+        // Corrupting the same node twice passes the f_a head-count (the id
+        // set deduplicates) but must fail schedule validation.
+        let schedule =
+            AdversarySchedule::equivocation(&[1]).corrupt(1, crate::adversary::StrategyKind::Crash);
+        let _ = SimConfig::new(ProtocolKind::Lumiere, 4)
+            .with_adversary(schedule)
             .build_nodes();
     }
 

@@ -7,8 +7,10 @@
 use lumiere_sim::metrics::{MetricsCollector, SimReport};
 use lumiere_sim::scenario::{ProtocolKind, SimConfig};
 use lumiere_sim::trace::{Trace, TraceKind};
-use lumiere_sim::ByzBehavior;
-use lumiere_types::{Duration, ProcessId, Time, View};
+use lumiere_sim::{
+    AdversarySchedule, ByzBehavior, DelayModel, DelayRule, EdgeClass, MsgClass, StrategyKind,
+};
+use lumiere_types::{Duration, ProcessId, Time, TimeRange, View};
 use proptest::collection;
 use proptest::prelude::*;
 use serde::json;
@@ -141,6 +143,66 @@ proptest! {
         prop_assert_eq!(&json::from_str::<SimConfig>(&compact).unwrap(), &config);
         let pretty = json::to_string_pretty(&config);
         prop_assert_eq!(&json::from_str::<SimConfig>(&pretty).unwrap(), &config);
+    }
+
+    /// Adversary schedules — every strategy kind, every edge/message class,
+    /// windowed delay rules — round-trip unchanged, standalone and embedded
+    /// in a `SimConfig`.
+    #[test]
+    fn adversary_schedules_round_trip(
+        n in 7usize..32,
+        corruptions in collection::vec((0u32..5, 0i64..400, 20i64..600), 0..3),
+        rules in collection::vec((0u32..5, 0u32..3, 0u32..3, 0i64..500), 0..3),
+        seed in 0u64..1_000_000,
+    ) {
+        let f = (n - 1) / 3;
+        let mut schedule = AdversarySchedule::new();
+        for (i, (kind, from_ms, len_ms)) in corruptions.into_iter().take(f).enumerate() {
+            let strategy = match kind {
+                0 => StrategyKind::Crash,
+                1 => StrategyKind::SilentLeader,
+                2 => StrategyKind::SyncSilent,
+                3 => StrategyKind::Equivocate,
+                _ => StrategyKind::CrashRecovery {
+                    down: TimeRange::new(
+                        Time::from_millis(from_ms),
+                        Time::from_millis(from_ms + len_ms),
+                    ),
+                },
+            };
+            schedule = schedule.corrupt(n - 1 - i, strategy);
+        }
+        for (edge, msg, delay, window_ms) in rules {
+            let edge = EdgeClass::ALL[edge as usize % EdgeClass::ALL.len()];
+            let msg = MsgClass::ALL[msg as usize % MsgClass::ALL.len()];
+            let delay = match delay {
+                0 => DelayModel::AdversarialMax,
+                1 => DelayModel::Fixed { delta: Duration::from_millis(2) },
+                _ => DelayModel::Uniform {
+                    min: Duration::from_millis(1),
+                    max: Duration::from_millis(6),
+                },
+            };
+            schedule = schedule.rule(DelayRule {
+                edge,
+                msg,
+                window: TimeRange::new(
+                    Time::from_millis(window_ms),
+                    Time::from_millis(window_ms + 700),
+                ),
+                delay,
+            });
+        }
+        let compact = json::to_string(&schedule);
+        prop_assert_eq!(&json::from_str::<AdversarySchedule>(&compact).unwrap(), &schedule);
+        let pretty = json::to_string_pretty(&schedule);
+        prop_assert_eq!(&json::from_str::<AdversarySchedule>(&pretty).unwrap(), &schedule);
+
+        let config = SimConfig::new(ProtocolKind::Lumiere, n)
+            .with_seed(seed)
+            .with_adversary(schedule);
+        let compact = json::to_string(&config);
+        prop_assert_eq!(&json::from_str::<SimConfig>(&compact).unwrap(), &config);
     }
 }
 

@@ -42,5 +42,5 @@ pub mod view;
 pub use error::{Error, Result};
 pub use id::ProcessId;
 pub use params::{Params, DEFAULT_VIEW_ROUNDS};
-pub use time::{Duration, Time};
+pub use time::{Duration, Time, TimeRange};
 pub use view::{Epoch, View};

@@ -126,6 +126,56 @@ impl Duration {
     }
 }
 
+/// A half-open window of simulated time `[from, until)`.
+///
+/// Used by adversary schedules (crash/recovery windows, time-targeted delay
+/// rules). An empty window (`until ≤ from`) contains no instant at all;
+/// [`TimeRange::always`] spans every reachable simulated time.
+///
+/// ```
+/// use lumiere_types::{Time, TimeRange};
+/// let w = TimeRange::new(Time::from_millis(10), Time::from_millis(20));
+/// assert!(w.contains(Time::from_millis(10)));
+/// assert!(!w.contains(Time::from_millis(20)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeRange {
+    /// First instant inside the window.
+    pub from: Time,
+    /// First instant after the window.
+    pub until: Time,
+}
+
+impl TimeRange {
+    /// Creates the window `[from, until)`.
+    pub const fn new(from: Time, until: Time) -> Self {
+        TimeRange { from, until }
+    }
+
+    /// The window containing every reachable simulated time.
+    pub const fn always() -> Self {
+        TimeRange {
+            from: Time::ZERO,
+            until: Time::MAX,
+        }
+    }
+
+    /// Whether `t` falls inside the window.
+    pub fn contains(self, t: Time) -> bool {
+        self.from <= t && t < self.until
+    }
+
+    /// Whether the window contains no instant at all.
+    pub fn is_empty(self) -> bool {
+        self.until <= self.from
+    }
+
+    /// The length of the window (zero for empty windows).
+    pub fn length(self) -> Duration {
+        (self.until - self.from).clamp_non_negative()
+    }
+}
+
 impl Add<Duration> for Time {
     type Output = Time;
     fn add(self, rhs: Duration) -> Time {
@@ -263,5 +313,30 @@ mod tests {
     fn display_renders_milliseconds() {
         assert_eq!(Time::from_millis(2).to_string(), "2.000ms");
         assert_eq!(Duration::from_micros(1500).to_string(), "1.500ms");
+    }
+
+    #[test]
+    fn time_ranges_are_half_open() {
+        let w = TimeRange::new(Time::from_millis(5), Time::from_millis(8));
+        assert!(w.contains(Time::from_millis(5)));
+        assert!(w.contains(Time::from_millis(7)));
+        assert!(!w.contains(Time::from_millis(8)));
+        assert!(!w.contains(Time::from_millis(4)));
+        assert!(!w.is_empty());
+        assert_eq!(w.length(), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn empty_and_always_windows() {
+        let empty = TimeRange::new(Time::from_millis(5), Time::from_millis(5));
+        assert!(empty.is_empty());
+        assert!(!empty.contains(Time::from_millis(5)));
+        assert_eq!(empty.length(), Duration::ZERO);
+        let backwards = TimeRange::new(Time::from_millis(9), Time::from_millis(3));
+        assert!(backwards.is_empty());
+        assert_eq!(backwards.length(), Duration::ZERO);
+        let always = TimeRange::always();
+        assert!(always.contains(Time::ZERO));
+        assert!(always.contains(Time::from_millis(1_000_000)));
     }
 }

@@ -6,8 +6,15 @@
 //! tuple strategies, [`collection::vec`], `any::<T>()`, and the
 //! `prop_assert*` / [`prop_assume!`] macros. Sampling is deterministic —
 //! case `i` of every test always sees the same inputs — so failures
-//! reproduce without persisted regression files. Shrinking is not
-//! implemented; the harness reports the failing inputs instead.
+//! reproduce without persisted regression files.
+//!
+//! Failing cases are **greedily shrunk**: each argument is minimized in turn
+//! through its strategy's [`Strategy::shrink`] candidates (ranges shrink
+//! toward their lower bound, vectors lose elements and shrink their
+//! elements) while the property keeps failing, and the minimal
+//! counterexample is printed before the test re-runs on it so the real
+//! assertion failure surfaces. The greedy loop itself is exposed as
+//! [`minimize`] for direct testing.
 
 #![forbid(unsafe_code)]
 
@@ -20,13 +27,54 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// How a strategy draws values. Mirrors `proptest::strategy::Strategy` just
-/// far enough for direct sampling (no shrink trees).
+/// far enough for direct sampling plus greedy (list-based, not tree-based)
+/// shrinking.
 pub trait Strategy {
     /// The type of value this strategy produces.
     type Value;
 
     /// Draws one value from the deterministic generator.
     fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Simpler candidates for `value`, most aggressive first. Every
+    /// candidate must itself be a value the strategy could produce (so a
+    /// shrunk counterexample never violates the strategy's own bounds).
+    /// The default is no shrinking.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+/// Greedily minimizes a failing value: repeatedly moves to the first
+/// [`Strategy::shrink`] candidate on which `fails` still returns `true`,
+/// until no candidate fails or `budget` calls to `fails` are exhausted.
+///
+/// For a monotone predicate over a range strategy this converges to the
+/// smallest failing value (the candidate list always includes `value - 1`,
+/// so the last steps are unit steps).
+pub fn minimize<S: Strategy + ?Sized>(
+    strategy: &S,
+    mut current: S::Value,
+    mut fails: impl FnMut(&S::Value) -> bool,
+    budget: &mut u32,
+) -> S::Value {
+    loop {
+        let mut advanced = false;
+        for candidate in strategy.shrink(&current) {
+            if *budget == 0 {
+                return current;
+            }
+            *budget -= 1;
+            if fails(&candidate) {
+                current = candidate;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return current;
+        }
+    }
 }
 
 macro_rules! impl_range_strategy {
@@ -35,6 +83,26 @@ macro_rules! impl_range_strategy {
             type Value = $t;
             fn sample(&self, rng: &mut StdRng) -> $t {
                 rng.gen_range(self.clone())
+            }
+            /// Candidates between the lower bound and `value`, halving the
+            /// distance first and ending with `value - 1` so greedy descent
+            /// can always take a unit step.
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let lo = self.start;
+                let v = *value;
+                if v <= lo {
+                    return Vec::new();
+                }
+                let mut out = vec![lo];
+                let mut delta = (v - lo) / 2;
+                while delta > 0 {
+                    let cand = v - delta;
+                    if cand > lo && !out.contains(&cand) {
+                        out.push(cand);
+                    }
+                    delta /= 2;
+                }
+                out
             }
         }
     )*};
@@ -114,11 +182,51 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone + PartialEq,
+    {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut StdRng) -> Self::Value {
             let len = rng.gen_range(self.size.clone());
             (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+
+        /// Shrinks by removing elements (empty-ish first: truncate to the
+        /// minimum length, halve, drop last/first) while respecting the
+        /// strategy's length range, then by shrinking each element in
+        /// place.
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let min_len = self.size.start;
+            let len = value.len();
+            let mut out: Vec<Self::Value> = Vec::new();
+            let mut push_len = |target: usize| {
+                if target < len && target >= min_len {
+                    let cand: Vec<S::Value> = value[..target].to_vec();
+                    if !out.contains(&cand) {
+                        out.push(cand);
+                    }
+                }
+            };
+            push_len(min_len);
+            push_len(len - (len - min_len).max(1) / 2);
+            if len > min_len {
+                push_len(len - 1);
+                // Dropping the *first* element keeps the tail.
+                let cand: Vec<S::Value> = value[1..].to_vec();
+                if !out.contains(&cand) {
+                    out.push(cand);
+                }
+            }
+            // Element-wise shrinking, one element at a time.
+            for (i, element) in value.iter().enumerate() {
+                for cand in self.element.shrink(element) {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
         }
     }
 }
@@ -128,8 +236,8 @@ pub mod collection {
 pub struct ProptestConfig {
     /// Number of cases each property test runs.
     pub cases: u32,
-    /// Accepted for compatibility with the real crate; the shim never
-    /// shrinks, so this is ignored.
+    /// Maximum number of candidate evaluations spent shrinking one failing
+    /// case before reporting whatever minimum was reached.
     pub max_shrink_iters: u32,
 }
 
@@ -137,7 +245,7 @@ impl Default for ProptestConfig {
     fn default() -> Self {
         ProptestConfig {
             cases: 64,
-            max_shrink_iters: 0,
+            max_shrink_iters: 4096,
         }
     }
 }
@@ -148,10 +256,44 @@ pub fn __case_rng(case: u32) -> StdRng {
     StdRng::seed_from_u64(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(case) + 1))
 }
 
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send + 'static>;
+
+/// Refcounted silencer for the process-global panic hook. `cargo test`
+/// shrinks failing properties from multiple threads concurrently; a naive
+/// take/set pair would race (one shrinker could save the *silent* hook as
+/// its "previous" and restore it forever). The first silencer saves the
+/// real hook, the last one restores it.
+static SHRINK_HOOK: std::sync::Mutex<(usize, Option<PanicHook>)> = std::sync::Mutex::new((0, None));
+
+#[doc(hidden)]
+pub fn __silence_panics() {
+    let mut state = SHRINK_HOOK.lock().unwrap();
+    if state.0 == 0 {
+        state.1 = Some(std::panic::take_hook());
+        std::panic::set_hook(Box::new(|_| {}));
+    }
+    state.0 += 1;
+}
+
+#[doc(hidden)]
+pub fn __restore_panics() {
+    let mut state = SHRINK_HOOK.lock().unwrap();
+    state.0 = state.0.saturating_sub(1);
+    if state.0 == 0 {
+        if let Some(hook) = state.1.take() {
+            std::panic::set_hook(hook);
+        }
+    }
+}
+
 /// Declares deterministic property tests. Supports the subset of the real
 /// macro's grammar used in this workspace: an optional leading
 /// `#![proptest_config(expr)]`, then `fn name(pat in strategy, ...) { .. }`
 /// items carrying their own `#[test]` attributes.
+///
+/// Failing cases are shrunk argument by argument (see [`minimize`]); the
+/// minimized counterexample is printed to stderr and the body re-runs on it
+/// so the original assertion message is the one the harness reports.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -176,11 +318,67 @@ macro_rules! __proptest_items {
             let __config: $crate::ProptestConfig = $cfg;
             for __case in 0..__config.cases {
                 let mut __rng = $crate::__case_rng(__case);
-                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
-                // Each case runs in a closure so `prop_assume!` can skip the
-                // case with an early return.
-                let __one_case = move || $body;
-                __one_case();
+                // Arguments live in RefCells so the shrink loop below can
+                // replace one argument while a single closure re-reads them
+                // all on every evaluation.
+                $(let $arg = ::std::cell::RefCell::new(
+                    $crate::Strategy::sample(&($strat), &mut __rng),
+                );)+
+                let __fails_now = || {
+                    $(let $arg = ::std::clone::Clone::clone(&*$arg.borrow());)+
+                    let __one_case = move || $body;
+                    ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(__one_case))
+                        .is_err()
+                };
+                if !__fails_now() {
+                    continue;
+                }
+                // The case fails: greedily minimize one argument at a time
+                // (first arguments first), then re-run unprotected so the
+                // real assertion failure is reported. The panic hook is
+                // silenced while shrinking — hundreds of candidate
+                // evaluations would otherwise each print a panic dump and
+                // bury the minimized counterexample.
+                $crate::__silence_panics();
+                let mut __budget: u32 = __config.max_shrink_iters;
+                $(
+                    {
+                        let __start = ::std::clone::Clone::clone(&*$arg.borrow());
+                        let __minimal = $crate::minimize(
+                            &($strat),
+                            __start,
+                            |__cand| {
+                                let __saved =
+                                    $arg.replace(::std::clone::Clone::clone(__cand));
+                                let __still_fails = __fails_now();
+                                if !__still_fails {
+                                    $arg.replace(__saved);
+                                }
+                                __still_fails
+                            },
+                            &mut __budget,
+                        );
+                        $arg.replace(__minimal);
+                    }
+                )+
+                $crate::__restore_panics();
+                ::std::eprintln!(
+                    "proptest: case {} of `{}` failed; minimized counterexample:",
+                    __case,
+                    ::std::stringify!($name),
+                );
+                $(::std::eprintln!(
+                    "proptest:   {} = {:?}",
+                    ::std::stringify!($arg),
+                    &*$arg.borrow(),
+                );)+
+                $(let $arg = ::std::clone::Clone::clone(&*$arg.borrow());)+
+                let __final_case = move || $body;
+                __final_case();
+                ::std::panic!(
+                    "proptest: the minimized case of `{}` unexpectedly passed on the final re-run",
+                    ::std::stringify!($name),
+                );
             }
         }
         $crate::__proptest_items! { ($cfg) $($rest)* }
@@ -223,7 +421,7 @@ macro_rules! prop_assume {
 pub mod prelude {
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
 
-    pub use super::{any, Any, Arbitrary, ProptestConfig, Strategy};
+    pub use super::{any, minimize, Any, Arbitrary, ProptestConfig, Strategy};
 }
 
 #[cfg(test)]
@@ -265,5 +463,106 @@ mod tests {
         let a = Strategy::sample(&s, &mut crate::__case_rng(3));
         let b = Strategy::sample(&s, &mut crate::__case_rng(3));
         assert_eq!(a, b);
+    }
+
+    // ---- the shrinker itself ------------------------------------------
+
+    #[test]
+    fn range_shrink_candidates_stay_in_bounds_and_below_the_value() {
+        let s = 10u64..1_000;
+        for v in [11u64, 57, 999] {
+            let cands = s.shrink(&v);
+            assert!(!cands.is_empty());
+            assert_eq!(cands[0], 10, "most aggressive candidate is the floor");
+            assert!(cands.iter().all(|c| *c >= 10 && *c < v), "{cands:?}");
+            assert!(cands.contains(&(v - 1)), "unit step present: {cands:?}");
+        }
+        assert!(s.shrink(&10).is_empty(), "the floor cannot shrink");
+    }
+
+    #[test]
+    fn minimize_finds_the_smallest_failing_value_in_a_range() {
+        // Monotone predicate: fails iff v >= 123.
+        let mut budget = 10_000;
+        let min = minimize(&(0u64..100_000), 54_321, |v| *v >= 123, &mut budget);
+        assert_eq!(min, 123);
+        assert!(budget > 0, "did not exhaust the budget");
+        // Signed ranges work too.
+        let mut budget = 10_000;
+        let min = minimize(&(-500i64..500), 400, |v| *v > -7, &mut budget);
+        assert_eq!(min, -6);
+    }
+
+    #[test]
+    fn minimize_respects_its_budget() {
+        let mut budget = 3;
+        let min = minimize(&(0u64..1_000_000), 999_999, |v| *v >= 10, &mut budget);
+        assert_eq!(budget, 0);
+        assert!(min >= 10, "never moves to a passing value");
+        assert!(min < 999_999, "made some progress");
+    }
+
+    #[test]
+    fn minimize_leaves_non_failing_values_alone() {
+        // The predicate never fails on candidates: no movement.
+        let mut budget = 100;
+        let min = minimize(&(0u64..100), 57, |_| false, &mut budget);
+        assert_eq!(min, 57);
+    }
+
+    #[test]
+    fn vec_shrink_removes_and_shrinks_elements_within_bounds() {
+        let s = crate::collection::vec(0u8..50, 2..10);
+        let v = vec![40u8, 30, 20, 10];
+        let cands = s.shrink(&v);
+        assert!(!cands.is_empty());
+        // Every candidate respects the length range and element bounds.
+        for cand in &cands {
+            assert!((2..10).contains(&cand.len()), "{cand:?}");
+            assert!(cand.iter().all(|e| *e < 50));
+        }
+        // Length reductions and element reductions are both present.
+        assert!(cands.iter().any(|c| c.len() < v.len()));
+        assert!(cands.iter().any(|c| c.len() == v.len() && c != &v));
+        // A vector already at minimal length only shrinks element-wise.
+        let tiny = vec![5u8, 0];
+        assert!(s.shrink(&tiny).iter().all(|c| c.len() == 2));
+        // The all-floor minimal vector cannot shrink at all.
+        assert!(s.shrink(&vec![0u8, 0]).is_empty());
+    }
+
+    #[test]
+    fn minimize_drives_vectors_to_a_minimal_counterexample() {
+        // Fails iff the vector contains at least one element >= 7.
+        let s = crate::collection::vec(0u32..100, 1..20);
+        let start = vec![50u32, 3, 88, 12, 9, 64];
+        let mut budget = 100_000;
+        let min = minimize(&s, start, |v| v.iter().any(|e| *e >= 7), &mut budget);
+        assert_eq!(min, vec![7], "one element, shrunk to the threshold");
+    }
+
+    #[test]
+    fn failing_cases_are_shrunk_before_the_report() {
+        // Run the generated harness against a failing property and inspect
+        // the panic: the re-run of the minimized case must carry the
+        // original assertion, triggered by the *smallest* failing input.
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+                fn must_stay_small(n in 0u64..100_000) {
+                    prop_assert!(n < 3, "value {} escaped", n);
+                }
+            }
+            must_stay_small();
+        });
+        let payload = result.expect_err("the property must fail");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            message.contains("value 3 escaped"),
+            "expected the minimal counterexample 3, got: {message}"
+        );
     }
 }

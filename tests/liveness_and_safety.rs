@@ -19,6 +19,11 @@ fn all_protocols_are_live_and_safe_without_faults() {
         let report = base(protocol, 7).run();
         assert!(report.safety_ok, "{}: safety violated", report.protocol);
         assert!(
+            !report.truncated,
+            "{}: run hit the event cap",
+            report.protocol
+        );
+        assert!(
             report.decisions() >= 5,
             "{}: only {} decisions",
             report.protocol,
@@ -74,6 +79,7 @@ fn lumiere_recovers_after_a_late_gst_under_adversarial_delays() {
         .with_max_honest_qcs(5)
         .run();
     assert!(report.safety_ok);
+    assert!(!report.truncated);
     let latency = report
         .worst_case_latency()
         .expect("an honest leader must produce a QC after GST");
@@ -97,6 +103,7 @@ fn larger_clusters_remain_live() {
             .with_horizon(Duration::from_secs(10))
             .run();
         assert!(report.safety_ok, "{}: safety violated", report.protocol);
+        assert!(!report.truncated, "{}: truncated", report.protocol);
         assert!(
             report.decisions() > 0,
             "{}: no decisions at n = 19",
@@ -126,6 +133,25 @@ fn sync_silent_byzantine_nodes_cannot_block_synchronization() {
             "{}: no decisions with sync-silent faults",
             report.protocol
         );
+    }
+}
+
+#[test]
+fn runs_are_never_silently_truncated() {
+    // `Simulation::run_loop` used to break silently past its event cap;
+    // `SimReport::truncated` now surfaces it, and every tier-1 scenario must
+    // finish well below the cap.
+    for protocol in ProtocolKind::all() {
+        for f_a in [0usize, 2] {
+            let report = base(protocol, 7)
+                .with_byzantine(f_a, ByzBehavior::SilentLeader)
+                .run();
+            assert!(
+                !report.truncated,
+                "{} (f_a = {f_a}): run hit the event cap",
+                report.protocol
+            );
+        }
     }
 }
 

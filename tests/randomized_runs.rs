@@ -38,6 +38,7 @@ proptest! {
             .with_seed(seed)
             .run();
         prop_assert!(report.safety_ok, "{}: safety violated", report.protocol);
+        prop_assert!(!report.truncated, "{}: truncated run", report.protocol);
         prop_assert!(report.decisions() > 0, "{}: no decisions", report.protocol);
     }
 
