@@ -15,8 +15,8 @@ fn bench_sign_verify(c: &mut Criterion) {
 
 fn bench_aggregate(c: &mut Criterion) {
     let mut group = c.benchmark_group("crypto/aggregate_quorum");
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
     for n in [4usize, 16, 64, 128] {
         let (keys, pki) = keygen(n, 2);
         let f = (n - 1) / 3;

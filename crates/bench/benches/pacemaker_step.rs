@@ -13,8 +13,8 @@ use lumiere_types::{Duration, Params, Time, View};
 
 fn bench_on_qc(c: &mut Criterion) {
     let mut group = c.benchmark_group("pacemaker/on_qc");
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
     let n = 16;
     let params = Params::new(n, Duration::from_millis(10));
     let (keys, pki) = keygen(n, 1);
@@ -47,8 +47,8 @@ fn bench_on_qc(c: &mut Criterion) {
 
 fn bench_on_epoch_view_msg(c: &mut Criterion) {
     let mut group = c.benchmark_group("pacemaker/on_epoch_view_msg");
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
     let n = 16;
     let params = Params::new(n, Duration::from_millis(10));
     let (keys, pki) = keygen(n, 1);

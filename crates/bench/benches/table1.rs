@@ -36,8 +36,8 @@ fn worst_case_run(protocol: ProtocolKind, n: usize) -> usize {
 fn bench_benign(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1/benign_50_decisions");
     group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
     for protocol in ProtocolKind::table1() {
         for n in [4usize, 16] {
             group.bench_with_input(
@@ -53,8 +53,8 @@ fn bench_benign(c: &mut Criterion) {
 fn bench_worst_case(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1/worst_case_first_decision");
     group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
     for protocol in ProtocolKind::table1() {
         for n in [4usize, 16] {
             group.bench_with_input(

@@ -1,0 +1,124 @@
+//! The CI perf gate over `BENCH_*.json` files.
+//!
+//! ```text
+//! bench_gate --check DIR --baseline FILE [--threshold-pct N]
+//! bench_gate --update-baseline DIR --baseline FILE
+//! ```
+//!
+//! `--check` loads every `BENCH_*.json` under `DIR` (produced by running
+//! the bench binaries with `LUMIERE_BENCH_OUT=DIR`), compares each
+//! benchmark's calibration-normalized minimum against the committed
+//! baseline and exits non-zero when any tracked metric regressed more than
+//! the threshold (default 25 %) or a tracked benchmark disappeared.
+//!
+//! `--update-baseline` rebuilds the baseline file from `DIR` — run it
+//! locally (and commit the result) when a perf change is intentional or
+//! benchmarks were added/renamed. The full workflow is documented in
+//! `docs/PERFORMANCE.md`.
+
+use lumiere_bench::perf;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> String {
+    "usage: bench_gate --check DIR --baseline FILE [--threshold-pct N]\n\
+    \x20      bench_gate --update-baseline DIR --baseline FILE\n\
+     \n\
+     options:\n\
+    \x20 --check DIR             gate the BENCH_*.json files in DIR against the baseline\n\
+    \x20 --update-baseline DIR   rewrite the baseline from the BENCH_*.json files in DIR\n\
+    \x20 --baseline FILE         the committed baseline (BENCH_baseline.json)\n\
+    \x20 --threshold-pct N       regression threshold in percent (default 25)\n\
+    \x20 --help                  this message\n"
+        .to_string()
+}
+
+struct Args {
+    check: Option<PathBuf>,
+    update: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    threshold_pct: f64,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Args>, String> {
+    let mut parsed = Args {
+        check: None,
+        update: None,
+        baseline: None,
+        threshold_pct: perf::DEFAULT_THRESHOLD_PCT,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--check" => parsed.check = Some(PathBuf::from(value("--check")?)),
+            "--update-baseline" => parsed.update = Some(PathBuf::from(value("--update-baseline")?)),
+            "--baseline" => parsed.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--threshold-pct" => {
+                let raw = value("--threshold-pct")?;
+                parsed.threshold_pct = raw
+                    .parse::<f64>()
+                    .map_err(|_| format!("--threshold-pct expects a number, got `{raw}`"))?;
+                if !parsed.threshold_pct.is_finite() || parsed.threshold_pct < 0.0 {
+                    return Err("--threshold-pct must be a non-negative number".to_string());
+                }
+            }
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if parsed.check.is_some() == parsed.update.is_some() {
+        return Err("exactly one of --check or --update-baseline is required".to_string());
+    }
+    if parsed.baseline.is_none() {
+        return Err("--baseline FILE is required".to_string());
+    }
+    Ok(Some(parsed))
+}
+
+fn run(args: Args) -> Result<bool, String> {
+    let baseline_path = args.baseline.expect("validated by parse_args");
+    if let Some(dir) = args.update {
+        let files = perf::load_bench_dir(&dir)?;
+        let baseline = perf::merge_to_baseline(&files);
+        perf::write_baseline(&baseline_path, &baseline)?;
+        eprintln!(
+            "wrote {} with {} tracked benchmark(s)",
+            baseline_path.display(),
+            baseline.entries.len()
+        );
+        return Ok(true);
+    }
+    let dir = args.check.expect("validated by parse_args");
+    let files = perf::load_bench_dir(&dir)?;
+    let baseline = perf::load_baseline(&baseline_path)?;
+    let report = perf::gate(&baseline, &files, args.threshold_pct);
+    print!("{}", report.render(args.threshold_pct));
+    Ok(report.pass())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Err(message) => {
+            eprintln!("error: {message}\n\n{}", usage());
+            ExitCode::from(2)
+        }
+        Ok(None) => {
+            print!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        Ok(Some(parsed)) => match run(parsed) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}

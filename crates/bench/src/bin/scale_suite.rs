@@ -1,0 +1,11 @@
+//! The large-`n` scale sweep: demonstrates the O(n·f_a + n) vs Θ(n²)
+//! separation at n up to 512 (`--full`); the quick sweep (n ∈ {64, 128}) is
+//! the per-PR CI smoke for the simulator's large-`n` code paths.
+
+use lumiere_bench::cli;
+use lumiere_bench::experiments::experiment;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    cli::run_main("scale_suite", None, &[experiment("scale")])
+}

@@ -20,12 +20,19 @@
 //! | `figure1_timeline` | Figure 1 |
 //! | `heavy_syncs` | Section 3.5 / Theorem 1.1(4), heavy-sync suppression |
 //! | `honest_gap` | Lemmas 5.9–5.12, honest-gap dynamics |
+//! | `scale_suite` | the O(n·f_a + n) vs Θ(n²) separation at n up to 512 |
 //! | `table1_all` | runs everything above in sequence |
 //!
 //! All experiments accept the environment variable `LUMIERE_FULL=1` (or the
 //! `--full` flag) to run the larger parameter sweeps used for the reference
 //! numbers; the default "quick" sweeps finish in well under a minute on a
 //! laptop.
+//!
+//! Two further binaries serve the perf story (`docs/PERFORMANCE.md`):
+//! `scale_suite` sweeps n up to 512 to show the O(n·f_a + n) vs Θ(n²)
+//! separation ([`experiments::scale_table`]), and `bench_gate` gates the
+//! `BENCH_*.json` files emitted by the adaptive criterion shim against the
+//! committed `BENCH_baseline.json` ([`perf`]).
 //!
 //! # Persistent reports and parallel sweeps
 //!
@@ -52,6 +59,7 @@ pub mod cli;
 pub mod experiments;
 pub mod fuzz;
 pub mod grid;
+pub mod perf;
 pub mod report;
 pub mod table;
 

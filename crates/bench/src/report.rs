@@ -22,9 +22,13 @@ use std::path::{Path, PathBuf};
 /// Version stamp written into every report file; bump when the cell layout
 /// changes incompatibly (see `docs/REPORT_SCHEMA.md` for the history).
 ///
+/// v3: `SimReport`'s message-time series became run-length encoded
+/// `(time, count)` pairs and gained `metrics_grid` (the sampling grid
+/// applied above the large-`n` threshold); new `scale` experiment slug.
+///
 /// v2: `SimReport` gained `truncated` (event-cap overflow surfaced instead
 /// of silently breaking the run loop) and `equivocations_observed`.
-pub const SCHEMA_VERSION: u32 = 2;
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// One grid cell of one experiment: the sweep coordinates plus the complete
 /// simulation outcome measured there.

@@ -53,11 +53,19 @@ pub struct HotStuffEngine {
     proposing_enabled: bool,
     proposals_seen: HashMap<(i64, usize), HashSet<BlockHash>>,
     equivocations_detected: usize,
+    /// Reused aggregation buffer, so forming a QC allocates nothing once
+    /// the buffer has grown to quorum size.
+    partials: Vec<Signature>,
 }
 
 impl HotStuffEngine {
     /// Creates an engine for processor `id`.
+    ///
+    /// The per-view bookkeeping maps are preallocated to a small working
+    /// size so the first views of a run do not rehash inside the simulator's
+    /// epoch loop; the vote buffer is sized for one quorum up front.
     pub fn new(id: ProcessId, keys: KeyPair, pki: Pki, params: Params) -> Self {
+        let quorum = params.quorum();
         HotStuffEngine {
             id,
             keys,
@@ -69,15 +77,16 @@ impl HotStuffEngine {
             last_voted_view: View::SENTINEL,
             locked_view: View::SENTINEL,
             high_qc: QuorumCert::genesis(),
-            votes: HashMap::new(),
-            proposed_views: HashSet::new(),
-            formed_qc_views: HashSet::new(),
-            observed_qcs: HashSet::new(),
-            pending_proposals: HashMap::new(),
-            qc_deadlines: HashMap::new(),
+            votes: HashMap::with_capacity(16),
+            proposed_views: HashSet::with_capacity(16),
+            formed_qc_views: HashSet::with_capacity(16),
+            observed_qcs: HashSet::with_capacity(64),
+            pending_proposals: HashMap::with_capacity(8),
+            qc_deadlines: HashMap::with_capacity(16),
             proposing_enabled: true,
-            proposals_seen: HashMap::new(),
+            proposals_seen: HashMap::with_capacity(16),
             equivocations_detected: 0,
+            partials: Vec::with_capacity(quorum),
         }
     }
 
@@ -299,8 +308,9 @@ impl HotStuffEngine {
                 return Vec::new();
             }
         }
-        let partials: Vec<Signature> = entry.values().copied().collect();
-        let Ok(qc) = QuorumCert::aggregate(view, block_hash, &partials, &self.params) else {
+        self.partials.clear();
+        self.partials.extend(entry.values().copied());
+        let Ok(qc) = QuorumCert::aggregate(view, block_hash, &self.partials, &self.params) else {
             return Vec::new();
         };
         self.formed_qc_views.insert(view.as_i64());

@@ -1,10 +1,20 @@
 //! The simulator's event queue.
+//!
+//! Since the scale PR the queue is a **calendar queue** (a ring of
+//! fixed-width time buckets plus an overflow heap) rather than one global
+//! [`BinaryHeap`]: pushing an event becomes an O(1) append into the bucket
+//! covering its delivery tick, and popping sorts only the small bucket that
+//! is currently being drained. The old heap survives as [`HeapQueue`], both
+//! as documentation of the reference semantics and as the oracle for the
+//! property test that pins the calendar queue to identical delivery order
+//! (`same order as the old BinaryHeap on random schedules`).
 
 use lumiere_consensus::ConsensusMessage;
 use lumiere_core::messages::PacemakerMessage;
 use lumiere_types::{ProcessId, Time};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// A message travelling through the simulated network: either a pacemaker
 /// (view synchronization) message or an underlying-protocol message.
@@ -32,6 +42,10 @@ impl SimMessage {
 }
 
 /// An event scheduled for execution at a point in simulated time.
+///
+/// Deliveries carry the message behind an [`Arc`] so a broadcast to `n − 1`
+/// recipients shares one allocation instead of cloning the (potentially
+/// QC-carrying) message per recipient.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Event {
     /// Start a processor.
@@ -45,8 +59,8 @@ pub enum Event {
         to: ProcessId,
         /// The original sender.
         from: ProcessId,
-        /// The message.
-        message: SimMessage,
+        /// The message (shared between the recipients of a broadcast).
+        message: Arc<SimMessage>,
     },
     /// Fire a wake-up previously requested by a processor's pacemaker.
     Wake {
@@ -64,6 +78,13 @@ struct Scheduled {
     event: Event,
 }
 
+impl Scheduled {
+    /// The total order of delivery: time, ties broken by insertion order.
+    fn key(&self) -> (i64, u64) {
+        (self.at.as_micros(), self.seq)
+    }
+}
+
 impl PartialEq for Scheduled {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
@@ -78,22 +99,22 @@ impl PartialOrd for Scheduled {
 impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest event pops first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.key().cmp(&self.key())
     }
 }
 
-/// A deterministic time-ordered event queue (ties broken by insertion
-/// order).
+/// The original `BinaryHeap` event queue, kept as the reference
+/// implementation: a deterministic time-ordered queue (ties broken by
+/// insertion order). [`EventQueue`] must deliver in exactly this order; the
+/// property test in this module holds the two against each other on random
+/// schedules.
 #[derive(Debug, Default)]
-pub struct EventQueue {
+pub struct HeapQueue {
     heap: BinaryHeap<Scheduled>,
     seq: u64,
 }
 
-impl EventQueue {
+impl HeapQueue {
     /// Creates an empty queue.
     pub fn new() -> Self {
         Self::default()
@@ -125,9 +146,155 @@ impl EventQueue {
     }
 }
 
+/// Width of one calendar bucket in microseconds. A power of two near 1 ms:
+/// network delays in the experiments are 1–40 ms, so consecutive events land
+/// a handful of buckets apart and bucket scans stay short.
+const BUCKET_WIDTH_MICROS: i64 = 1 << 10;
+
+/// Number of buckets on the ring. With 1024 µs buckets this covers a ~268 ms
+/// horizon; anything scheduled further out (epoch-boundary wake-ups, crash
+/// recovery rejoins) waits in the overflow heap and is pulled onto the ring
+/// as the cursor approaches it.
+const NUM_BUCKETS: usize = 256;
+
+/// A deterministic time-ordered event queue (ties broken by insertion
+/// order), implemented as a calendar queue.
+///
+/// Three tiers, by distance from the drain cursor:
+///
+/// * `current` — the bucket being drained, sorted descending by
+///   `(time, seq)` so the next event pops from the back in O(1);
+/// * `wheel` — a ring of [`NUM_BUCKETS`] unsorted buckets of
+///   [`BUCKET_WIDTH_MICROS`] each (push is an O(1) append; a bucket is
+///   sorted once, when the cursor reaches it);
+/// * `overflow` — a heap for events beyond the ring horizon (rare: only
+///   far-future wake-ups land here).
+///
+/// Events pushed at or before the drain cursor (the simulator schedules at
+/// `now` frequently) are insertion-sorted into `current`, which preserves
+/// the global `(time, seq)` delivery order for arbitrary push/pop
+/// interleavings — see `wheel_matches_heap_on_random_schedules`.
+#[derive(Debug)]
+pub struct EventQueue {
+    current: Vec<Scheduled>,
+    wheel: Vec<Vec<Scheduled>>,
+    /// Absolute index (time / bucket width) of the bucket drained into
+    /// `current`; ring slot `b % NUM_BUCKETS` holds absolute bucket `b` for
+    /// `base < b < base + NUM_BUCKETS`.
+    base: i64,
+    wheel_len: usize,
+    overflow: BinaryHeap<Scheduled>,
+    seq: u64,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue {
+            current: Vec::new(),
+            wheel: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
+            base: 0,
+            wheel_len: 0,
+            overflow: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+}
+
+fn bucket_of(at: Time) -> i64 {
+    at.as_micros().div_euclid(BUCKET_WIDTH_MICROS)
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at time `at`.
+    pub fn push(&mut self, at: Time, event: Event) {
+        self.seq += 1;
+        let entry = Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        };
+        self.route(entry);
+    }
+
+    /// Places an entry into the tier matching its distance from the cursor.
+    fn route(&mut self, entry: Scheduled) {
+        let bucket = bucket_of(entry.at);
+        if bucket <= self.base {
+            // At (or before) the bucket being drained: insertion-sort into
+            // the descending `current` buffer so it pops in order.
+            let pos = self.current.partition_point(|e| e.key() > entry.key());
+            self.current.insert(pos, entry);
+        } else if bucket < self.base + NUM_BUCKETS as i64 {
+            self.wheel[bucket.rem_euclid(NUM_BUCKETS as i64) as usize].push(entry);
+            self.wheel_len += 1;
+        } else {
+            self.overflow.push(entry);
+        }
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Time, Event)> {
+        loop {
+            if let Some(entry) = self.current.pop() {
+                return Some((entry.at, entry.event));
+            }
+            if self.wheel_len == 0 && self.overflow.is_empty() {
+                return None;
+            }
+            if self.wheel_len == 0 {
+                // Everything pending is beyond the ring: jump the cursor to
+                // the earliest overflow bucket instead of scanning a long
+                // run of empty buckets.
+                let min_bucket = bucket_of(self.overflow.peek().expect("overflow non-empty").at);
+                self.base = self.base.max(min_bucket - 1);
+            }
+            self.advance();
+        }
+    }
+
+    /// Moves the cursor to the next bucket, draining it into `current` and
+    /// pulling newly-in-horizon overflow entries onto the ring.
+    fn advance(&mut self) {
+        self.base += 1;
+        while let Some(next) = self.overflow.peek() {
+            if bucket_of(next.at) >= self.base + NUM_BUCKETS as i64 {
+                break;
+            }
+            let entry = self.overflow.pop().expect("peeked entry exists");
+            // In horizon now; lands in a ring slot or (for `base` itself)
+            // directly in `current`.
+            self.route(entry);
+        }
+        let slot = &mut self.wheel[self.base.rem_euclid(NUM_BUCKETS as i64) as usize];
+        if !slot.is_empty() {
+            self.wheel_len -= slot.len();
+            self.current.append(slot);
+            // Descending order: the earliest (time, seq) pops from the back.
+            self.current
+                .sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.current.len() + self.wheel_len + self.overflow.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn events_pop_in_time_order() {
@@ -189,5 +356,127 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_future_events_go_through_the_overflow_heap() {
+        let mut q = EventQueue::new();
+        // Well beyond the ring horizon (~268 ms).
+        q.push(Time::from_millis(30_000), Event::Sample);
+        q.push(
+            Time::from_millis(1),
+            Event::Boot {
+                node: ProcessId::new(0),
+            },
+        );
+        q.push(Time::from_millis(90_000), Event::Sample);
+        assert_eq!(q.len(), 3);
+        let times: Vec<i64> = std::iter::from_fn(|| q.pop())
+            .map(|(t, _)| t.as_micros())
+            .collect();
+        assert_eq!(
+            times,
+            vec![
+                Time::from_millis(1).as_micros(),
+                Time::from_millis(30_000).as_micros(),
+                Time::from_millis(90_000).as_micros()
+            ]
+        );
+    }
+
+    #[test]
+    fn pushes_at_the_drain_cursor_are_delivered_in_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_millis(10), Event::Sample);
+        q.push(Time::from_millis(20), Event::Sample);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, Time::from_millis(10));
+        // Push at exactly the popped time (the simulator wakes nodes "now")
+        // and earlier than the next pending event: it must pop next.
+        q.push(
+            Time::from_millis(10),
+            Event::Wake {
+                node: ProcessId::new(3),
+            },
+        );
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(t, Time::from_millis(10));
+        assert!(matches!(e, Event::Wake { node } if node.as_usize() == 3));
+        assert_eq!(q.pop().unwrap().0, Time::from_millis(20));
+    }
+
+    /// Drains both queues fully and compares the exact event sequence.
+    fn drain_both(schedule: &[(i64, usize)]) {
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapQueue::new();
+        for &(at_micros, node) in schedule {
+            let at = Time::from_micros(at_micros);
+            let event = Event::Boot {
+                node: ProcessId::new(node),
+            };
+            wheel.push(at, event.clone());
+            heap.push(at, event);
+        }
+        loop {
+            let a = wheel.pop();
+            let b = heap.pop();
+            assert_eq!(a, b, "wheel and heap disagreed");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    proptest! {
+        /// The calendar queue delivers in exactly the order of the old
+        /// `BinaryHeap` on random schedules: random times (spanning several
+        /// ring laps and the overflow horizon), random interleaving of
+        /// pushes and pops.
+        #[test]
+        fn wheel_matches_heap_on_random_schedules(
+            times in proptest::collection::vec(0i64..800_000, 0..120),
+        ) {
+            let schedule: Vec<(i64, usize)> = times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| (t, i % 7))
+                .collect();
+            drain_both(&schedule);
+        }
+
+        /// Interleaved push/pop sessions (pushes never travel into the
+        /// past of the drain cursor further than the simulator itself
+        /// would: each batch schedules at or after the last popped time,
+        /// like deliveries scheduled from `now`).
+        #[test]
+        fn wheel_matches_heap_with_interleaved_pops(
+            batches in proptest::collection::vec(
+                (proptest::collection::vec(0i64..400_000, 1..20), 1usize..12),
+                1..8,
+            ),
+        ) {
+            let mut wheel = EventQueue::new();
+            let mut heap = HeapQueue::new();
+            let mut node = 0usize;
+            let mut last_popped = 0i64;
+            for (offsets, pops) in &batches {
+                for &offset in offsets {
+                    let at = Time::from_micros(last_popped + offset);
+                    let event = Event::Boot { node: ProcessId::new(node % 11) };
+                    node += 1;
+                    wheel.push(at, event.clone());
+                    heap.push(at, event);
+                }
+                for _ in 0..*pops {
+                    let a = wheel.pop();
+                    let b = heap.pop();
+                    assert_eq!(a, b, "wheel and heap disagreed mid-drain");
+                    if let Some((t, _)) = a {
+                        last_popped = t.as_micros();
+                    }
+                }
+                assert_eq!(wheel.len(), heap.len());
+            }
+        }
     }
 }

@@ -22,10 +22,16 @@
 //!   onto the strategy subsystem.
 //! * [`node`] — couples a [`lumiere_core::Pacemaker`] with the underlying
 //!   [`lumiere_consensus::HotStuffEngine`] and cascades their notifications.
-//! * [`runner`] — the event loop; [`metrics`] — the measurements;
-//!   [`trace`] — per-processor execution traces (used for Figure 1);
-//!   [`scenario`] — configuration and protocol selection, the main entry
-//!   point for examples and benchmarks.
+//! * [`event`] — the calendar event queue; [`runner`] — the event loop;
+//!   [`metrics`] — the measurements; [`trace`] — per-processor execution
+//!   traces (used for Figure 1); [`scenario`] — configuration and protocol
+//!   selection, the main entry point for examples and benchmarks.
+//!
+//! The hot path scales to `n` in the hundreds: broadcasts share one `Arc`,
+//! the event queue is a calendar queue, node outputs are drained into
+//! reused buffers, and metrics are run-length encoded (and grid-sampled at
+//! large `n`) so reports stay bounded — design notes and before/after
+//! numbers in `docs/PERFORMANCE.md`.
 //!
 //! # Example: one synchronized run of Lumiere
 //!

@@ -6,6 +6,19 @@
 //! and the latency after `T` is `t*_T − T`. The eventual variants are the
 //! `limsup` over `T → ∞`, which the harness approximates by the maximum over
 //! all consecutive honest-leader QCs after a warm-up point.
+//!
+//! # Bounded reports at large `n`
+//!
+//! Message-send instants are stored **run-length encoded** as
+//! `(time, count)` pairs (a broadcast is one entry, not `n − 1`), and above
+//! a configurable processor count
+//! ([`SimConfig::sample_metrics_above`](crate::scenario::SimConfig)) the
+//! send instants are additionally quantized down to a sampling grid of
+//! `Δ/4` ([`SimReport::metrics_grid`]), so the report stays bounded by the
+//! simulated horizon instead of the Θ(n²) message volume. Message *counts*
+//! are always exact — only their time attribution is coarsened, by strictly
+//! less than one grid step (< Δ/4, against measurement windows that are at
+//! least Δ wide). See `docs/PERFORMANCE.md` for the policy.
 
 use lumiere_types::{Duration, ProcessId, Time, View};
 use serde::{Deserialize, Serialize};
@@ -40,11 +53,16 @@ pub struct SimReport {
     pub gst: Time,
     /// Simulated time at which the run stopped.
     pub end_time: Time,
-    /// Times at which honest processors sent messages (point-to-point count;
-    /// a broadcast contributes `n−1` entries).
-    pub honest_msg_times: Vec<Time>,
+    /// The sampling grid applied to message-time recording:
+    /// [`Duration::ZERO`] means exact instants; otherwise send times are
+    /// quantized down to multiples of this grid (schema v3).
+    pub metrics_grid: Duration,
+    /// Times at which honest processors sent messages, run-length encoded
+    /// as `(time, point-to-point count)` pairs in strictly increasing time
+    /// order (a broadcast contributes one entry of count `n−1`; schema v3).
+    pub honest_msg_times: Vec<(Time, u64)>,
     /// Subset of the above belonging to heavy epoch synchronizations.
-    pub heavy_msg_times: Vec<Time>,
+    pub heavy_msg_times: Vec<(Time, u64)>,
     /// All QC production events, in time order.
     pub qc_events: Vec<QcEvent>,
     /// First commit time of each height, in commit order.
@@ -74,7 +92,7 @@ impl SimReport {
 
     /// Total messages sent by honest processors over the whole run.
     pub fn total_messages(&self) -> usize {
-        self.honest_msg_times.len()
+        self.honest_msg_times.iter().map(|(_, c)| *c as usize).sum()
     }
 
     /// Times of QCs produced by honest leaders, in order.
@@ -191,13 +209,26 @@ impl SimReport {
     }
 }
 
-fn count_in_range(sorted: &[Time], a: Time, b: Time) -> usize {
+/// Appends `count` sends at `at` to a run-length-encoded series. Collector
+/// time is monotone, so merging with the last entry keeps the series sorted
+/// with strictly increasing times.
+fn push_rle(series: &mut Vec<(Time, u64)>, at: Time, count: u64) {
+    if let Some(last) = series.last_mut() {
+        if last.0 == at {
+            last.1 += count;
+            return;
+        }
+    }
+    series.push((at, count));
+}
+
+fn count_in_range(sorted: &[(Time, u64)], a: Time, b: Time) -> usize {
     if b <= a {
         return 0;
     }
-    let lo = sorted.partition_point(|t| *t < a);
-    let hi = sorted.partition_point(|t| *t < b);
-    hi - lo
+    let lo = sorted.partition_point(|(t, _)| *t < a);
+    let hi = sorted.partition_point(|(t, _)| *t < b);
+    sorted[lo..hi].iter().map(|(_, c)| *c as usize).sum()
 }
 
 /// Incrementally collects metrics during a run and produces a [`SimReport`].
@@ -209,8 +240,9 @@ pub struct MetricsCollector {
     f_a: usize,
     delta_cap: Duration,
     gst: Time,
-    honest_msg_times: Vec<Time>,
-    heavy_msg_times: Vec<Time>,
+    time_grid: Duration,
+    honest_msg_times: Vec<(Time, u64)>,
+    heavy_msg_times: Vec<(Time, u64)>,
     qc_events: Vec<QcEvent>,
     commit_times: Vec<(Time, u64)>,
     committed_heights: std::collections::HashSet<u64>,
@@ -235,6 +267,7 @@ impl MetricsCollector {
             f_a,
             delta_cap,
             gst,
+            time_grid: Duration::ZERO,
             honest_msg_times: Vec::new(),
             heavy_msg_times: Vec::new(),
             qc_events: Vec::new(),
@@ -245,14 +278,25 @@ impl MetricsCollector {
         }
     }
 
+    /// Quantizes message-send instants down to multiples of `grid`
+    /// ([`Duration::ZERO`] keeps them exact). Counts stay exact either way.
+    pub fn with_time_grid(mut self, grid: Duration) -> Self {
+        self.time_grid = grid;
+        self
+    }
+
     /// Records `count` honest point-to-point sends at `now` (`heavy` marks
-    /// heavy-synchronization messages).
+    /// heavy-synchronization messages). O(1): a broadcast is one run-length
+    /// entry, merged with the previous entry when it shares its (possibly
+    /// grid-quantized) instant.
     pub fn record_honest_sends(&mut self, now: Time, count: usize, heavy: bool) {
-        for _ in 0..count {
-            self.honest_msg_times.push(now);
-            if heavy {
-                self.heavy_msg_times.push(now);
-            }
+        if count == 0 {
+            return;
+        }
+        let at = now.quantize_down(self.time_grid);
+        push_rle(&mut self.honest_msg_times, at, count as u64);
+        if heavy {
+            push_rle(&mut self.heavy_msg_times, at, count as u64);
         }
     }
 
@@ -300,6 +344,7 @@ impl MetricsCollector {
             delta_cap: self.delta_cap,
             gst: self.gst,
             end_time,
+            metrics_grid: self.time_grid,
             honest_msg_times: self.honest_msg_times,
             heavy_msg_times: self.heavy_msg_times,
             qc_events: self.qc_events,

@@ -58,6 +58,19 @@ impl DelayModel {
         };
         base + delay
     }
+
+    /// The finest delay scale this model produces (the actual delay δ for
+    /// fixed models, the lower bound for uniform jitter, Δ for the
+    /// worst-case adversary). The metrics sampling grid stays well below
+    /// this so quantized send instants cannot blur the windows between
+    /// consecutive protocol steps.
+    pub fn finest_delay(&self, delta_cap: Duration) -> Duration {
+        match self {
+            DelayModel::Fixed { delta } => (*delta).min(delta_cap),
+            DelayModel::AdversarialMax => delta_cap,
+            DelayModel::Uniform { min, max } => (*min).min(*max).min(delta_cap),
+        }
+    }
 }
 
 #[cfg(test)]

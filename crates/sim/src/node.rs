@@ -8,6 +8,10 @@ use lumiere_types::{Duration, ProcessId, Time, View};
 use std::collections::VecDeque;
 
 /// Everything a processor wants the simulator to do after handling an event.
+///
+/// The simulator owns one scratch instance and reuses it across events
+/// (see [`NodeOutput::clear`]), so the epoch loop allocates nothing once the
+/// buffers have grown to their working size.
 #[derive(Debug, Default)]
 pub struct NodeOutput {
     /// Point-to-point sends.
@@ -26,6 +30,20 @@ pub struct NodeOutput {
     pub heavy_syncs: Vec<View>,
 }
 
+impl NodeOutput {
+    /// Empties every buffer while keeping its capacity, so one instance can
+    /// be reused across events without reallocating.
+    pub fn clear(&mut self) {
+        self.sends.clear();
+        self.broadcasts.clear();
+        self.wakes.clear();
+        self.qcs_formed.clear();
+        self.commits.clear();
+        self.entered_views.clear();
+        self.heavy_syncs.clear();
+    }
+}
+
 /// A simulated processor.
 ///
 /// Honest processors run their pacemaker and consensus engine unmodified.
@@ -42,6 +60,10 @@ pub struct Node {
     engine: HotStuffEngine,
     strategy: Option<Box<dyn AdversaryStrategy>>,
     pacemaker_booted: bool,
+    /// Persistent cascade queues, reused across events (no per-event
+    /// allocation once warm).
+    pm_queue: VecDeque<PacemakerAction>,
+    cons_queue: VecDeque<ConsensusAction>,
 }
 
 impl Node {
@@ -62,6 +84,8 @@ impl Node {
             engine,
             strategy,
             pacemaker_booted: false,
+            pm_queue: VecDeque::new(),
+            cons_queue: VecDeque::new(),
         }
     }
 
@@ -136,76 +160,101 @@ impl Node {
         self.drain_pacemaker(actions, now, out);
     }
 
-    /// Applies the strategy's output rewrite (identity for honest nodes).
-    fn finish(&mut self, now: Time, out: NodeOutput) -> NodeOutput {
-        match &mut self.strategy {
-            None => out,
-            Some(strategy) => {
-                let ctx = StrategyCtx {
-                    id: self.id,
-                    n: self.n,
-                    now,
-                };
-                strategy.transform_output(&ctx, out)
-            }
+    /// Applies the strategy's output rewrite (identity for honest nodes,
+    /// which pay no allocation here).
+    fn finish(&mut self, now: Time, out: &mut NodeOutput) {
+        if let Some(strategy) = &mut self.strategy {
+            let ctx = StrategyCtx {
+                id: self.id,
+                n: self.n,
+                now,
+            };
+            let taken = std::mem::take(out);
+            *out = strategy.transform_output(&ctx, taken);
         }
     }
 
-    /// Boots the processor.
+    /// Boots the processor. Convenience wrapper around
+    /// [`Node::boot_into`] that allocates a fresh output.
     pub fn boot(&mut self, now: Time) -> NodeOutput {
-        self.sync_proposing(now);
         let mut out = NodeOutput::default();
+        self.boot_into(now, &mut out);
+        out
+    }
+
+    /// Boots the processor, appending its effects to `out`.
+    pub fn boot_into(&mut self, now: Time, out: &mut NodeOutput) {
+        self.sync_proposing(now);
         if let Some(strategy) = &self.strategy {
             // Strategy-requested wake-ups (e.g. crash-recovery rejoin) are
             // scheduled even while the node is dark.
             out.wakes.extend(strategy.boot_wakes());
         }
-        self.maybe_boot_pacemaker(now, &mut out);
-        self.finish(now, out)
+        self.maybe_boot_pacemaker(now, out);
+        self.finish(now, out);
     }
 
-    /// Fires a wake-up.
+    /// Fires a wake-up. Convenience wrapper around [`Node::wake_into`].
     pub fn wake(&mut self, now: Time) -> NodeOutput {
-        self.sync_proposing(now);
         let mut out = NodeOutput::default();
-        self.maybe_boot_pacemaker(now, &mut out);
+        self.wake_into(now, &mut out);
+        out
+    }
+
+    /// Fires a wake-up, appending its effects to `out`.
+    pub fn wake_into(&mut self, now: Time, out: &mut NodeOutput) {
+        self.sync_proposing(now);
+        self.maybe_boot_pacemaker(now, out);
         if self.runs_pacemaker(now) {
             let actions = self.pacemaker.on_wake(now);
-            self.drain_pacemaker(actions, now, &mut out);
+            self.drain_pacemaker(actions, now, out);
         }
-        self.finish(now, out)
+        self.finish(now, out);
     }
 
-    /// Delivers a message.
+    /// Delivers a message. Convenience wrapper around
+    /// [`Node::deliver_into`].
     pub fn deliver(&mut self, from: ProcessId, msg: &SimMessage, now: Time) -> NodeOutput {
-        self.sync_proposing(now);
         let mut out = NodeOutput::default();
-        self.maybe_boot_pacemaker(now, &mut out);
+        self.deliver_into(from, msg, now, &mut out);
+        out
+    }
+
+    /// Delivers a message, appending its effects to `out`.
+    pub fn deliver_into(
+        &mut self,
+        from: ProcessId,
+        msg: &SimMessage,
+        now: Time,
+        out: &mut NodeOutput,
+    ) {
+        self.sync_proposing(now);
+        self.maybe_boot_pacemaker(now, out);
         match msg {
             SimMessage::Pacemaker(m) => {
                 if self.runs_pacemaker(now) {
                     let actions = self.pacemaker.on_message(from, m, now);
-                    self.drain_pacemaker(actions, now, &mut out);
+                    self.drain_pacemaker(actions, now, out);
                 }
             }
             SimMessage::Consensus(m) => {
                 if self.runs_consensus(now) {
                     let actions = self.engine.on_message(from, m, now);
-                    self.drain_consensus(actions, now, &mut out);
+                    self.drain_consensus(actions, now, out);
                 }
             }
         }
-        self.finish(now, out)
+        self.finish(now, out);
     }
 
     /// Processes pacemaker actions, cascading into the consensus engine as
     /// needed (view entries trigger proposals, which may trigger QCs, which
     /// feed back into the pacemaker, and so on until quiescence).
     fn drain_pacemaker(&mut self, actions: Vec<PacemakerAction>, now: Time, out: &mut NodeOutput) {
-        let mut pm_queue: VecDeque<PacemakerAction> = actions.into();
-        let mut cons_queue: VecDeque<ConsensusAction> = VecDeque::new();
+        debug_assert!(self.pm_queue.is_empty() && self.cons_queue.is_empty());
+        self.pm_queue.extend(actions);
         loop {
-            if let Some(action) = pm_queue.pop_front() {
+            if let Some(action) = self.pm_queue.pop_front() {
                 match action {
                     PacemakerAction::SendTo(to, m) => {
                         out.sends.push((to, SimMessage::Pacemaker(m)));
@@ -221,15 +270,14 @@ impl Node {
                     PacemakerAction::EnterView { view, leader } => {
                         out.entered_views.push(view);
                         if self.runs_consensus(now) {
-                            for a in self.engine.enter_view(view, leader, now) {
-                                cons_queue.push_back(a);
-                            }
+                            let actions = self.engine.enter_view(view, leader, now);
+                            self.cons_queue.extend(actions);
                         }
                     }
                 }
                 continue;
             }
-            if let Some(action) = cons_queue.pop_front() {
+            if let Some(action) = self.cons_queue.pop_front() {
                 match action {
                     ConsensusAction::Broadcast(m) => {
                         out.broadcasts.push(SimMessage::Consensus(m));
@@ -241,16 +289,14 @@ impl Node {
                     ConsensusAction::QcFormed(qc) => {
                         out.qcs_formed.push(qc.clone());
                         if self.runs_pacemaker(now) {
-                            for a in self.pacemaker.on_qc(&qc, true, now) {
-                                pm_queue.push_back(a);
-                            }
+                            let actions = self.pacemaker.on_qc(&qc, true, now);
+                            self.pm_queue.extend(actions);
                         }
                     }
                     ConsensusAction::QcObserved(qc) => {
                         if self.runs_pacemaker(now) {
-                            for a in self.pacemaker.on_qc(&qc, false, now) {
-                                pm_queue.push_back(a);
-                            }
+                            let actions = self.pacemaker.on_qc(&qc, false, now);
+                            self.pm_queue.extend(actions);
                         }
                     }
                 }
@@ -265,8 +311,9 @@ impl Node {
         // Reuse the same cascade machinery by starting from an empty
         // pacemaker queue and a pre-filled consensus queue.
         let mut pm_actions = Vec::new();
-        let mut cons_queue: VecDeque<ConsensusAction> = actions.into();
-        while let Some(action) = cons_queue.pop_front() {
+        debug_assert!(self.cons_queue.is_empty());
+        self.cons_queue.extend(actions);
+        while let Some(action) = self.cons_queue.pop_front() {
             match action {
                 ConsensusAction::Broadcast(m) => out.broadcasts.push(SimMessage::Consensus(m)),
                 ConsensusAction::Send(to, m) => out.sends.push((to, SimMessage::Consensus(m))),

@@ -1,4 +1,11 @@
 //! The simulation event loop.
+//!
+//! The hot path is allocation-light so sweeps scale to `n` in the hundreds
+//! (see `docs/PERFORMANCE.md`): broadcasts share one [`Arc`] across all
+//! `n − 1` deliveries, node outputs are drained into a scratch buffer that
+//! is reused across events, and the event queue is a calendar queue
+//! ([`EventQueue`](crate::event::EventQueue)) instead of one global binary
+//! heap.
 
 use crate::adversary::AdversarySchedule;
 use crate::event::{Event, EventQueue, SimMessage};
@@ -10,11 +17,28 @@ use lumiere_types::{Duration, ProcessId, Time};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
+use std::sync::Arc;
 
-/// Hard cap on processed events, as a defence against configuration mistakes
-/// that would otherwise let a run grow without bound. Exceeding it marks the
-/// report as [`SimReport::truncated`].
+/// Baseline hard cap on processed events, as a defence against configuration
+/// mistakes that would otherwise let a run grow without bound. The effective
+/// cap grows proportionally with `n` (see [`event_cap`]) so that large-`n`
+/// sweeps — whose honest workload is Θ(n²) per heavy sync — are not silently
+/// truncated. Exceeding it marks the report as [`SimReport::truncated`].
 const MAX_EVENTS: u64 = 200_000_000;
+
+/// Extra event budget per processor beyond the [`MAX_EVENTS`] floor.
+const EVENTS_PER_NODE: u64 = 3_000_000;
+
+/// The effective event cap for a run with `n` processors:
+/// `max(MAX_EVENTS, n · EVENTS_PER_NODE)`.
+pub fn event_cap(n: usize) -> u64 {
+    MAX_EVENTS.max(n as u64 * EVENTS_PER_NODE)
+}
+
+/// How often (in processed events) the scheduled-wake dedup set is swept for
+/// entries whose time has passed. Keeps the set O(pending wakes) instead of
+/// O(all wakes ever) on long large-`n` runs.
+const WAKE_SWEEP_INTERVAL: u64 = 1 << 16;
 
 /// A single simulated execution.
 #[derive(Debug)]
@@ -30,6 +54,10 @@ pub struct Simulation {
     last_gap_sample: Time,
     now: Time,
     truncated: bool,
+    /// Scratch output buffer, reused across events (capacity persists).
+    scratch: NodeOutput,
+    /// Scratch clock-reading buffer for gap sampling.
+    readings: Vec<Duration>,
 }
 
 impl Simulation {
@@ -45,7 +73,8 @@ impl Simulation {
             cfg.f_a,
             cfg.delta_cap,
             cfg.gst,
-        );
+        )
+        .with_time_grid(cfg.metrics_grid());
         let mut queue = EventQueue::new();
         for node in &nodes {
             queue.push(Time::ZERO, Event::Boot { node: node.id() });
@@ -64,6 +93,8 @@ impl Simulation {
             last_gap_sample: Time::ZERO,
             now: Time::ZERO,
             truncated: false,
+            scratch: NodeOutput::default(),
+            readings: Vec::new(),
         }
     }
 
@@ -118,6 +149,7 @@ impl Simulation {
 
     fn run_loop(&mut self) {
         let horizon = Time::ZERO + self.cfg.horizon;
+        let cap = event_cap(self.cfg.n);
         let mut processed: u64 = 0;
         while let Some((at, event)) = self.queue.pop() {
             if at > horizon {
@@ -125,29 +157,38 @@ impl Simulation {
                 break;
             }
             processed += 1;
-            if processed > MAX_EVENTS {
+            if processed > cap {
                 // Surfaced on the report so callers (and the fuzzer's
                 // oracles) can tell a truncated run from a quiescent one.
                 self.truncated = true;
                 break;
             }
+            if processed.is_multiple_of(WAKE_SWEEP_INTERVAL) {
+                let now_micros = at.as_micros();
+                self.scheduled_wakes.retain(|&(_, t)| t >= now_micros);
+            }
             self.now = at;
             self.maybe_sample_gap();
+            let mut out = std::mem::take(&mut self.scratch);
+            out.clear();
             match event {
                 Event::Boot { node } => {
-                    let out = self.with_node(node, |n, now| n.boot(now));
-                    self.apply_output(node, out);
+                    self.with_node(node, &mut out, |n, now, out| n.boot_into(now, out));
+                    self.apply_output(node, &mut out);
                 }
                 Event::Wake { node } => {
-                    let out = self.with_node(node, |n, now| n.wake(now));
-                    self.apply_output(node, out);
+                    self.with_node(node, &mut out, |n, now, out| n.wake_into(now, out));
+                    self.apply_output(node, &mut out);
                 }
                 Event::Deliver { to, from, message } => {
-                    let out = self.with_node(to, |n, now| n.deliver(from, &message, now));
-                    self.apply_output(to, out);
+                    self.with_node(to, &mut out, |n, now, out| {
+                        n.deliver_into(from, &message, now, out)
+                    });
+                    self.apply_output(to, &mut out);
                 }
                 Event::Sample => {}
             }
+            self.scratch = out;
             if let Some(limit) = self.cfg.max_honest_qcs {
                 if self.collector.honest_qc_count() >= limit {
                     break;
@@ -156,42 +197,45 @@ impl Simulation {
         }
     }
 
-    fn with_node<F>(&mut self, id: ProcessId, f: F) -> NodeOutput
+    fn with_node<F>(&mut self, id: ProcessId, out: &mut NodeOutput, f: F)
     where
-        F: FnOnce(&mut Node, Time) -> NodeOutput,
+        F: FnOnce(&mut Node, Time, &mut NodeOutput),
     {
         let now = self.now;
         let node = &mut self.nodes[id.as_usize()];
-        f(node, now)
+        f(node, now, out);
     }
 
-    fn apply_output(&mut self, from: ProcessId, out: NodeOutput) {
+    fn apply_output(&mut self, from: ProcessId, out: &mut NodeOutput) {
         let honest = self.nodes[from.as_usize()].is_honest();
         let now = self.now;
 
         // Network sends.
-        for (to, msg) in out.sends {
+        for (to, msg) in out.sends.drain(..) {
             if honest {
                 self.collector
                     .record_honest_sends(now, 1, msg.is_heavy_sync());
             }
+            let msg = Arc::new(msg);
             self.schedule_delivery(from, to, msg);
         }
-        for msg in out.broadcasts {
+        for msg in out.broadcasts.drain(..) {
             let recipients = self.cfg.n.saturating_sub(1);
             if honest {
                 self.collector
                     .record_honest_sends(now, recipients, msg.is_heavy_sync());
             }
+            // One allocation per broadcast: every recipient shares the Arc.
+            let msg = Arc::new(msg);
             for to in ProcessId::all(self.cfg.n) {
                 if to != from {
-                    self.schedule_delivery(from, to, msg.clone());
+                    self.schedule_delivery(from, to, Arc::clone(&msg));
                 }
             }
         }
 
         // Wake-ups (deduplicated per node and time).
-        for at in out.wakes {
+        for at in out.wakes.drain(..) {
             let at = at.max(now);
             if self
                 .scheduled_wakes
@@ -202,13 +246,13 @@ impl Simulation {
         }
 
         // Metrics and trace.
-        for qc in out.qcs_formed {
+        for qc in out.qcs_formed.drain(..) {
             self.collector.record_qc(now, qc.view(), from, honest);
             if self.cfg.record_trace {
                 self.trace.push(now, from, TraceKind::QcFormed(qc.view()));
             }
         }
-        for height in out.commits {
+        for height in out.commits.drain(..) {
             if honest {
                 self.collector.record_commit(now, height);
             }
@@ -216,7 +260,7 @@ impl Simulation {
                 self.trace.push(now, from, TraceKind::Committed(height));
             }
         }
-        for view in out.heavy_syncs {
+        for view in out.heavy_syncs.drain(..) {
             if honest {
                 self.collector.record_heavy_sync(now, view);
             }
@@ -224,8 +268,12 @@ impl Simulation {
                 self.trace.push(now, from, TraceKind::HeavySync(view));
             }
         }
-        if self.cfg.record_trace {
-            for view in out.entered_views {
+        let record_entries = self.cfg.record_trace && !self.cfg.sampled_metrics();
+        for view in out.entered_views.drain(..) {
+            // Above the sampling threshold the per-view × per-node entry
+            // stream (the only O(n·views) trace kind) is dropped so the
+            // trace stays bounded; QCs/commits/heavy syncs are still traced.
+            if record_entries {
                 self.trace.push(now, from, TraceKind::EnteredView(view));
             }
         }
@@ -235,7 +283,7 @@ impl Simulation {
     /// rules override the base [`DelayModel`](crate::network::DelayModel)
     /// for this particular message. Every model keeps the delivery within
     /// the `max(GST, send) + Δ` envelope.
-    fn schedule_delivery(&mut self, from: ProcessId, to: ProcessId, message: SimMessage) {
+    fn schedule_delivery(&mut self, from: ProcessId, to: ProcessId, message: Arc<SimMessage>) {
         let from_honest = self.nodes[from.as_usize()].is_honest();
         let to_honest = self.nodes[to.as_usize()].is_honest();
         let model = self
@@ -254,17 +302,18 @@ impl Simulation {
         }
         self.last_gap_sample = self.now;
         let f = self.cfg.params().f;
-        let mut readings: Vec<Duration> = self
-            .nodes
-            .iter()
-            .filter(|n| n.is_honest())
-            .map(|n| n.local_clock_reading(self.now))
-            .collect();
-        if readings.len() <= f {
+        self.readings.clear();
+        self.readings.extend(
+            self.nodes
+                .iter()
+                .filter(|n| n.is_honest())
+                .map(|n| n.local_clock_reading(self.now)),
+        );
+        if self.readings.len() <= f {
             return;
         }
-        readings.sort_unstable_by(|a, b| b.cmp(a));
-        let gap = readings[0] - readings[f];
+        self.readings.sort_unstable_by(|a, b| b.cmp(a));
+        let gap = self.readings[0] - self.readings[f];
         self.collector.record_gap_sample(self.now, gap);
     }
 }

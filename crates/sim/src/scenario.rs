@@ -123,6 +123,13 @@ pub struct SimConfig {
     pub seed: u64,
     /// Record a full execution trace (needed for Figure 1).
     pub record_trace: bool,
+    /// Switch metrics to sampling mode at or above this processor count:
+    /// message-send instants are quantized down to a `Δ/4` grid (counts
+    /// stay exact) and the O(n·views) per-view trace entries are dropped,
+    /// so [`SimReport`] stays bounded at large `n`. Defaults to
+    /// [`SimConfig::DEFAULT_SAMPLE_METRICS_ABOVE`]; set to `usize::MAX`
+    /// for exact metrics at any scale.
+    pub sample_metrics_above: usize,
     /// The pluggable adversary plan. When set it overrides `f_a`,
     /// `byz_behavior` and `byzantine_ids`, and its delay rules steer the
     /// [`DelayModel`] per edge instead of globally.
@@ -148,8 +155,39 @@ impl SimConfig {
             max_honest_qcs: None,
             seed: 42,
             record_trace: false,
+            sample_metrics_above: Self::DEFAULT_SAMPLE_METRICS_ABOVE,
             adversary: None,
         }
+    }
+
+    /// Default threshold for sampling-based metrics: below `n = 64` every
+    /// send instant is exact; from there on instants are grid-quantized.
+    /// Every sweep shipped before the scale experiments ran at `n ≤ 43`,
+    /// so their reports are unaffected.
+    pub const DEFAULT_SAMPLE_METRICS_ABOVE: usize = 64;
+
+    /// Overrides the sampling threshold (see
+    /// [`SimConfig::sample_metrics_above`]).
+    pub fn with_sample_metrics_above(mut self, n: usize) -> Self {
+        self.sample_metrics_above = n;
+        self
+    }
+
+    /// Whether this configuration records sampled (grid-quantized) metrics.
+    pub fn sampled_metrics(&self) -> bool {
+        self.n >= self.sample_metrics_above
+    }
+
+    /// The metrics sampling grid in effect: exact ([`Duration::ZERO`])
+    /// below the threshold; above it, a quarter of the network's finest
+    /// delay scale (itself at most Δ, so the grid is at most Δ/4) — far
+    /// below the width of any measurement window the delay model can
+    /// produce.
+    pub fn metrics_grid(&self) -> Duration {
+        if !self.sampled_metrics() {
+            return Duration::ZERO;
+        }
+        self.delay.finest_delay(self.delta_cap) / 4
     }
 
     /// Sets the delay bound Δ.

@@ -37,6 +37,7 @@ proptest! {
         commits in collection::vec((0i64..1_000_000, 0u64..40), 0..20),
         heavies in collection::vec((0i64..1_000_000, 0i64..200), 0..10),
         gaps in collection::vec((0i64..1_000_000, -1_000i64..100_000), 0..10),
+        grid_us in 0i64..50_000,
     ) {
         let f = (n - 1) / 3;
         let mut collector = MetricsCollector::new(
@@ -46,7 +47,8 @@ proptest! {
             f_a.min(f),
             Duration::from_micros(delta_us),
             Time::from_micros(gst_us),
-        );
+        )
+        .with_time_grid(Duration::from_micros(grid_us));
         for (at, count, heavy) in sends {
             collector.record_honest_sends(Time::from_micros(at), count, heavy == 1);
         }
@@ -138,6 +140,9 @@ proptest! {
         }
         if seed % 2 == 0 {
             config = config.with_trace();
+        }
+        if seed % 3 == 0 {
+            config = config.with_sample_metrics_above(n);
         }
         let compact = json::to_string(&config);
         prop_assert_eq!(&json::from_str::<SimConfig>(&compact).unwrap(), &config);

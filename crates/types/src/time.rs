@@ -74,6 +74,25 @@ impl Time {
     pub fn min(self, other: Time) -> Time {
         Time(self.0.min(other.0))
     }
+
+    /// Quantizes the time **down** to the nearest multiple of `grid`
+    /// (identity for a non-positive grid). Used by the simulator's
+    /// sampling-based metrics at large `n`.
+    ///
+    /// ```
+    /// use lumiere_types::{Time, Duration};
+    /// let grid = Duration::from_millis(2);
+    /// assert_eq!(Time::from_millis(7).quantize_down(grid), Time::from_millis(6));
+    /// assert_eq!(Time::from_millis(6).quantize_down(grid), Time::from_millis(6));
+    /// assert_eq!(Time::from_millis(7).quantize_down(Duration::ZERO), Time::from_millis(7));
+    /// ```
+    pub fn quantize_down(self, grid: Duration) -> Time {
+        let g = grid.as_micros();
+        if g <= 0 {
+            return self;
+        }
+        Time(self.0.div_euclid(g) * g)
+    }
 }
 
 impl Duration {
