@@ -1,9 +1,11 @@
 //! Searches the adversary strategy/schedule space for safety violations and
 //! liveness stalls (see `docs/ADVERSARIES.md`). Deterministic per seed:
 //! `fuzz_adversary --seeds 0..200 --quick` prints the same report for every
-//! `--threads` value. Exit code 1 when there are findings.
+//! `--threads` value — and so does the coverage-guided mode
+//! (`--coverage`), whose corpus evolution is batched into generations.
+//! Exit code 1 when there are findings.
 
-use lumiere_bench::fuzz;
+use lumiere_bench::{corpus, fuzz};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -19,24 +21,63 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if options.planted.is_some() && !lumiere_core::planted::enabled() {
+        eprintln!(
+            "error: --planted-bug requires a build with the planted-bugs \
+             feature (cargo ... --features planted-bugs); refusing to \
+             silently fuzz stock behaviour"
+        );
+        return ExitCode::from(2);
+    }
+    if options.corpus_out.is_some() && !options.coverage {
+        eprintln!("error: --corpus-out only applies to --coverage runs");
+        return ExitCode::from(2);
+    }
     // Fail fast on an unwritable output dir, before minutes of simulations.
-    if let Some(dir) = &options.out {
+    for dir in [&options.out, &options.corpus_out].into_iter().flatten() {
         if let Err(message) = lumiere_bench::report::ensure_writable(dir) {
             eprintln!("error: {message}");
             return ExitCode::FAILURE;
         }
     }
     eprintln!(
-        "fuzzing {} over seeds {}..{} ({} threads)...",
+        "fuzzing {} over {} {}..{} ({} threads{})...",
         options.protocol.name(),
+        if options.coverage {
+            "coverage execs"
+        } else {
+            "seeds"
+        },
         options.seed_start,
         options.seed_end,
-        options.threads
+        options.threads,
+        match options.planted {
+            Some(bug) => format!(", planted bug: {}", bug.name()),
+            None => String::new(),
+        },
     );
-    let outcome = fuzz::run_fuzz(&options);
-    print!("{}", outcome.render());
+    let findings = if options.coverage {
+        let outcome = corpus::run_coverage_fuzz(&options);
+        print!("{}", outcome.render());
+        if let Some(dir) = &options.corpus_out {
+            match corpus::write_corpus(dir, &outcome.corpus) {
+                Ok(paths) => {
+                    eprintln!("wrote {} corpus file(s) to {}", paths.len(), dir.display());
+                }
+                Err(message) => {
+                    eprintln!("error: {message}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        outcome.findings
+    } else {
+        let outcome = fuzz::run_fuzz(&options);
+        print!("{}", outcome.render());
+        outcome.findings
+    };
     if let Some(dir) = &options.out {
-        match fuzz::write_findings(dir, &outcome.findings) {
+        match fuzz::write_findings(dir, &findings) {
             Ok(paths) => {
                 eprintln!("wrote {} finding file(s) to {}", paths.len(), dir.display());
             }
@@ -46,7 +87,7 @@ fn main() -> ExitCode {
             }
         }
     }
-    if outcome.findings.is_empty() {
+    if findings.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

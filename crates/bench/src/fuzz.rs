@@ -25,12 +25,10 @@
 //! seed order, so the output is byte-identical for every `--threads` value.
 
 use crate::grid::run_grid;
+use crate::mutate::{sample_rule, sample_strategy};
 use crate::table::TextTable;
-use lumiere_sim::{
-    AdversarySchedule, DelayModel, DelayRule, EdgeClass, MsgClass, ProtocolKind, SimConfig,
-    SimReport, StrategyKind,
-};
-use lumiere_types::{Duration, Time, TimeRange};
+use lumiere_sim::{AdversarySchedule, PlantedBug, ProtocolKind, SimConfig, SimReport};
+use lumiere_types::{Duration, Time};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{json, Serialize};
@@ -77,7 +75,8 @@ impl Verdict {
 pub struct FuzzOptions {
     /// Protocol under test.
     pub protocol: ProtocolKind,
-    /// Seeds `[start, end)` to expand into cases.
+    /// Seeds `[start, end)` to expand into cases (in coverage mode, the
+    /// execution-budget range; execution ids double as sampling seeds).
     pub seed_start: u64,
     /// End of the seed range (exclusive).
     pub seed_end: u64,
@@ -87,6 +86,18 @@ pub struct FuzzOptions {
     pub quick: bool,
     /// Where to persist finding JSON files, if anywhere.
     pub out: Option<PathBuf>,
+    /// Run the coverage-guided corpus/mutation loop
+    /// (`crate::corpus::run_coverage_fuzz`) instead of the flat sampler.
+    pub coverage: bool,
+    /// Generation (batch) size of the coverage loop: how many executions
+    /// run between corpus-synchronization points.
+    pub generation: usize,
+    /// Where to persist the final corpus (coverage mode only).
+    pub corpus_out: Option<PathBuf>,
+    /// Fuzz a deliberately broken protocol variant instead of stock
+    /// behaviour (fuzzer calibration; requires a build with the
+    /// `planted-bugs` feature).
+    pub planted: Option<PlantedBug>,
 }
 
 impl Default for FuzzOptions {
@@ -98,6 +109,10 @@ impl Default for FuzzOptions {
             threads: crate::grid::available_threads(),
             quick: true,
             out: None,
+            coverage: false,
+            generation: 16,
+            corpus_out: None,
+            planted: None,
         }
     }
 }
@@ -105,22 +120,31 @@ impl Default for FuzzOptions {
 /// Usage string of the `fuzz_adversary` binary.
 pub fn usage(binary: &str) -> String {
     format!(
-        "usage: {binary} [--seeds A..B] [--protocol NAME] [--threads N] [--quick|--deep] [--out DIR]\n\
+        "usage: {binary} [--seeds A..B] [--protocol NAME] [--threads N] [--quick|--deep]\n\
+        \x20               [--coverage] [--generation N] [--planted-bug NAME]\n\
+        \x20               [--out DIR] [--corpus-out DIR]\n\
          \n\
-         Samples the adversary strategy/schedule space (one deterministic case\n\
-         per seed), runs bounded simulations in parallel, and reports any\n\
-         safety violation or liveness stall with the reproducing seed and a\n\
-         minimized configuration. Exit code 1 when there are findings.\n\
+         Searches the adversary strategy/schedule space and reports any safety\n\
+         violation or liveness stall with a minimized configuration. The default\n\
+         mode samples one deterministic case per seed; --coverage runs the\n\
+         corpus + structural-mutation loop guided by behavioural coverage\n\
+         fingerprints (docs/ADVERSARIES.md). Exit code 1 when there are\n\
+         findings; output is byte-identical for every --threads value.\n\
          \n\
          options:\n\
-        \x20 --seeds A..B     seed range, half-open (default: 0..50)\n\
-        \x20 --protocol NAME  one of lumiere, basic-lumiere, lp22, fever,\n\
-        \x20                  cogsworth, nk20, naive-quadratic (default: lumiere)\n\
-        \x20 --threads N      worker threads (default: available parallelism)\n\
-        \x20 --quick          small clusters, short horizons (default)\n\
-        \x20 --deep           larger clusters (n up to 31), longer horizons\n\
-        \x20 --out DIR        write one JSON file per finding under DIR\n\
-        \x20 --help           this message\n"
+        \x20 --seeds A..B       seed/execution range, half-open (default: 0..50)\n\
+        \x20 --protocol NAME    one of lumiere, basic-lumiere, lp22, fever,\n\
+        \x20                    cogsworth, nk20, naive-quadratic (default: lumiere)\n\
+        \x20 --threads N        worker threads (default: available parallelism)\n\
+        \x20 --quick            small clusters, short horizons (default)\n\
+        \x20 --deep             larger clusters (n up to 31), longer horizons\n\
+        \x20 --coverage         coverage-guided corpus/mutation loop\n\
+        \x20 --generation N     coverage batch size between corpus syncs (default: 16)\n\
+        \x20 --planted-bug NAME fuzz a deliberately broken variant (calibration;\n\
+        \x20                    needs the planted-bugs feature): drop-timeout-rearm\n\
+        \x20 --out DIR          write one JSON file per finding under DIR\n\
+        \x20 --corpus-out DIR   write one JSON file per corpus entry under DIR\n\
+        \x20 --help             this message\n"
     )
 }
 
@@ -169,7 +193,26 @@ pub fn parse_args(args: &[String]) -> Result<Option<FuzzOptions>, String> {
             }
             "--quick" => options.quick = true,
             "--deep" => options.quick = false,
+            "--coverage" => options.coverage = true,
+            "--generation" => {
+                let raw = value("--generation")?;
+                let parsed: usize = raw
+                    .parse()
+                    .map_err(|_| format!("--generation expects a positive integer, got `{raw}`"))?;
+                if parsed == 0 {
+                    return Err("--generation must be at least 1".to_string());
+                }
+                options.generation = parsed;
+            }
+            "--planted-bug" => {
+                let raw = value("--planted-bug")?;
+                options.planted = Some(
+                    PlantedBug::parse(&raw)
+                        .ok_or_else(|| format!("unknown planted bug `{raw}`"))?,
+                );
+            }
             "--out" => options.out = Some(PathBuf::from(value("--out")?)),
+            "--corpus-out" => options.corpus_out = Some(PathBuf::from(value("--corpus-out")?)),
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -187,10 +230,13 @@ pub fn liveness_bound(n: usize, delta: Duration) -> Duration {
 /// Deterministically expands `seed` into a fuzz case for `protocol`.
 ///
 /// The sampled space covers cluster size, fault count (`0..=f`), a strategy
-/// per corrupted processor (all five [`StrategyKind`]s, crash–recovery with
-/// a random dark window), GST, the base delay model, and up to two per-edge
-/// delay rules. Everything stays inside the model: delays are clamped to Δ
-/// and at most `f` processors are corrupted.
+/// per corrupted processor (every simple
+/// [`StrategyKind`](lumiere_sim::StrategyKind) — including the adaptive
+/// leader-targeting and QC-starvation attacks — plus crash–recovery with a
+/// random dark window), GST, the base delay model, and up to two per-edge
+/// delay rules (the same `crate::mutate` samplers the coverage loop
+/// mutates with). Everything stays inside the model: delays are clamped to
+/// Δ and at most `f` processors are corrupted.
 pub fn sample_config(protocol: ProtocolKind, seed: u64, quick: bool) -> SimConfig {
     let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xad5a_5a17);
     let ns: &[usize] = if quick {
@@ -212,50 +258,14 @@ pub fn sample_config(protocol: ProtocolKind, seed: u64, quick: bool) -> SimConfi
     }
     let mut schedule = AdversarySchedule::new();
     for id in ids {
-        let strategy = match rng.gen_range(0..5u32) {
-            0 => StrategyKind::Crash,
-            1 => StrategyKind::SilentLeader,
-            2 => StrategyKind::SyncSilent,
-            3 => StrategyKind::Equivocate,
-            _ => {
-                let from = Time::from_millis(rng.gen_range(0..=400));
-                let down_for = Duration::from_millis(rng.gen_range(20..=600));
-                StrategyKind::CrashRecovery {
-                    down: TimeRange::new(from, from + down_for),
-                }
-            }
-        };
+        let strategy = sample_strategy(&mut rng);
         schedule = schedule.corrupt(id, strategy);
     }
 
     // Up to two per-edge delay rules (first match wins).
     let rules = rng.gen_range(0..=2u32);
     for _ in 0..rules {
-        let edge = EdgeClass::ALL[rng.gen_range(0..EdgeClass::ALL.len())];
-        let msg = MsgClass::ALL[rng.gen_range(0..MsgClass::ALL.len())];
-        let window = if rng.gen_range(0..2u32) == 0 {
-            TimeRange::always()
-        } else {
-            let from = Time::from_millis(rng.gen_range(0..=500));
-            let len = Duration::from_millis(rng.gen_range(50..=2_000));
-            TimeRange::new(from, from + len)
-        };
-        let delay = match rng.gen_range(0..3u32) {
-            0 => DelayModel::AdversarialMax,
-            1 => DelayModel::Fixed {
-                delta: Duration::from_millis(rng.gen_range(1..=10)),
-            },
-            _ => DelayModel::Uniform {
-                min: Duration::from_millis(rng.gen_range(1..=3)),
-                max: Duration::from_millis(rng.gen_range(3..=10)),
-            },
-        };
-        schedule = schedule.rule(DelayRule {
-            edge,
-            msg,
-            window,
-            delay,
-        });
+        schedule = schedule.rule(sample_rule(&mut rng));
     }
 
     let base = SimConfig::new(protocol, n)
@@ -306,16 +316,28 @@ pub struct CaseResult {
     pub verdict: Verdict,
     /// Worst-case latency after GST, when an honest QC appeared at all.
     pub latency: Option<Duration>,
+    /// The behavioural coverage fingerprint key the run produced
+    /// (`SimReport::coverage`) — the quantity the coverage-guided loop is
+    /// measured against.
+    pub fingerprint: String,
 }
 
-/// Runs one seed end to end.
-pub fn run_case(protocol: ProtocolKind, seed: u64, quick: bool) -> CaseResult {
-    let config = sample_config(protocol, seed, quick);
+/// Runs one seed end to end. `planted` plants a calibration bug into the
+/// sampled configuration (see [`lumiere_core::planted`]).
+pub fn run_case(
+    protocol: ProtocolKind,
+    seed: u64,
+    quick: bool,
+    planted: Option<PlantedBug>,
+) -> CaseResult {
+    let mut config = sample_config(protocol, seed, quick);
+    config.planted_bug = planted;
     let report = config.clone().run();
     CaseResult {
         seed,
         verdict: verdict(&report),
         latency: report.worst_case_latency(),
+        fingerprint: report.coverage.key(),
         config,
     }
 }
@@ -375,12 +397,36 @@ pub fn minimize_config(config: &SimConfig, target: Verdict) -> SimConfig {
 /// A reportable finding: reproducing seed plus minimized configuration.
 #[derive(Debug, Clone, Serialize)]
 pub struct Finding {
-    /// Seed that reproduces the finding via [`sample_config`].
+    /// Seed that reproduces the finding via [`sample_config`] (in coverage
+    /// mode, the execution id; the embedded config is the ground truth).
     pub seed: u64,
     /// Oracle verdict name.
     pub verdict: Verdict,
     /// The minimized configuration (still reproduces the verdict when run).
     pub config: SimConfig,
+}
+
+impl Finding {
+    /// The one-line `FINDING ...` rendering shared by the flat and the
+    /// coverage reports (and grepped by the CI planted-bug check);
+    /// `id_label` names the id field (`"seed"` or `"exec"`).
+    pub fn render_line(&self, id_label: &str) -> String {
+        let schedule = self.config.effective_adversary();
+        let strategies: Vec<String> = schedule
+            .corruptions
+            .iter()
+            .map(|c| format!("p{}:{}", c.node, c.strategy.name()))
+            .collect();
+        format!(
+            "FINDING {id_label}={} verdict={} n={} f_a={} strategies=[{}] delay_rules={}",
+            self.seed,
+            self.verdict.name(),
+            self.config.n,
+            self.config.f_a,
+            strategies.join(","),
+            schedule.delay_rules.len(),
+        )
+    }
 }
 
 /// The outcome of a whole fuzz run.
@@ -400,11 +446,15 @@ impl FuzzOutcome {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "## Adversary fuzz — {} seeds {}..{} ({})\n",
+            "## Adversary fuzz — {} seeds {}..{} ({}{})\n",
             self.options.protocol.name(),
             self.options.seed_start,
             self.options.seed_end,
             if self.options.quick { "quick" } else { "deep" },
+            match self.options.planted {
+                Some(bug) => format!(", planted bug: {}", bug.name()),
+                None => String::new(),
+            },
         );
         // Aggregate per cluster size: cases and the worst latency seen.
         let mut table = TextTable::new(vec![
@@ -439,33 +489,29 @@ impl FuzzOutcome {
         out.push_str(&table.render());
         let _ = writeln!(out);
         for finding in &self.findings {
-            let schedule = finding.config.effective_adversary();
-            let strategies: Vec<String> = schedule
-                .corruptions
-                .iter()
-                .map(|c| format!("p{}:{}", c.node, c.strategy.name()))
-                .collect();
-            let _ = writeln!(
-                out,
-                "FINDING seed={} verdict={} n={} f_a={} strategies=[{}] delay_rules={}",
-                finding.seed,
-                finding.verdict.name(),
-                finding.config.n,
-                finding.config.f_a,
-                strategies.join(","),
-                schedule.delay_rules.len(),
-            );
+            let _ = writeln!(out, "{}", finding.render_line("seed"));
         }
         let _ = writeln!(
             out,
-            "fuzz: {} cases, {} findings ({} safety, {} stalls, {} truncated)",
+            "fuzz: {} cases, {} distinct fingerprints, {} findings ({} safety, {} stalls, {} truncated)",
             self.results.len(),
+            self.distinct_fingerprints(),
             self.findings.len(),
             self.count(Verdict::SafetyViolation),
             self.count(Verdict::LivenessStall),
             self.count(Verdict::Truncated),
         );
         out
+    }
+
+    /// Number of distinct coverage fingerprints the flat sampler reached —
+    /// the baseline the coverage-guided loop must beat at an equal budget.
+    pub fn distinct_fingerprints(&self) -> usize {
+        self.results
+            .iter()
+            .map(|r| r.fingerprint.as_str())
+            .collect::<BTreeSet<_>>()
+            .len()
     }
 
     fn count(&self, v: Verdict) -> usize {
@@ -479,8 +525,9 @@ pub fn run_fuzz(options: &FuzzOptions) -> FuzzOutcome {
     let seeds: Vec<u64> = (options.seed_start..options.seed_end).collect();
     let protocol = options.protocol;
     let quick = options.quick;
+    let planted = options.planted;
     let results = run_grid(seeds, options.threads, |seed| {
-        run_case(protocol, seed, quick)
+        run_case(protocol, seed, quick, planted)
     });
     let findings = results
         .iter()

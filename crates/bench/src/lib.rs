@@ -48,6 +48,13 @@
 //! * [`cli`] — the shared `--out` / `--threads` / `--check` / `--diff`
 //!   front end of all nine binaries.
 //!
+//! The adversary-fuzzing stack is a fourth pillar: [`fuzz`] (per-seed
+//! sampler, safety/liveness oracles, greedy minimizer), [`mutate`]
+//! (structural mutation operators over adversary schedules) and [`corpus`]
+//! (the coverage-guided corpus loop over behavioural fingerprints,
+//! including the planted-bug calibration mode) — all behind the
+//! `fuzz_adversary` binary, documented in `docs/ADVERSARIES.md`.
+//!
 //! Because each simulation carries its own seed and output ordering is
 //! independent of scheduling, a sweep writes byte-identical files for every
 //! `--threads` value.
@@ -56,13 +63,16 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod corpus;
 pub mod experiments;
 pub mod fuzz;
 pub mod grid;
+pub mod mutate;
 pub mod perf;
 pub mod report;
 pub mod table;
 
+pub use corpus::{run_coverage_fuzz, Corpus, CorpusEntry, CoverageOutcome};
 pub use experiments::{ExperimentDef, ExperimentRun, ExperimentScale, ALL_EXPERIMENTS};
 pub use fuzz::{FuzzOptions, FuzzOutcome, Verdict};
 pub use grid::run_grid;

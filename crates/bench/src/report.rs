@@ -22,13 +22,17 @@ use std::path::{Path, PathBuf};
 /// Version stamp written into every report file; bump when the cell layout
 /// changes incompatibly (see `docs/REPORT_SCHEMA.md` for the history).
 ///
+/// v4: `SimReport` gained `coverage`, the behavioural coverage fingerprint
+/// (binned QC-gap latencies, event-mix buckets, per-strategy activation
+/// windows) that drives the coverage-guided adversary fuzzer.
+///
 /// v3: `SimReport`'s message-time series became run-length encoded
 /// `(time, count)` pairs and gained `metrics_grid` (the sampling grid
 /// applied above the large-`n` threshold); new `scale` experiment slug.
 ///
 /// v2: `SimReport` gained `truncated` (event-cap overflow surfaced instead
 /// of silently breaking the run loop) and `equivocations_observed`.
-pub const SCHEMA_VERSION: u32 = 3;
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// One grid cell of one experiment: the sweep coordinates plus the complete
 /// simulation outcome measured there.

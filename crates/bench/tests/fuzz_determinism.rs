@@ -36,6 +36,7 @@ fn fuzz_driver_output_is_invariant_under_thread_count() {
         threads: 1,
         quick: true,
         out: None,
+        ..FuzzOptions::default()
     };
     let serial = run_fuzz(&base);
     for threads in [2usize, 4, 16] {

@@ -53,6 +53,7 @@ pub struct HotStuffEngine {
     proposing_enabled: bool,
     proposals_seen: HashMap<(i64, usize), HashSet<BlockHash>>,
     equivocations_detected: usize,
+    locks_advanced: u64,
     /// Reused aggregation buffer, so forming a QC allocates nothing once
     /// the buffer has grown to quorum size.
     partials: Vec<Signature>,
@@ -86,6 +87,7 @@ impl HotStuffEngine {
             proposing_enabled: true,
             proposals_seen: HashMap::with_capacity(16),
             equivocations_detected: 0,
+            locks_advanced: 0,
             partials: Vec::with_capacity(quorum),
         }
     }
@@ -132,6 +134,34 @@ impl HotStuffEngine {
     /// never equivocate, so a non-zero count proves adversarial proposing.
     pub fn equivocations_detected(&self) -> usize {
         self.equivocations_detected
+    }
+
+    /// The leader of the view the engine currently executes, if a view has
+    /// been entered (read-only observation for the adversary subsystem).
+    pub fn current_leader(&self) -> Option<ProcessId> {
+        self.current_leader
+    }
+
+    /// How many times this replica's lock advanced (`locked_view` strictly
+    /// increased). Feeds the coverage fingerprint's lock-event mix.
+    pub fn locks_advanced(&self) -> u64 {
+        self.locks_advanced
+    }
+
+    /// The largest number of votes this replica has collected toward any
+    /// single pending QC of `view` (zero once the QC formed or when the
+    /// replica never proposed in `view`). Read-only observation used by
+    /// state-reactive adversary strategies.
+    pub fn pending_votes(&self, view: View) -> usize {
+        if self.formed_qc_views.contains(&view.as_i64()) {
+            return 0;
+        }
+        self.votes
+            .iter()
+            .filter(|((v, _), _)| *v == view.as_i64())
+            .map(|(_, sigs)| sigs.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Enables or disables proposing. Disabling models the `SilentLeader`
@@ -314,6 +344,11 @@ impl HotStuffEngine {
             return Vec::new();
         };
         self.formed_qc_views.insert(view.as_i64());
+        // The view's vote pools are dead weight from here on (the formed
+        // marker already suppresses duplicates); dropping them keeps the
+        // map O(pending views), which the per-event `pending_votes`
+        // observation scan depends on.
+        self.votes.retain(|(v, _), _| *v != view.as_i64());
         let mut out = vec![
             ConsensusAction::QcFormed(qc.clone()),
             ConsensusAction::Broadcast(ConsensusMessage::NewQc(qc.clone())),
@@ -335,6 +370,7 @@ impl HotStuffEngine {
         }
         if qc.view() > self.locked_view {
             self.locked_view = qc.view();
+            self.locks_advanced += 1;
         }
         let mut out = Vec::new();
         if !qc.is_genesis() {

@@ -55,6 +55,7 @@ pub mod clock;
 pub mod lumiere;
 pub mod messages;
 pub mod pacemaker;
+pub mod planted;
 pub mod schedule;
 
 pub use basic::BasicLumiere;
@@ -63,4 +64,5 @@ pub use clock::LocalClock;
 pub use lumiere::{Lumiere, LumiereConfig};
 pub use messages::PacemakerMessage;
 pub use pacemaker::{Pacemaker, PacemakerAction};
+pub use planted::PlantedBug;
 pub use schedule::LeaderSchedule;

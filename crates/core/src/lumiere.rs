@@ -41,6 +41,10 @@ pub struct LumiereConfig {
     /// QCs each leader must produce within an epoch for the success
     /// criterion (10).
     pub success_qcs_per_leader: usize,
+    /// A deliberately planted bug, for fuzzer calibration only. Inert unless
+    /// the `planted-bugs` feature (or a test build) compiled the broken code
+    /// path in — see [`crate::planted`].
+    pub planted: Option<crate::planted::PlantedBug>,
 }
 
 impl LumiereConfig {
@@ -53,7 +57,14 @@ impl LumiereConfig {
             gamma: params.gamma(),
             schedule: LeaderSchedule::lumiere(params.n, seed),
             success_qcs_per_leader: params.success_qcs_per_leader(),
+            planted: None,
         }
+    }
+
+    /// Plants `bug` into this configuration (fuzzer calibration).
+    pub fn with_planted_bug(mut self, bug: crate::planted::PlantedBug) -> Self {
+        self.planted = Some(bug);
+        self
     }
 
     /// The clock time `c_v = Γ·v` of a view.
@@ -434,6 +445,19 @@ impl Lumiere {
         }
 
         // --- Schedule the next clock-driven wake-up ---
+        #[cfg(any(test, feature = "planted-bugs"))]
+        if self.cfg.planted == Some(crate::planted::PlantedBug::DropTimeoutRearm)
+            && self.view.as_i64() >= 0
+            && !self.observed_qc_views.contains(&self.view.as_i64())
+        {
+            // PLANTED BUG (fuzzer calibration, never compiled into release
+            // builds without the `planted-bugs` feature): while the current
+            // view has no QC yet, the view-synchronization timer is not
+            // re-armed. Continuous QC flow masks this completely; the first
+            // adversarially wasted view severs the clock-driven recovery
+            // path and the node can only ever act on incoming messages.
+            return;
+        }
         if !self.clock.is_paused() {
             let reading = self.clock.reading(now);
             let gamma = self.cfg.gamma.as_micros();

@@ -1,0 +1,79 @@
+//! Deliberately broken protocol variants — calibration targets for the
+//! coverage-guided adversary fuzzer.
+//!
+//! A fuzzer that never finds anything is indistinguishable from a fuzzer
+//! that cannot find anything. The planted bugs in this module give the
+//! harness a known-broken pacemaker to detect: the planted-bug suite
+//! (`crates/bench/tests/planted_bug.rs`) asserts that the coverage-guided
+//! fuzzer reports a liveness finding against a planted variant within a
+//! fixed budget while stock Lumiere stays clean over the same budget.
+//!
+//! The bug *behaviour* is compiled only under
+//! `#[cfg(any(test, feature = "planted-bugs"))]` — release builds without
+//! the feature carry the (inert) configuration plumbing but none of the
+//! broken code paths; [`enabled`] lets callers fail fast instead of
+//! silently fuzzing stock behaviour.
+
+use serde::{Deserialize, Serialize};
+
+/// A deliberately planted protocol bug, selectable per run.
+///
+/// Serializable so fuzzer findings and regression-corpus entries can record
+/// exactly which variant they ran against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlantedBug {
+    /// The Lumiere pacemaker forgets to re-arm its view-synchronization
+    /// timer while the current view has not yet produced a QC.
+    ///
+    /// Benign executions mask the bug completely: QCs flow continuously,
+    /// every QC notification re-enters the scheduling path, and the timer
+    /// chain survives. The moment an adversary wastes a view — a crashed or
+    /// silent leader, an equivocator splitting the vote, a QC-starving
+    /// leader — the protocol's only recovery path is the clock-driven view
+    /// change, which this bug severs: message flow dries up, no wake is
+    /// pending, and the cluster stalls forever in the wasted view.
+    DropTimeoutRearm,
+}
+
+impl PlantedBug {
+    /// Every planted bug (CLI listings, exhaustive tests).
+    pub const ALL: [PlantedBug; 1] = [PlantedBug::DropTimeoutRearm];
+
+    /// Short kebab-case name used by the fuzzer CLI and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlantedBug::DropTimeoutRearm => "drop-timeout-rearm",
+        }
+    }
+
+    /// Parses a CLI name back into the bug.
+    pub fn parse(raw: &str) -> Option<PlantedBug> {
+        PlantedBug::ALL.into_iter().find(|b| b.name() == raw)
+    }
+}
+
+/// Whether planted-bug behaviour is compiled into this build (the
+/// `planted-bugs` feature, or any test build of this crate). Callers should
+/// refuse to run a planted configuration when this is `false`, otherwise
+/// they would silently measure stock behaviour.
+pub const fn enabled() -> bool {
+    cfg!(any(test, feature = "planted-bugs"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for bug in PlantedBug::ALL {
+            assert_eq!(PlantedBug::parse(bug.name()), Some(bug));
+        }
+        assert_eq!(PlantedBug::parse("nope"), None);
+    }
+
+    #[test]
+    fn planted_bugs_are_enabled_in_test_builds() {
+        assert!(enabled());
+    }
+}

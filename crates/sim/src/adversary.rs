@@ -40,12 +40,45 @@ use crate::event::SimMessage;
 use crate::network::DelayModel;
 use crate::node::NodeOutput;
 use lumiere_consensus::{Block, ConsensusMessage};
-use lumiere_types::{Duration, ProcessId, Time, TimeRange};
+use lumiere_types::{Duration, ProcessId, Time, TimeRange, View};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt::Debug;
 
-/// Context handed to a strategy when it rewrites a node's output.
+/// Read-only protocol observations a corrupted processor may react to.
+///
+/// A snapshot of the node's own pacemaker and consensus-engine state, taken
+/// at the start of the event being processed. Strategies that consult it can
+/// corrupt *adaptively mid-run* — e.g. target whichever processor currently
+/// leads, or stall exactly when one more vote would complete a QC — which a
+/// static schedule cannot express. All fields are derived deterministically
+/// from simulator state, so adaptive strategies keep the same-seed ⇒
+/// byte-identical-report guarantee.
+#[derive(Debug, Clone, Copy)]
+pub struct ProtocolObs {
+    /// The pacemaker's current view (`View::SENTINEL` before the first).
+    pub view: View,
+    /// The consensus engine's current view (may trail the pacemaker).
+    pub engine_view: View,
+    /// Leader of the engine's current view, once a view has been entered.
+    pub leader: Option<ProcessId>,
+    /// The engine's lock (highest QC'd view it is locked on).
+    pub locked_view: View,
+    /// The highest view this node has voted in.
+    pub last_voted_view: View,
+    /// View of the highest QC known to this node.
+    pub high_qc_view: View,
+    /// Most votes collected toward any single pending QC of the engine's
+    /// current view (non-zero only while this node leads and collects).
+    pub pending_qc_votes: usize,
+    /// The pacemaker's local-clock reading (timer status).
+    pub clock: Duration,
+    /// Whether the pacemaker's timer chain has been booted yet.
+    pub booted: bool,
+}
+
+/// Context handed to a strategy on every event: identity, cluster size, the
+/// simulated time and a read-only [`ProtocolObs`] snapshot.
 #[derive(Debug, Clone, Copy)]
 pub struct StrategyCtx {
     /// The corrupted processor's identifier.
@@ -54,6 +87,15 @@ pub struct StrategyCtx {
     pub n: usize,
     /// Simulated time of the event being processed.
     pub now: Time,
+    /// Protocol state at the start of the event.
+    pub obs: ProtocolObs,
+}
+
+impl StrategyCtx {
+    /// The quorum size `2f + 1` of the cluster this strategy corrupts.
+    pub fn quorum(&self) -> usize {
+        2 * ((self.n - 1) / 3) + 1
+    }
 }
 
 /// Per-node behaviour of a corrupted processor.
@@ -65,14 +107,22 @@ pub trait AdversaryStrategy: Debug + Send {
     /// Short name used in traces and reports.
     fn name(&self) -> &'static str;
 
-    /// Whether the node's consensus engine runs at `now` (votes/proposes).
-    fn runs_consensus(&self, now: Time) -> bool;
+    /// Called once at the start of every event the node processes, before
+    /// any other method. Stateful strategies use it to react to the
+    /// [`ProtocolObs`] snapshot (adaptive corruption); the default is a
+    /// no-op.
+    fn observe(&mut self, _ctx: &StrategyCtx) {}
 
-    /// Whether the node's pacemaker (view synchronization) runs at `now`.
-    fn runs_pacemaker(&self, now: Time) -> bool;
+    /// Whether the node's consensus engine runs for this event
+    /// (votes/proposes).
+    fn runs_consensus(&self, ctx: &StrategyCtx) -> bool;
 
-    /// Whether the node proposes blocks when it is the leader at `now`.
-    fn proposes(&self, now: Time) -> bool;
+    /// Whether the node's pacemaker (view synchronization) runs for this
+    /// event.
+    fn runs_pacemaker(&self, ctx: &StrategyCtx) -> bool;
+
+    /// Whether the node proposes blocks when it is the leader.
+    fn proposes(&self, ctx: &StrategyCtx) -> bool;
 
     /// Extra wake-ups the strategy needs (e.g. the rejoin instant of a
     /// crash–recovery window). Requested once at boot.
@@ -81,7 +131,10 @@ pub trait AdversaryStrategy: Debug + Send {
     }
 
     /// Rewrites the node's outgoing traffic before it reaches the network.
-    /// The default is the identity.
+    /// The default is the identity. Implementations should bump
+    /// [`NodeOutput::adversary_events`] for every message they suppress,
+    /// forge or redirect — the runner turns those marks into the coverage
+    /// fingerprint's per-strategy activation windows.
     fn transform_output(&mut self, _ctx: &StrategyCtx, out: NodeOutput) -> NodeOutput {
         out
     }
@@ -107,6 +160,18 @@ pub enum StrategyKind {
         /// The window during which the processor is dark.
         down: TimeRange,
     },
+    /// *Adaptive*: participates everywhere except that it silently drops
+    /// every unicast it would send to the **current leader** — votes and
+    /// view messages — retargeting as the leader rotates, and never proposes
+    /// itself. To everyone but the leader under attack it is
+    /// indistinguishable from an honest processor.
+    AdaptiveLeaderTargeting,
+    /// *Adaptive*: proposes as leader to bait votes, then goes deaf to
+    /// consensus traffic exactly when one more vote would complete its
+    /// pending QC (observed via [`ProtocolObs::pending_qc_votes`]), starving
+    /// the QC; it recovers when its pacemaker moves past the starved view.
+    /// Any QC it does complete is withheld from the network.
+    QcStarvation,
 }
 
 impl StrategyKind {
@@ -118,8 +183,22 @@ impl StrategyKind {
             StrategyKind::SyncSilent => "sync-silent",
             StrategyKind::Equivocate => "equivocate",
             StrategyKind::CrashRecovery { .. } => "crash-recovery",
+            StrategyKind::AdaptiveLeaderTargeting => "adaptive-leader-targeting",
+            StrategyKind::QcStarvation => "qc-starvation",
         }
     }
+
+    /// Every parameter-free strategy kind — samplers and mutators index into
+    /// this so a new variant is picked up everywhere at once
+    /// (crash–recovery, which needs a window, is sampled separately).
+    pub const SIMPLE: [StrategyKind; 6] = [
+        StrategyKind::Crash,
+        StrategyKind::SilentLeader,
+        StrategyKind::SyncSilent,
+        StrategyKind::Equivocate,
+        StrategyKind::AdaptiveLeaderTargeting,
+        StrategyKind::QcStarvation,
+    ];
 
     /// Builds the runtime strategy object.
     pub fn build(&self) -> Box<dyn AdversaryStrategy> {
@@ -129,6 +208,11 @@ impl StrategyKind {
             StrategyKind::SyncSilent => Box::new(SyncSilentStrategy),
             StrategyKind::Equivocate => Box::new(EquivocateStrategy { forged: 0 }),
             StrategyKind::CrashRecovery { down } => Box::new(CrashRecoveryStrategy { down: *down }),
+            StrategyKind::AdaptiveLeaderTargeting => Box::new(AdaptiveLeaderTargetingStrategy),
+            StrategyKind::QcStarvation => Box::new(QcStarvationStrategy {
+                starving_since: None,
+                withheld: BTreeSet::new(),
+            }),
         }
     }
 }
@@ -418,13 +502,13 @@ impl AdversaryStrategy for CrashStrategy {
     fn name(&self) -> &'static str {
         "crash"
     }
-    fn runs_consensus(&self, _now: Time) -> bool {
+    fn runs_consensus(&self, _ctx: &StrategyCtx) -> bool {
         false
     }
-    fn runs_pacemaker(&self, _now: Time) -> bool {
+    fn runs_pacemaker(&self, _ctx: &StrategyCtx) -> bool {
         false
     }
-    fn proposes(&self, _now: Time) -> bool {
+    fn proposes(&self, _ctx: &StrategyCtx) -> bool {
         false
     }
 }
@@ -437,13 +521,13 @@ impl AdversaryStrategy for SilentLeaderStrategy {
     fn name(&self) -> &'static str {
         "silent-leader"
     }
-    fn runs_consensus(&self, _now: Time) -> bool {
+    fn runs_consensus(&self, _ctx: &StrategyCtx) -> bool {
         true
     }
-    fn runs_pacemaker(&self, _now: Time) -> bool {
+    fn runs_pacemaker(&self, _ctx: &StrategyCtx) -> bool {
         true
     }
-    fn proposes(&self, _now: Time) -> bool {
+    fn proposes(&self, _ctx: &StrategyCtx) -> bool {
         false
     }
 }
@@ -456,13 +540,13 @@ impl AdversaryStrategy for SyncSilentStrategy {
     fn name(&self) -> &'static str {
         "sync-silent"
     }
-    fn runs_consensus(&self, _now: Time) -> bool {
+    fn runs_consensus(&self, _ctx: &StrategyCtx) -> bool {
         true
     }
-    fn runs_pacemaker(&self, _now: Time) -> bool {
+    fn runs_pacemaker(&self, _ctx: &StrategyCtx) -> bool {
         false
     }
-    fn proposes(&self, _now: Time) -> bool {
+    fn proposes(&self, _ctx: &StrategyCtx) -> bool {
         false
     }
 }
@@ -494,13 +578,13 @@ impl AdversaryStrategy for EquivocateStrategy {
     fn name(&self) -> &'static str {
         "equivocate"
     }
-    fn runs_consensus(&self, _now: Time) -> bool {
+    fn runs_consensus(&self, _ctx: &StrategyCtx) -> bool {
         true
     }
-    fn runs_pacemaker(&self, _now: Time) -> bool {
+    fn runs_pacemaker(&self, _ctx: &StrategyCtx) -> bool {
         true
     }
-    fn proposes(&self, _now: Time) -> bool {
+    fn proposes(&self, _ctx: &StrategyCtx) -> bool {
         true
     }
 
@@ -520,6 +604,7 @@ impl AdversaryStrategy for EquivocateStrategy {
             match msg {
                 SimMessage::Consensus(ConsensusMessage::Proposal(block)) => {
                     let forged = self.forge_conflicting(&block);
+                    out.adversary_events += 1;
                     for to in ProcessId::all(ctx.n) {
                         if to == ctx.id {
                             continue;
@@ -555,14 +640,14 @@ impl AdversaryStrategy for CrashRecoveryStrategy {
     fn name(&self) -> &'static str {
         "crash-recovery"
     }
-    fn runs_consensus(&self, now: Time) -> bool {
-        !self.down.contains(now)
+    fn runs_consensus(&self, ctx: &StrategyCtx) -> bool {
+        !self.down.contains(ctx.now)
     }
-    fn runs_pacemaker(&self, now: Time) -> bool {
-        !self.down.contains(now)
+    fn runs_pacemaker(&self, ctx: &StrategyCtx) -> bool {
+        !self.down.contains(ctx.now)
     }
-    fn proposes(&self, now: Time) -> bool {
-        !self.down.contains(now)
+    fn proposes(&self, ctx: &StrategyCtx) -> bool {
+        !self.down.contains(ctx.now)
     }
     fn boot_wakes(&self) -> Vec<Time> {
         // Rejoin instant: without this wake the node would stay silent until
@@ -575,11 +660,156 @@ impl AdversaryStrategy for CrashRecoveryStrategy {
     }
 }
 
+/// Withholds everything it would send to the current leader, switching
+/// targets as the leader rotates (see
+/// [`StrategyKind::AdaptiveLeaderTargeting`]).
+#[derive(Debug)]
+struct AdaptiveLeaderTargetingStrategy;
+
+impl AdversaryStrategy for AdaptiveLeaderTargetingStrategy {
+    fn name(&self) -> &'static str {
+        "adaptive-leader-targeting"
+    }
+    fn runs_consensus(&self, _ctx: &StrategyCtx) -> bool {
+        true
+    }
+    fn runs_pacemaker(&self, _ctx: &StrategyCtx) -> bool {
+        true
+    }
+    fn proposes(&self, _ctx: &StrategyCtx) -> bool {
+        false
+    }
+
+    /// Drops every unicast addressed to the leader of the view this node is
+    /// currently in — its vote and its view message, the two certificates
+    /// the leader needs — while every other send and broadcast goes out
+    /// untouched. The target follows [`ProtocolObs::leader`], so the attack
+    /// retargets itself as views rotate: a static schedule cannot express
+    /// "always starve whoever leads right now".
+    fn transform_output(&mut self, ctx: &StrategyCtx, mut out: NodeOutput) -> NodeOutput {
+        let Some(target) = ctx.obs.leader else {
+            return out;
+        };
+        if target == ctx.id {
+            return out;
+        }
+        let before = out.sends.len();
+        out.sends.retain(|(to, _)| *to != target);
+        out.adversary_events += (before - out.sends.len()) as u32;
+        out
+    }
+}
+
+/// Baits votes as leader, then stalls its pending QC one vote short of
+/// quorum (see [`StrategyKind::QcStarvation`]).
+#[derive(Debug)]
+struct QcStarvationStrategy {
+    /// The pacemaker view at which the current starvation window began;
+    /// `None` while the node participates.
+    starving_since: Option<View>,
+    /// Views whose QCs this node formed but withheld from the network.
+    withheld: BTreeSet<i64>,
+}
+
+impl AdversaryStrategy for QcStarvationStrategy {
+    fn name(&self) -> &'static str {
+        "qc-starvation"
+    }
+
+    /// Flips into the starving state exactly when the node observes that one
+    /// more vote would complete the QC it is collecting, and back out once
+    /// its pacemaker has moved past the view it starved (the clock-driven
+    /// view change re-arms the attack for the next time it leads).
+    fn observe(&mut self, ctx: &StrategyCtx) {
+        match self.starving_since {
+            None => {
+                if ctx.obs.pending_qc_votes + 1 >= ctx.quorum() && ctx.obs.pending_qc_votes > 0 {
+                    self.starving_since = Some(ctx.obs.view);
+                }
+            }
+            Some(since) => {
+                if ctx.obs.view > since {
+                    self.starving_since = None;
+                }
+            }
+        }
+    }
+
+    fn runs_consensus(&self, _ctx: &StrategyCtx) -> bool {
+        self.starving_since.is_none()
+    }
+    fn runs_pacemaker(&self, _ctx: &StrategyCtx) -> bool {
+        true
+    }
+    fn proposes(&self, _ctx: &StrategyCtx) -> bool {
+        true
+    }
+
+    /// Suppresses any QC broadcast that slips out (a quorum can complete in
+    /// the same event that crosses the threshold) and every later message
+    /// that would reveal a withheld QC as a proposal's justification.
+    fn transform_output(&mut self, ctx: &StrategyCtx, mut out: NodeOutput) -> NodeOutput {
+        let withheld = &mut self.withheld;
+        let mut dropped = 0u32;
+        let mut suppress = |msg: &SimMessage| -> bool {
+            match msg {
+                SimMessage::Consensus(ConsensusMessage::NewQc(qc)) => {
+                    withheld.insert(qc.view().as_i64());
+                    true
+                }
+                SimMessage::Consensus(ConsensusMessage::Proposal(block)) => {
+                    withheld.contains(&block.justify().view().as_i64())
+                }
+                _ => false,
+            }
+        };
+        out.broadcasts.retain(|m| {
+            let drop = suppress(m);
+            dropped += drop as u32;
+            !drop
+        });
+        out.sends.retain(|(_, m)| {
+            let drop = suppress(m);
+            dropped += drop as u32;
+            !drop
+        });
+        // Deaf periods are marked by the hosting node when it gates an
+        // incoming message, so only actual suppressions count here.
+        out.adversary_events += dropped;
+        let _ = ctx;
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use lumiere_consensus::QuorumCert;
     use lumiere_types::View;
+
+    /// A neutral observation snapshot for driving strategies directly.
+    fn obs() -> ProtocolObs {
+        ProtocolObs {
+            view: View::SENTINEL,
+            engine_view: View::SENTINEL,
+            leader: None,
+            locked_view: View::SENTINEL,
+            last_voted_view: View::SENTINEL,
+            high_qc_view: View::SENTINEL,
+            pending_qc_votes: 0,
+            clock: Duration::ZERO,
+            booted: false,
+        }
+    }
+
+    fn ctx_at(now: Time) -> StrategyCtx {
+        StrategyCtx {
+            id: ProcessId::new(0),
+            n: 7,
+            now,
+            obs: obs(),
+        }
+    }
 
     #[test]
     fn strategy_kinds_build_their_runtime_objects() {
@@ -594,9 +824,18 @@ mod tests {
                 },
                 "crash-recovery",
             ),
+            (
+                StrategyKind::AdaptiveLeaderTargeting,
+                "adaptive-leader-targeting",
+            ),
+            (StrategyKind::QcStarvation, "qc-starvation"),
         ] {
             assert_eq!(kind.name(), name);
             assert_eq!(kind.build().name(), name);
+        }
+        for kind in StrategyKind::SIMPLE {
+            assert!(!matches!(kind, StrategyKind::CrashRecovery { .. }));
+            assert_eq!(kind.build().name(), kind.name());
         }
     }
 
@@ -733,10 +972,10 @@ mod tests {
         // The runtime object is dark exactly inside its window and asks for
         // a rejoin wake at the end of it.
         let strategy = schedule.strategy_for(2).unwrap().build();
-        assert!(strategy.runs_consensus(Time::from_millis(99)));
-        assert!(!strategy.runs_consensus(Time::from_millis(100)));
-        assert!(!strategy.runs_pacemaker(Time::from_millis(149)));
-        assert!(strategy.runs_pacemaker(Time::from_millis(150)));
+        assert!(strategy.runs_consensus(&ctx_at(Time::from_millis(99))));
+        assert!(!strategy.runs_consensus(&ctx_at(Time::from_millis(100))));
+        assert!(!strategy.runs_pacemaker(&ctx_at(Time::from_millis(149))));
+        assert!(strategy.runs_pacemaker(&ctx_at(Time::from_millis(150))));
         assert_eq!(strategy.boot_wakes(), vec![Time::from_millis(150)]);
     }
 
@@ -775,9 +1014,11 @@ mod tests {
             id: ProcessId::new(2),
             n: 7,
             now: Time::ZERO,
+            obs: obs(),
         };
         let out = strategy.transform_output(&ctx, out);
         assert!(out.broadcasts.is_empty(), "the broadcast must be rewritten");
+        assert!(out.adversary_events > 0, "forging marks an activation");
         assert_eq!(out.sends.len(), 12, "both blocks go to every other node");
         // first_seen[recipient] = hash of the first proposal that recipient
         // receives (under symmetric delays, the one it votes for).
@@ -800,5 +1041,116 @@ mod tests {
         let halves: BTreeSet<(usize, u64)> =
             first_seen.iter().map(|(id, h)| (id % 2, *h)).collect();
         assert_eq!(halves.len(), 2, "each half votes for its own block");
+    }
+
+    #[test]
+    fn adaptive_leader_targeting_drops_exactly_the_leaders_mail() {
+        let mut strategy = StrategyKind::AdaptiveLeaderTargeting.build();
+        let leader = ProcessId::new(3);
+        let mut ctx = ctx_at(Time::ZERO);
+        ctx.obs.leader = Some(leader);
+        let out = NodeOutput {
+            sends: vec![
+                (leader, sync_msg()),
+                (ProcessId::new(1), sync_msg()),
+                (leader, sync_msg()),
+            ],
+            broadcasts: vec![sync_msg()],
+            ..NodeOutput::default()
+        };
+        let out = strategy.transform_output(&ctx, out);
+        assert_eq!(out.sends.len(), 1, "only the non-leader unicast survives");
+        assert_eq!(out.sends[0].0, ProcessId::new(1));
+        assert_eq!(out.broadcasts.len(), 1, "broadcasts are untouched");
+        assert_eq!(out.adversary_events, 2);
+        // The target follows the observation: a different leader next view.
+        ctx.obs.leader = Some(ProcessId::new(1));
+        let out = strategy.transform_output(
+            &ctx,
+            NodeOutput {
+                sends: vec![(leader, sync_msg()), (ProcessId::new(1), sync_msg())],
+                ..NodeOutput::default()
+            },
+        );
+        assert_eq!(out.sends.len(), 1);
+        assert_eq!(out.sends[0].0, leader, "the old leader is safe again");
+        // With no leader known (or itself leading) nothing is dropped.
+        ctx.obs.leader = None;
+        let out = strategy.transform_output(
+            &ctx,
+            NodeOutput {
+                sends: vec![(leader, sync_msg())],
+                ..NodeOutput::default()
+            },
+        );
+        assert_eq!(out.sends.len(), 1);
+    }
+
+    #[test]
+    fn qc_starvation_goes_deaf_one_vote_short_of_quorum_and_recovers() {
+        let mut strategy = StrategyKind::QcStarvation.build();
+        let mut ctx = ctx_at(Time::ZERO); // n = 7, quorum = 5
+        ctx.obs.view = View::new(2);
+        ctx.obs.pending_qc_votes = 3;
+        strategy.observe(&ctx);
+        assert!(
+            strategy.runs_consensus(&ctx),
+            "two votes short: still collecting"
+        );
+        ctx.obs.pending_qc_votes = 4;
+        strategy.observe(&ctx);
+        assert!(
+            !strategy.runs_consensus(&ctx),
+            "one vote short of quorum: deaf"
+        );
+        assert!(strategy.runs_pacemaker(&ctx), "the pacemaker stays alive");
+        // Still deaf while the pacemaker sits in the starved view.
+        strategy.observe(&ctx);
+        assert!(!strategy.runs_consensus(&ctx));
+        // The clock-driven view change re-arms the attack.
+        ctx.obs.view = View::new(3);
+        strategy.observe(&ctx);
+        assert!(strategy.runs_consensus(&ctx), "recovers in the next view");
+    }
+
+    #[test]
+    fn qc_starvation_withholds_qcs_and_their_justifying_proposals() {
+        let mut strategy = StrategyKind::QcStarvation.build();
+        let ctx = ctx_at(Time::ZERO);
+        // A QC the node failed to prevent slips into its output: withheld.
+        let digest = QuorumCert::vote_digest(View::new(4), 0xBB);
+        let params = lumiere_types::Params::new(7, Duration::from_millis(10));
+        let (keys, _) = lumiere_crypto::keygen(7, 1);
+        let votes: Vec<_> = keys.iter().take(5).map(|k| k.sign(digest)).collect();
+        let qc = QuorumCert::aggregate(View::new(4), 0xBB, &votes, &params).unwrap();
+        let out = NodeOutput {
+            broadcasts: vec![SimMessage::Consensus(ConsensusMessage::NewQc(qc.clone()))],
+            ..NodeOutput::default()
+        };
+        let out = strategy.transform_output(&ctx, out);
+        assert!(out.broadcasts.is_empty(), "the QC broadcast is withheld");
+        assert!(out.adversary_events > 0);
+        // A later proposal justified by the withheld QC is suppressed too;
+        // proposals justified by public QCs pass.
+        let hidden = Block::new(0, 1, View::new(5), ProcessId::new(0), 1, qc);
+        let public = Block::new(
+            0,
+            1,
+            View::new(5),
+            ProcessId::new(0),
+            1,
+            QuorumCert::genesis(),
+        );
+        let out = strategy.transform_output(
+            &ctx,
+            NodeOutput {
+                broadcasts: vec![
+                    SimMessage::Consensus(ConsensusMessage::Proposal(hidden)),
+                    SimMessage::Consensus(ConsensusMessage::Proposal(public)),
+                ],
+                ..NodeOutput::default()
+            },
+        );
+        assert_eq!(out.broadcasts.len(), 1, "only the public proposal leaks");
     }
 }

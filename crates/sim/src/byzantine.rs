@@ -43,8 +43,27 @@ pub enum ByzBehavior {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::adversary::StrategyKind;
-    use lumiere_types::Time;
+    use crate::adversary::{ProtocolObs, StrategyCtx, StrategyKind};
+    use lumiere_types::{Duration, ProcessId, Time, View};
+
+    fn ctx() -> StrategyCtx {
+        StrategyCtx {
+            id: ProcessId::new(0),
+            n: 4,
+            now: Time::ZERO,
+            obs: ProtocolObs {
+                view: View::SENTINEL,
+                engine_view: View::SENTINEL,
+                leader: None,
+                locked_view: View::SENTINEL,
+                last_voted_view: View::SENTINEL,
+                high_qc_view: View::SENTINEL,
+                pending_qc_votes: 0,
+                clock: Duration::ZERO,
+                booted: false,
+            },
+        }
+    }
 
     /// The runtime behaviour lives in the strategy objects each variant
     /// maps onto — check it through the mapping, so the legacy enum can
@@ -52,24 +71,24 @@ mod tests {
     #[test]
     fn crash_does_nothing() {
         let s = StrategyKind::from(ByzBehavior::Crash).build();
-        assert!(!s.runs_consensus(Time::ZERO));
-        assert!(!s.runs_pacemaker(Time::ZERO));
-        assert!(!s.proposes(Time::ZERO));
+        assert!(!s.runs_consensus(&ctx()));
+        assert!(!s.runs_pacemaker(&ctx()));
+        assert!(!s.proposes(&ctx()));
     }
 
     #[test]
     fn silent_leader_participates_but_never_proposes() {
         let s = StrategyKind::from(ByzBehavior::SilentLeader).build();
-        assert!(s.runs_consensus(Time::ZERO));
-        assert!(s.runs_pacemaker(Time::ZERO));
-        assert!(!s.proposes(Time::ZERO));
+        assert!(s.runs_consensus(&ctx()));
+        assert!(s.runs_pacemaker(&ctx()));
+        assert!(!s.proposes(&ctx()));
     }
 
     #[test]
     fn sync_silent_votes_but_does_not_synchronize() {
         let s = StrategyKind::from(ByzBehavior::SyncSilent).build();
-        assert!(s.runs_consensus(Time::ZERO));
-        assert!(!s.runs_pacemaker(Time::ZERO));
-        assert!(!s.proposes(Time::ZERO));
+        assert!(s.runs_consensus(&ctx()));
+        assert!(!s.runs_pacemaker(&ctx()));
+        assert!(!s.proposes(&ctx()));
     }
 }

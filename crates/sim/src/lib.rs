@@ -10,9 +10,11 @@
 //!   delay of every message subject to delivery by `max(GST, send) + Δ`;
 //!   pluggable [`network::DelayModel`]s cover the responsive (`δ ≪ Δ`),
 //!   adversarial (exactly `Δ`) and randomized regimes.
-//! * [`adversary`] — the pluggable adversary subsystem: per-node
-//!   [`adversary::AdversaryStrategy`] trait objects (equivocation,
-//!   crash–recovery, the legacy silent behaviours) built from serializable
+//! * [`adversary`] — the pluggable, state-reactive adversary subsystem:
+//!   per-node [`adversary::AdversaryStrategy`] trait objects (equivocation,
+//!   crash–recovery, the legacy silent behaviours, and *adaptive* attacks —
+//!   leader targeting, QC starvation — that react mid-run to read-only
+//!   [`adversary::ProtocolObs`] snapshots) built from serializable
 //!   [`adversary::StrategyKind`]s, plus [`adversary::AdversarySchedule`]
 //!   plans that also carry per-edge, time-windowed delay rules (targeted
 //!   partitions). See `docs/ADVERSARIES.md` for the mapping to the paper's
@@ -54,7 +56,9 @@
 //! sends, QCs, commits, heavy-sync participations, clock-gap samples) from
 //! which the worst-case and eventual measures of Table 1 are derived, and
 //! serializes to the JSON report format documented in
-//! `docs/REPORT_SCHEMA.md`.
+//! `docs/REPORT_SCHEMA.md`. Every report also carries a deterministic
+//! behavioural [`metrics::CoverageFingerprint`] (schema v4), the novelty
+//! signal of the coverage-guided adversary fuzzer in `crates/bench`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -70,9 +74,11 @@ pub mod scenario;
 pub mod trace;
 
 pub use adversary::{
-    AdversarySchedule, AdversaryStrategy, Corruption, DelayRule, EdgeClass, MsgClass, StrategyKind,
+    AdversarySchedule, AdversaryStrategy, Corruption, DelayRule, EdgeClass, MsgClass, ProtocolObs,
+    StrategyCtx, StrategyKind,
 };
 pub use byzantine::ByzBehavior;
-pub use metrics::SimReport;
+pub use lumiere_core::planted::PlantedBug;
+pub use metrics::{CoverageFingerprint, SimReport};
 pub use network::DelayModel;
 pub use scenario::{ProtocolKind, SimConfig};

@@ -22,6 +22,111 @@
 
 use lumiere_types::{Duration, ProcessId, Time, View};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Number of histogram bins in [`CoverageFingerprint::qc_gap_bins`].
+pub const QC_GAP_BINS: usize = 8;
+
+/// Number of time bins in a [`CoverageFingerprint`] strategy-activation
+/// window bitmask.
+pub const STRATEGY_WINDOW_BINS: u32 = 16;
+
+/// How many multiples of Δ one strategy-activation time bin spans.
+pub const STRATEGY_WINDOW_BIN_DELTAS: i64 = 64;
+
+/// `⌈log2(x + 1)⌉`-style bucketing: 0 → 0, 1 → 1, 2–3 → 2, 4–7 → 3, …
+/// Collapses raw event counts into coarse, stable magnitude classes so the
+/// fingerprint distinguishes behaviours, not noise.
+fn log2_bucket(x: u64) -> u32 {
+    u64::BITS - x.leading_zeros()
+}
+
+/// Base-4 variant of [`log2_bucket`]: 0 → 0, 1–3 → 1, 4–15 → 2, 16–63 → 3,
+/// … Used where adjacent powers of two are still the same behaviour.
+fn log4_bucket(x: u64) -> u32 {
+    log2_bucket(x).div_ceil(2)
+}
+
+/// A deterministic behavioural *coverage fingerprint* of one execution
+/// (schema v4).
+///
+/// The coverage-guided fuzzer (`crates/bench/src/corpus.rs`) keeps an input
+/// in its corpus iff the input's fingerprint was never seen before, so the
+/// fingerprint deliberately coarsens every dimension into log-scale buckets:
+/// two runs share a fingerprint exactly when they exercised the same
+/// qualitative behaviour, regardless of microsecond-level noise.
+///
+/// * **View-transition latencies** — gaps between consecutive honest-leader
+///   QCs, log₂-binned in units of Δ/4, with the per-bin *counts* collapsed
+///   to log₄ classes ([`CoverageFingerprint::qc_gap_bins`]), plus the log₂
+///   bin of the first post-GST latency.
+/// * **Event mix** — run-length-invariant ratios: timer wakes, lock
+///   advances and honest messages *per decision* (log₂ buckets), log₄
+///   classes of the heavy-sync participation and decision counts, and the
+///   log₂ class of the equivocation count.
+/// * **Per-strategy activation windows** — for every adversary strategy
+///   that acted (suppressed, forged or was gated), a mask of the
+///   [`STRATEGY_WINDOW_BINS`] `64Δ`-wide time bins in which it did.
+///
+/// All fields are integers derived from the deterministic event series, so
+/// the fingerprint is byte-identical across thread counts and repeated runs.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CoverageFingerprint {
+    /// Histogram over log₂ classes of honest-leader QC inter-arrival gaps,
+    /// measured in Δ/4 units ([`QC_GAP_BINS`] bins; the last bin collects
+    /// everything slower). Each entry is the log₄ class of the bin's
+    /// count, so the histogram separates behaviour shapes, not run lengths.
+    pub qc_gap_bins: Vec<u32>,
+    /// log₂ bin (same Δ/4 unit) of the first honest-leader QC latency after
+    /// GST; `-1` when no honest QC appeared after GST at all.
+    pub first_qc_bin: i64,
+    /// log₂ bucket of `equivocations_observed`.
+    pub equivocation_bucket: u32,
+    /// log₂ bucket of honest lock advances *per decision*.
+    pub lock_bucket: u32,
+    /// log₂ bucket of timer wake events *per decision* — low in responsive
+    /// executions, exploding when the protocol burns timeouts.
+    pub wake_bucket: u32,
+    /// log₄ class of the number of heavy-sync participations.
+    pub heavy_sync_bucket: u32,
+    /// log₄ class of the number of distinct committed heights.
+    pub commit_bucket: u32,
+    /// log₂ bucket of honest point-to-point messages *per decision* — the
+    /// paper's communication-efficiency axis.
+    pub message_bucket: u32,
+    /// `(strategy name, activation bitmask)` pairs in name order: bit `i`
+    /// is set iff the strategy acted inside time bin `i` (bins are
+    /// `64Δ` wide, the last bin collects everything later).
+    pub strategy_windows: Vec<(String, u64)>,
+}
+
+impl CoverageFingerprint {
+    /// A compact canonical encoding: equal keys ⇔ equal fingerprints. The
+    /// corpus uses it for dedup and deterministic ordering.
+    pub fn key(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(64);
+        out.push('q');
+        for b in &self.qc_gap_bins {
+            let _ = write!(out, ".{b}");
+        }
+        let _ = write!(
+            out,
+            "|f{}|e{}|l{}|w{}|h{}|c{}|m{}",
+            self.first_qc_bin,
+            self.equivocation_bucket,
+            self.lock_bucket,
+            self.wake_bucket,
+            self.heavy_sync_bucket,
+            self.commit_bucket,
+            self.message_bucket
+        );
+        for (name, mask) in &self.strategy_windows {
+            let _ = write!(out, "|{name}@{mask:x}");
+        }
+        out
+    }
+}
 
 /// A QC production event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -82,6 +187,9 @@ pub struct SimReport {
     /// Total number of equivocations (conflicting proposals for one view
     /// and proposer) witnessed by honest consensus engines (schema v2).
     pub equivocations_observed: usize,
+    /// The behavioural coverage fingerprint of this execution (schema v4) —
+    /// the novelty signal of the coverage-guided fuzzer.
+    pub coverage: CoverageFingerprint,
 }
 
 impl SimReport {
@@ -248,6 +356,10 @@ pub struct MetricsCollector {
     committed_heights: std::collections::HashSet<u64>,
     heavy_sync_participations: Vec<(Time, View)>,
     gap_samples: Vec<(Time, Duration)>,
+    wake_events: u64,
+    lock_advances: u64,
+    equivocations: usize,
+    strategy_windows: BTreeMap<String, u64>,
 }
 
 impl MetricsCollector {
@@ -275,6 +387,10 @@ impl MetricsCollector {
             committed_heights: std::collections::HashSet::new(),
             heavy_sync_participations: Vec::new(),
             gap_samples: Vec::new(),
+            wake_events: 0,
+            lock_advances: 0,
+            equivocations: 0,
+            strategy_windows: BTreeMap::new(),
         }
     }
 
@@ -329,13 +445,91 @@ impl MetricsCollector {
         self.gap_samples.push((now, gap));
     }
 
+    /// Records one processed timer wake event (fingerprint event mix).
+    pub fn record_wake(&mut self) {
+        self.wake_events += 1;
+    }
+
+    /// Records that the adversary strategy `name` acted (suppressed, forged
+    /// or was gated) at `now`: sets the corresponding bit of the strategy's
+    /// activation-window bitmask.
+    pub fn record_strategy_activation(&mut self, name: &str, now: Time) {
+        let width = (self.delta_cap * STRATEGY_WINDOW_BIN_DELTAS)
+            .as_micros()
+            .max(1);
+        let bin = (now.as_micros().max(0) / width).min(STRATEGY_WINDOW_BINS as i64 - 1);
+        let mask = self.strategy_windows.entry(name.to_string()).or_insert(0);
+        *mask |= 1u64 << bin;
+    }
+
+    /// Sets the total number of honest lock advances (summed over engines at
+    /// the end of the run).
+    pub fn record_lock_advances(&mut self, total: u64) {
+        self.lock_advances = total;
+    }
+
+    /// Sets the total number of equivocations witnessed by honest engines
+    /// (summed at the end of the run).
+    pub fn record_equivocations(&mut self, total: usize) {
+        self.equivocations = total;
+    }
+
     /// Number of honest-leader QCs recorded so far.
     pub fn honest_qc_count(&self) -> usize {
         self.qc_events.iter().filter(|e| e.honest_leader).count()
     }
 
+    /// Computes the behavioural coverage fingerprint from the collected
+    /// series (deterministic integer arithmetic only).
+    fn fingerprint(&self) -> CoverageFingerprint {
+        // Gap unit: Δ/4, the same scale as the metrics sampling grid.
+        let unit = (self.delta_cap / 4).as_micros().max(1);
+        let honest_qcs: Vec<Time> = self
+            .qc_events
+            .iter()
+            .filter(|e| e.honest_leader)
+            .map(|e| e.time)
+            .collect();
+        let mut qc_gap_bins = vec![0u32; QC_GAP_BINS];
+        for w in honest_qcs.windows(2) {
+            let gap = (w[1] - w[0]).as_micros().max(0) / unit;
+            let bin = (log2_bucket(gap as u64) as usize).min(QC_GAP_BINS - 1);
+            qc_gap_bins[bin] += 1;
+        }
+        // Collapse the histogram counts to log₄ classes: the fingerprint
+        // separates behaviour *shapes*, not exact run lengths.
+        for count in qc_gap_bins.iter_mut() {
+            *count = log4_bucket(*count as u64);
+        }
+        let first_qc_bin = honest_qcs
+            .iter()
+            .find(|t| **t > self.gst)
+            .map(|t| log2_bucket(((*t - self.gst).as_micros().max(0) / unit) as u64) as i64)
+            .unwrap_or(-1);
+        // Normalize the run-scale counters per decision so two runs that
+        // merely stopped at different points do not look novel.
+        let decisions = (self.commit_times.len() as u64).max(1);
+        let messages: u64 = self.honest_msg_times.iter().map(|(_, c)| *c).sum();
+        CoverageFingerprint {
+            qc_gap_bins,
+            first_qc_bin,
+            equivocation_bucket: log2_bucket(self.equivocations as u64),
+            lock_bucket: log2_bucket(self.lock_advances / decisions),
+            wake_bucket: log2_bucket(self.wake_events / decisions),
+            heavy_sync_bucket: log4_bucket(self.heavy_sync_participations.len() as u64),
+            commit_bucket: log4_bucket(self.commit_times.len() as u64),
+            message_bucket: log2_bucket(messages / decisions),
+            strategy_windows: self
+                .strategy_windows
+                .iter()
+                .map(|(name, mask)| (name.clone(), *mask))
+                .collect(),
+        }
+    }
+
     /// Finalises the report.
     pub fn finish(self, end_time: Time) -> SimReport {
+        let coverage = self.fingerprint();
         SimReport {
             protocol: self.protocol,
             n: self.n,
@@ -353,7 +547,8 @@ impl MetricsCollector {
             gap_samples: self.gap_samples,
             safety_ok: true,
             truncated: false,
-            equivocations_observed: 0,
+            equivocations_observed: self.equivocations,
+            coverage,
         }
     }
 }
@@ -456,6 +651,82 @@ mod tests {
             Some(Duration::from_millis(7))
         );
         assert_eq!(r.max_honest_gap_after(Time::from_millis(126)), None);
+    }
+
+    #[test]
+    fn log2_buckets_classify_counts_coarsely() {
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 1);
+        assert_eq!(log2_bucket(2), 2);
+        assert_eq!(log2_bucket(3), 2);
+        assert_eq!(log2_bucket(4), 3);
+        assert_eq!(log2_bucket(1023), 10);
+    }
+
+    #[test]
+    fn fingerprint_bins_qc_gaps_and_event_mix() {
+        let r = report_fixture();
+        let fp = &r.coverage;
+        assert_eq!(fp.qc_gap_bins.len(), QC_GAP_BINS);
+        // One honest QC gap of 15 ms = 6 units of Δ/4 = 2.5 ms → bucket 3.
+        assert_eq!(fp.qc_gap_bins.iter().sum::<u32>(), 1);
+        assert_eq!(fp.qc_gap_bins[3], 1);
+        // First honest QC 15 ms after GST → same bin.
+        assert_eq!(fp.first_qc_bin, 3);
+        // Event mix: 2 commits → log₄ class 1; 3 heavy-sync participations
+        // → class 1; 7 honest messages over 2 decisions → 3 per decision →
+        // log₂ bucket 2; no wakes, locks or equivocations in the fixture.
+        assert_eq!(fp.commit_bucket, 1);
+        assert_eq!(fp.heavy_sync_bucket, 1);
+        assert_eq!(fp.message_bucket, 2);
+        assert_eq!(fp.wake_bucket, 0);
+        assert_eq!(fp.lock_bucket, 0);
+        assert_eq!(fp.equivocation_bucket, 0);
+        assert!(fp.strategy_windows.is_empty());
+        // The key is canonical: equal fingerprints ⇔ equal keys.
+        assert_eq!(fp.key(), report_fixture().coverage.key());
+        let mut other = fp.clone();
+        other.commit_bucket += 1;
+        assert_ne!(fp.key(), other.key());
+    }
+
+    #[test]
+    fn strategy_activations_set_time_window_bits() {
+        let mut c = MetricsCollector::new(
+            "test".into(),
+            4,
+            1,
+            1,
+            Duration::from_millis(10),
+            Time::ZERO,
+        );
+        // Bin width = 64Δ = 640 ms.
+        c.record_strategy_activation("crash", Time::from_millis(5));
+        c.record_strategy_activation("crash", Time::from_millis(700));
+        c.record_strategy_activation("equivocate", Time::from_millis(1_300));
+        // Far-future activations collapse into the last bin.
+        c.record_strategy_activation("equivocate", Time::from_millis(1_000_000));
+        c.record_wake();
+        c.record_wake();
+        c.record_wake();
+        c.record_lock_advances(5);
+        c.record_equivocations(1);
+        let r = c.finish(Time::from_millis(400));
+        let fp = &r.coverage;
+        assert_eq!(
+            fp.strategy_windows,
+            vec![
+                ("crash".to_string(), 0b11),
+                ("equivocate".to_string(), (1 << 2) | (1 << 15)),
+            ]
+        );
+        assert_eq!(fp.wake_bucket, 2);
+        assert_eq!(fp.lock_bucket, 3);
+        assert_eq!(fp.equivocation_bucket, 1);
+        assert_eq!(r.equivocations_observed, 1);
+        // No honest QC after GST at all.
+        assert_eq!(fp.first_qc_bin, -1);
+        assert!(fp.key().contains("crash@3"));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! A simulated processor: pacemaker + consensus engine + adversary strategy.
 
-use crate::adversary::{AdversaryStrategy, StrategyCtx};
+use crate::adversary::{AdversaryStrategy, ProtocolObs, StrategyCtx};
 use crate::event::SimMessage;
 use lumiere_consensus::{ConsensusAction, HotStuffEngine, QuorumCert};
 use lumiere_core::pacemaker::{Pacemaker, PacemakerAction};
@@ -28,6 +28,11 @@ pub struct NodeOutput {
     pub entered_views: Vec<View>,
     /// Epoch views for which this processor started heavy synchronization.
     pub heavy_syncs: Vec<View>,
+    /// How many messages the node's adversary strategy suppressed, forged
+    /// or redirected while producing this output (always zero for honest
+    /// processors). The runner folds non-zero counts into the coverage
+    /// fingerprint's per-strategy activation windows.
+    pub adversary_events: u32,
 }
 
 impl NodeOutput {
@@ -41,6 +46,7 @@ impl NodeOutput {
         self.commits.clear();
         self.entered_views.clear();
         self.heavy_syncs.clear();
+        self.adversary_events = 0;
     }
 }
 
@@ -60,6 +66,10 @@ pub struct Node {
     engine: HotStuffEngine,
     strategy: Option<Box<dyn AdversaryStrategy>>,
     pacemaker_booted: bool,
+    /// Start-of-event [`StrategyCtx`] snapshot, taken once per event for
+    /// corrupted nodes and reused by every gating decision of that event
+    /// (honest nodes never build one).
+    event_ctx: Option<StrategyCtx>,
     /// Persistent cascade queues, reused across events (no per-event
     /// allocation once warm).
     pm_queue: VecDeque<PacemakerAction>,
@@ -84,6 +94,7 @@ impl Node {
             engine,
             strategy,
             pacemaker_booted: false,
+            event_ctx: None,
             pm_queue: VecDeque::new(),
             cons_queue: VecDeque::new(),
         }
@@ -130,23 +141,74 @@ impl Node {
         self.engine.equivocations_detected()
     }
 
+    /// How many times this processor's engine lock advanced (coverage
+    /// fingerprint event mix).
+    pub fn locks_advanced(&self) -> u64 {
+        self.engine.locks_advanced()
+    }
+
     /// The protocol name reported by the pacemaker.
     pub fn protocol_name(&self) -> &'static str {
         self.pacemaker.name()
     }
 
-    fn runs_pacemaker(&self, now: Time) -> bool {
-        self.strategy.as_ref().is_none_or(|s| s.runs_pacemaker(now))
+    /// Snapshots the node's protocol state into a [`StrategyCtx`] for the
+    /// adversary strategy (cheap: a handful of field reads plus one scan of
+    /// the engine's pending-vote pools for the current view).
+    fn strategy_ctx(&self, now: Time) -> StrategyCtx {
+        StrategyCtx {
+            id: self.id,
+            n: self.n,
+            now,
+            obs: ProtocolObs {
+                view: self.pacemaker.current_view(),
+                engine_view: self.engine.current_view(),
+                leader: self.engine.current_leader(),
+                locked_view: self.engine.locked_view(),
+                last_voted_view: self.engine.last_voted_view(),
+                high_qc_view: self.engine.high_qc().view(),
+                pending_qc_votes: self.engine.pending_votes(self.engine.current_view()),
+                clock: self.pacemaker.local_clock_reading(now),
+                booted: self.pacemaker_booted,
+            },
+        }
     }
 
-    fn runs_consensus(&self, now: Time) -> bool {
-        self.strategy.as_ref().is_none_or(|s| s.runs_consensus(now))
+    /// Snapshots the event context once and lets a stateful strategy react
+    /// to it before the event is processed (adaptive corruption). Every
+    /// later gating decision of this event reuses the snapshot, so a
+    /// corrupted node pays one [`Node::strategy_ctx`] build per event.
+    fn observe_strategy(&mut self, now: Time) {
+        if self.strategy.is_some() {
+            let ctx = self.strategy_ctx(now);
+            if let Some(strategy) = &mut self.strategy {
+                strategy.observe(&ctx);
+            }
+            self.event_ctx = Some(ctx);
+        }
+    }
+
+    fn runs_pacemaker(&self, _now: Time) -> bool {
+        match (&self.strategy, &self.event_ctx) {
+            (Some(s), Some(ctx)) => s.runs_pacemaker(ctx),
+            _ => true,
+        }
+    }
+
+    fn runs_consensus(&self, _now: Time) -> bool {
+        match (&self.strategy, &self.event_ctx) {
+            (Some(s), Some(ctx)) => s.runs_consensus(ctx),
+            _ => true,
+        }
     }
 
     /// Synchronizes the engine's proposing switch with the strategy (the
     /// honest default is to propose).
-    fn sync_proposing(&mut self, now: Time) {
-        let proposes = self.strategy.as_ref().is_none_or(|s| s.proposes(now));
+    fn sync_proposing(&mut self, _now: Time) {
+        let proposes = match (&self.strategy, &self.event_ctx) {
+            (Some(s), Some(ctx)) => s.proposes(ctx),
+            _ => true,
+        };
         self.engine.set_proposing_enabled(proposes);
     }
 
@@ -161,16 +223,17 @@ impl Node {
     }
 
     /// Applies the strategy's output rewrite (identity for honest nodes,
-    /// which pay no allocation here).
+    /// which pay no allocation here). The transform sees a *fresh*
+    /// post-event snapshot — an adaptive strategy rewriting its output must
+    /// react to what the event changed (e.g. the leader of a view entered
+    /// moments ago), not to the state the event started from.
     fn finish(&mut self, now: Time, out: &mut NodeOutput) {
-        if let Some(strategy) = &mut self.strategy {
-            let ctx = StrategyCtx {
-                id: self.id,
-                n: self.n,
-                now,
-            };
-            let taken = std::mem::take(out);
-            *out = strategy.transform_output(&ctx, taken);
+        if self.strategy.is_some() {
+            let ctx = self.strategy_ctx(now);
+            if let Some(strategy) = &mut self.strategy {
+                let taken = std::mem::take(out);
+                *out = strategy.transform_output(&ctx, taken);
+            }
         }
     }
 
@@ -184,6 +247,7 @@ impl Node {
 
     /// Boots the processor, appending its effects to `out`.
     pub fn boot_into(&mut self, now: Time, out: &mut NodeOutput) {
+        self.observe_strategy(now);
         self.sync_proposing(now);
         if let Some(strategy) = &self.strategy {
             // Strategy-requested wake-ups (e.g. crash-recovery rejoin) are
@@ -203,11 +267,14 @@ impl Node {
 
     /// Fires a wake-up, appending its effects to `out`.
     pub fn wake_into(&mut self, now: Time, out: &mut NodeOutput) {
+        self.observe_strategy(now);
         self.sync_proposing(now);
         self.maybe_boot_pacemaker(now, out);
         if self.runs_pacemaker(now) {
             let actions = self.pacemaker.on_wake(now);
             self.drain_pacemaker(actions, now, out);
+        } else if self.strategy.is_some() {
+            out.adversary_events += 1;
         }
         self.finish(now, out);
     }
@@ -228,6 +295,7 @@ impl Node {
         now: Time,
         out: &mut NodeOutput,
     ) {
+        self.observe_strategy(now);
         self.sync_proposing(now);
         self.maybe_boot_pacemaker(now, out);
         match msg {
@@ -235,12 +303,16 @@ impl Node {
                 if self.runs_pacemaker(now) {
                     let actions = self.pacemaker.on_message(from, m, now);
                     self.drain_pacemaker(actions, now, out);
+                } else if self.strategy.is_some() {
+                    out.adversary_events += 1;
                 }
             }
             SimMessage::Consensus(m) => {
                 if self.runs_consensus(now) {
                     let actions = self.engine.on_message(from, m, now);
                     self.drain_consensus(actions, now, out);
+                } else if self.strategy.is_some() {
+                    out.adversary_events += 1;
                 }
             }
         }

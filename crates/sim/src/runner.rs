@@ -113,17 +113,15 @@ impl Simulation {
 
     fn finish_report(mut self) -> (SimReport, Trace) {
         let safety_ok = self.check_safety();
-        let equivocations = self
-            .nodes
-            .iter()
-            .filter(|n| n.is_honest())
-            .map(|n| n.equivocations_detected())
-            .sum();
+        let honest = self.nodes.iter().filter(|n| n.is_honest());
+        let equivocations = honest.clone().map(|n| n.equivocations_detected()).sum();
+        let lock_advances = honest.map(|n| n.locks_advanced()).sum();
+        self.collector.record_equivocations(equivocations);
+        self.collector.record_lock_advances(lock_advances);
         let trace = std::mem::take(&mut self.trace);
         let mut report = self.collector.finish(self.now);
         report.safety_ok = safety_ok;
         report.truncated = self.truncated;
-        report.equivocations_observed = equivocations;
         (report, trace)
     }
 
@@ -177,6 +175,7 @@ impl Simulation {
                     self.apply_output(node, &mut out);
                 }
                 Event::Wake { node } => {
+                    self.collector.record_wake();
                     self.with_node(node, &mut out, |n, now, out| n.wake_into(now, out));
                     self.apply_output(node, &mut out);
                 }
@@ -209,6 +208,15 @@ impl Simulation {
     fn apply_output(&mut self, from: ProcessId, out: &mut NodeOutput) {
         let honest = self.nodes[from.as_usize()].is_honest();
         let now = self.now;
+
+        // Adversary activation marks feed the coverage fingerprint's
+        // per-strategy activation windows.
+        if out.adversary_events > 0 {
+            if let Some(name) = self.nodes[from.as_usize()].strategy_name() {
+                self.collector.record_strategy_activation(name, now);
+            }
+            out.adversary_events = 0;
+        }
 
         // Network sends.
         for (to, msg) in out.sends.drain(..) {

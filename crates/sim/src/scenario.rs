@@ -11,6 +11,7 @@ use crate::trace::Trace;
 use lumiere_baselines::{Fever, Lp22, NaiveQuadratic, RelayPacemaker};
 use lumiere_consensus::HotStuffEngine;
 use lumiere_core::pacemaker::Pacemaker;
+use lumiere_core::planted::PlantedBug;
 use lumiere_core::{BasicLumiere, Lumiere, LumiereConfig};
 use lumiere_crypto::{keygen, KeyPair, Pki};
 use lumiere_types::{Duration, Params, Time};
@@ -82,9 +83,25 @@ impl ProtocolKind {
         pki: Pki,
         seed: u64,
     ) -> Box<dyn Pacemaker> {
+        self.build_pacemaker_with(params, keys, pki, seed, None)
+    }
+
+    /// Like [`ProtocolKind::build_pacemaker`], optionally planting a
+    /// calibration bug (Lumiere only; other protocols ignore it — see
+    /// [`lumiere_core::planted`]).
+    pub fn build_pacemaker_with(
+        &self,
+        params: Params,
+        keys: KeyPair,
+        pki: Pki,
+        seed: u64,
+        planted: Option<PlantedBug>,
+    ) -> Box<dyn Pacemaker> {
         match self {
             ProtocolKind::Lumiere => {
-                Box::new(Lumiere::new(LumiereConfig::new(params, seed), keys, pki))
+                let mut cfg = LumiereConfig::new(params, seed);
+                cfg.planted = planted;
+                Box::new(Lumiere::new(cfg, keys, pki))
             }
             ProtocolKind::BasicLumiere => Box::new(BasicLumiere::new(params, keys, pki)),
             ProtocolKind::Lp22 => Box::new(Lp22::new(params, keys, pki)),
@@ -134,6 +151,12 @@ pub struct SimConfig {
     /// `byz_behavior` and `byzantine_ids`, and its delay rules steer the
     /// [`DelayModel`] per edge instead of globally.
     pub adversary: Option<AdversarySchedule>,
+    /// A deliberately planted protocol bug, used to calibrate the fuzzer
+    /// (see [`lumiere_core::planted`]). `None` — the default — is stock
+    /// behaviour; setting it in a build without the `planted-bugs` feature
+    /// (or a test profile) is rejected by [`SimConfig::build_nodes`] so no
+    /// run can silently measure stock code while claiming to be planted.
+    pub planted_bug: Option<PlantedBug>,
 }
 
 impl SimConfig {
@@ -157,7 +180,15 @@ impl SimConfig {
             record_trace: false,
             sample_metrics_above: Self::DEFAULT_SAMPLE_METRICS_ABOVE,
             adversary: None,
+            planted_bug: None,
         }
+    }
+
+    /// Plants a calibration bug into the protocol under test (see
+    /// [`lumiere_core::planted`]).
+    pub fn with_planted_bug(mut self, bug: PlantedBug) -> Self {
+        self.planted_bug = Some(bug);
+        self
     }
 
     /// Default threshold for sampling-based metrics: below `n = 64` every
@@ -312,13 +343,22 @@ impl SimConfig {
         if let Err(message) = schedule.validate(self.n, params.f) {
             panic!("invalid adversary schedule: {message}");
         }
+        assert!(
+            self.planted_bug.is_none() || lumiere_core::planted::enabled(),
+            "planted-bug run requested but this build compiled no planted \
+             code paths (enable the `planted-bugs` feature)"
+        );
         let (keys, pki) = keygen(self.n, self.seed);
         keys.into_iter()
             .map(|k| {
                 let id = k.id();
-                let pacemaker =
-                    self.protocol
-                        .build_pacemaker(params, k.clone(), pki.clone(), self.seed);
+                let pacemaker = self.protocol.build_pacemaker_with(
+                    params,
+                    k.clone(),
+                    pki.clone(),
+                    self.seed,
+                    self.planted_bug,
+                );
                 let engine = HotStuffEngine::new(id, k, pki.clone(), params);
                 let strategy = schedule
                     .strategy_for(id.as_usize())
