@@ -26,7 +26,7 @@ fn worst_case_run(protocol: ProtocolKind, n: usize) -> usize {
         .with_delta(Duration::from_millis(10))
         .with_adversarial_delay()
         .with_gst(Time::from_millis(100))
-        .with_byzantine(f, ByzBehavior::SilentLeader)
+        .with_faults(f, ByzBehavior::SilentLeader)
         .with_horizon(Duration::from_secs(6))
         .with_max_honest_qcs(3)
         .run()

@@ -29,8 +29,8 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(2);
     }
-    if options.corpus_out.is_some() && !options.coverage {
-        eprintln!("error: --corpus-out only applies to --coverage runs");
+    if (options.corpus_out.is_some() || options.corpus_in.is_some()) && !options.coverage {
+        eprintln!("error: --corpus-out/--corpus-in only apply to --coverage runs");
         return ExitCode::from(2);
     }
     // Fail fast on an unwritable output dir, before minutes of simulations.

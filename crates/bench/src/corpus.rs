@@ -226,6 +226,22 @@ fn exec_rng(exec: u64) -> StdRng {
 /// points. See the module docs for the determinism argument.
 pub fn run_coverage_fuzz(options: &FuzzOptions) -> CoverageOutcome {
     let mut corpus = Corpus::new();
+    if let Some(dir) = &options.corpus_in {
+        match load_corpus(dir) {
+            Ok(entries) => {
+                let preloaded = entries.len();
+                let mut admitted = 0usize;
+                for entry in entries {
+                    admitted += corpus.observe(entry) as usize;
+                }
+                eprintln!(
+                    "preloaded corpus from {}: {admitted} of {preloaded} entries novel",
+                    dir.display()
+                );
+            }
+            Err(e) => eprintln!("warning: ignoring corpus preload: {e}"),
+        }
+    }
     let mut findings = Vec::new();
     let mut generations = Vec::new();
     let generation = options.generation.max(1);
@@ -301,14 +317,36 @@ pub fn run_coverage_fuzz(options: &FuzzOptions) -> CoverageOutcome {
 pub fn write_corpus(dir: &Path, corpus: &Corpus) -> Result<Vec<PathBuf>, String> {
     crate::report::ensure_writable(dir)?;
     let mut paths = Vec::with_capacity(corpus.len());
-    for entry in corpus.entries() {
-        let path = dir.join(format!("corpus__exec{:06}.json", entry.id));
+    for (i, entry) in corpus.entries().iter().enumerate() {
+        // The leading discovery index keeps filenames unique even when a
+        // preloaded entry (from a previous run's id space) shares an exec
+        // id with a fresh one, and makes lexicographic order = discovery
+        // order, which is what `load_corpus` replays.
+        let path = dir.join(format!("corpus__{i:06}__exec{:06}.json", entry.id));
         let mut text = json::to_string_pretty(entry);
         text.push('\n');
         std::fs::write(&path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         paths.push(path);
     }
     Ok(paths)
+}
+
+/// Loads a persisted corpus directory: every `*.json` file under `dir`, in
+/// lexicographic filename order (= discovery order for [`write_corpus`]
+/// output). A missing directory is an empty corpus — the cache-miss case of
+/// a CI corpus restored across runs — but an unreadable or malformed file
+/// is a hard error, never silently skipped.
+pub fn load_corpus(dir: &Path) -> Result<Vec<CorpusEntry>, String> {
+    if !dir.exists() {
+        return Ok(Vec::new());
+    }
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read corpus directory {}: {e}", dir.display()))?
+        .filter_map(|res| res.ok().map(|entry| entry.path()))
+        .filter(|path| path.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    paths.iter().map(|path| load_corpus_entry(path)).collect()
 }
 
 /// Loads one corpus-entry file (the regression-replay test's reader).
@@ -373,9 +411,35 @@ mod tests {
         corpus.observe(entry(3, "abc"));
         let paths = write_corpus(&dir, &corpus).unwrap();
         assert_eq!(paths.len(), 1);
-        assert!(paths[0].ends_with("corpus__exec000003.json"));
+        assert!(paths[0].ends_with("corpus__000000__exec000003.json"));
         let loaded = load_corpus_entry(&paths[0]).unwrap();
         assert_eq!(&loaded, &corpus.entries()[0]);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_persisted_corpus_reloads_in_discovery_order() {
+        let dir =
+            std::env::temp_dir().join(format!("lumiere-corpus-reload-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut corpus = Corpus::new();
+        // Ids deliberately out of order: discovery order, not id order, is
+        // what must survive the round trip.
+        corpus.observe(entry(7, "abc"));
+        corpus.observe(entry(2, "def"));
+        corpus.observe(entry(5, "ghi"));
+        write_corpus(&dir, &corpus).unwrap();
+        let loaded = load_corpus(&dir).unwrap();
+        assert_eq!(loaded, corpus.entries());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn loading_a_missing_corpus_directory_is_an_empty_preload() {
+        let dir = std::env::temp_dir().join(format!(
+            "lumiere-corpus-missing-{}-does-not-exist",
+            std::process::id()
+        ));
+        assert_eq!(load_corpus(&dir).unwrap(), Vec::new());
     }
 }

@@ -259,7 +259,7 @@ pub fn worst_case_table(scale: ExperimentScale, threads: usize) -> ExperimentRun
             .with_delta(delta)
             .with_adversarial_delay()
             .with_gst(gst)
-            .with_byzantine_ids(byz, ByzBehavior::SilentLeader)
+            .with_faulty_ids(byz, ByzBehavior::SilentLeader)
             .with_horizon(horizon)
             .with_max_honest_qcs(3)
             .with_seed(seed)
@@ -325,7 +325,7 @@ pub fn eventual_table(scale: ExperimentScale, threads: usize) -> ExperimentRun {
         SimConfig::new(protocol, n)
             .with_delta(delta)
             .with_actual_delay(actual)
-            .with_byzantine(f_a, ByzBehavior::SilentLeader)
+            .with_faults(f_a, ByzBehavior::SilentLeader)
             .with_horizon(horizon)
             .with_seed(seed)
             .run()
@@ -467,7 +467,7 @@ pub fn figure1_report(scale: ExperimentScale, threads: usize) -> ExperimentRun {
         let (report, trace) = SimConfig::new(protocol, n)
             .with_delta(delta)
             .with_actual_delay(actual)
-            .with_byzantine_ids(vec![byz], ByzBehavior::SilentLeader)
+            .with_faulty_ids(vec![byz], ByzBehavior::SilentLeader)
             .with_horizon(Duration::from_secs(3))
             .with_max_honest_qcs(10)
             .with_seed(seed)
@@ -536,7 +536,7 @@ pub fn figure1_report(scale: ExperimentScale, threads: usize) -> ExperimentRun {
         SimConfig::new(protocol, n)
             .with_delta(delta)
             .with_actual_delay(actual)
-            .with_byzantine_ids(vec![byz], ByzBehavior::SilentLeader)
+            .with_faulty_ids(vec![byz], ByzBehavior::SilentLeader)
             .with_horizon(Duration::from_secs(8))
             .with_max_honest_qcs(8 * n)
             .with_seed(seed)
@@ -617,7 +617,7 @@ pub fn heavy_sync_report(scale: ExperimentScale, threads: usize) -> ExperimentRu
         SimConfig::new(protocol, n)
             .with_delta(delta)
             .with_actual_delay(Duration::from_millis(1))
-            .with_byzantine(f_a, ByzBehavior::SilentLeader)
+            .with_faults(f_a, ByzBehavior::SilentLeader)
             .with_horizon(horizon)
             .with_seed(seed)
             .run()
@@ -680,7 +680,7 @@ pub fn honest_gap_report(scale: ExperimentScale, threads: usize) -> ExperimentRu
         SimConfig::new(protocol, n)
             .with_delta(delta)
             .with_actual_delay(Duration::from_millis(1))
-            .with_byzantine(f_a, ByzBehavior::SilentLeader)
+            .with_faults(f_a, ByzBehavior::SilentLeader)
             .with_horizon(Duration::from_millis(6_000 + 3_000 * f_a as i64))
             .with_seed(seed)
             .run()
@@ -884,7 +884,7 @@ pub fn scale_table(scale: ExperimentScale, threads: usize) -> ExperimentRun {
             .with_delta(delta)
             .with_adversarial_delay()
             .with_gst(gst)
-            .with_byzantine_ids(byz, ByzBehavior::SilentLeader)
+            .with_faulty_ids(byz, ByzBehavior::SilentLeader)
             .with_horizon(horizon)
             .with_max_honest_qcs(3)
             .with_seed(seed)

@@ -94,6 +94,11 @@ pub struct FuzzOptions {
     pub generation: usize,
     /// Where to persist the final corpus (coverage mode only).
     pub corpus_out: Option<PathBuf>,
+    /// A previously persisted corpus to preload before the loop starts
+    /// (coverage mode only): its fingerprints seed the novelty set and its
+    /// entries are mutation parents from execution zero. A missing
+    /// directory is an empty preload — exactly the CI cache-miss case.
+    pub corpus_in: Option<PathBuf>,
     /// Fuzz a deliberately broken protocol variant instead of stock
     /// behaviour (fuzzer calibration; requires a build with the
     /// `planted-bugs` feature).
@@ -112,6 +117,7 @@ impl Default for FuzzOptions {
             coverage: false,
             generation: 16,
             corpus_out: None,
+            corpus_in: None,
             planted: None,
         }
     }
@@ -122,7 +128,7 @@ pub fn usage(binary: &str) -> String {
     format!(
         "usage: {binary} [--seeds A..B] [--protocol NAME] [--threads N] [--quick|--deep]\n\
         \x20               [--coverage] [--generation N] [--planted-bug NAME]\n\
-        \x20               [--out DIR] [--corpus-out DIR]\n\
+        \x20               [--out DIR] [--corpus-out DIR] [--corpus-in DIR]\n\
          \n\
          Searches the adversary strategy/schedule space and reports any safety\n\
          violation or liveness stall with a minimized configuration. The default\n\
@@ -144,6 +150,8 @@ pub fn usage(binary: &str) -> String {
         \x20                    needs the planted-bugs feature): drop-timeout-rearm\n\
         \x20 --out DIR          write one JSON file per finding under DIR\n\
         \x20 --corpus-out DIR   write one JSON file per corpus entry under DIR\n\
+        \x20 --corpus-in DIR    preload a persisted corpus before fuzzing (a\n\
+        \x20                    missing DIR is an empty preload)\n\
         \x20 --help             this message\n"
     )
 }
@@ -213,6 +221,7 @@ pub fn parse_args(args: &[String]) -> Result<Option<FuzzOptions>, String> {
             }
             "--out" => options.out = Some(PathBuf::from(value("--out")?)),
             "--corpus-out" => options.corpus_out = Some(PathBuf::from(value("--corpus-out")?)),
+            "--corpus-in" => options.corpus_in = Some(PathBuf::from(value("--corpus-in")?)),
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown argument `{other}`")),
         }

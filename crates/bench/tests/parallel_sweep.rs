@@ -41,7 +41,7 @@ fn sweep_cells(threads: usize) -> Vec<SweepCell> {
         SimConfig::new(protocol, n)
             .with_delta(Duration::from_millis(10))
             .with_actual_delay(Duration::from_millis(1))
-            .with_byzantine(f_a, ByzBehavior::SilentLeader)
+            .with_faults(f_a, ByzBehavior::SilentLeader)
             .with_horizon(Duration::from_secs(4))
             .with_max_honest_qcs(12)
             .with_seed(42)

@@ -33,7 +33,7 @@ fn worst_case_msgs(protocol: ProtocolKind, n: usize) -> usize {
         .with_delta(DELTA)
         .with_adversarial_delay()
         .with_gst(Time::from_millis(200))
-        .with_byzantine_ids(byz, ByzBehavior::SilentLeader)
+        .with_faulty_ids(byz, ByzBehavior::SilentLeader)
         .with_horizon(Duration::from_secs(8))
         .with_max_honest_qcs(3)
         .with_seed(SEED)

@@ -1,0 +1,88 @@
+//! `lumiere-node` — one live processor of a Lumiere cluster.
+//!
+//! ```text
+//! lumiere-node --config node0.json [--out summary0.json]
+//! ```
+//!
+//! Reads a [`NodeConfig`], joins the TCP mesh it describes (blocking until
+//! every peer is reachable), runs the configured protocol in real time, and
+//! on exit writes a JSON run summary — committed chain included — to
+//! `--out` (or stdout). `scripts/local-cluster.sh` boots four of these on
+//! localhost and diffs their chains.
+
+use lumiere_runtime::driver::{self, DriverOptions};
+use lumiere_runtime::{build_runtime, NodeConfig, TcpTransport, Transport};
+use serde::json;
+use std::sync::atomic::{AtomicBool, AtomicU64};
+use std::time::Duration as WallDuration;
+
+fn main() {
+    let (config_path, out_path) = match parse_args() {
+        Ok(paths) => paths,
+        Err(usage) => {
+            eprintln!("{usage}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run_node(&config_path, out_path.as_deref()) {
+        eprintln!("lumiere-node: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn parse_args() -> Result<(String, Option<String>), String> {
+    let usage = "usage: lumiere-node --config <node.json> [--out <summary.json>]";
+    let mut config = None;
+    let mut out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--config" => config = Some(args.next().ok_or(usage)?),
+            "--out" => out = Some(args.next().ok_or(usage)?),
+            "--help" | "-h" => return Err(usage.to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{usage}")),
+        }
+    }
+    Ok((config.ok_or(usage)?, out))
+}
+
+fn run_node(config_path: &str, out_path: Option<&str>) -> Result<(), String> {
+    let cfg = NodeConfig::load(config_path).map_err(|e| e.to_string())?;
+    let protocol = cfg
+        .protocol_kind()
+        .expect("validated config names a known protocol");
+    eprintln!(
+        "[node {}] {} | n = {} | listening on {}",
+        cfg.node_id,
+        protocol.name(),
+        cfg.n,
+        cfg.listen
+    );
+
+    let transport = TcpTransport::connect(cfg.mesh()).map_err(|e| e.to_string())?;
+    eprintln!("[node {}] mesh up, booting protocol", cfg.node_id);
+
+    let runtime = build_runtime(protocol, cfg.n, cfg.node_id, cfg.delta(), cfg.seed);
+    let opts = DriverOptions {
+        target_commits: cfg.target_commits,
+        deadline: cfg.run_timeout_ms.map(WallDuration::from_millis),
+        ..DriverOptions::default()
+    };
+    let stop = AtomicBool::new(false);
+    let committed = AtomicU64::new(0);
+    let (summary, _runtime, mut transport) =
+        driver::run(runtime, transport, &opts, &stop, &committed).map_err(|e| e.to_string())?;
+    transport.shutdown();
+
+    eprintln!(
+        "[node {}] done: committed {} blocks in view {} after {:.0} ms",
+        summary.node, summary.committed_height, summary.final_view, summary.wall_ms
+    );
+    let text = json::to_string(&summary);
+    match out_path {
+        Some(path) => std::fs::write(path, text)
+            .map_err(|e| format!("cannot write summary to {path}: {e}"))?,
+        None => println!("{text}"),
+    }
+    Ok(())
+}

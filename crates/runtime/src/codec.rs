@@ -1,0 +1,193 @@
+//! The wire codec: length-prefixed frames of deterministic JSON.
+//!
+//! Every consensus message crosses the TCP mesh as one frame:
+//!
+//! ```text
+//! +----------------+---------------------------+
+//! | length: u32 BE | payload: compact JSON     |
+//! +----------------+---------------------------+
+//! ```
+//!
+//! The payload is the workspace serde shim's deterministic compact JSON of a
+//! [`WireMessage`] (field order fixed by declaration order, no whitespace),
+//! so a message encodes to exactly the same bytes on every node and every
+//! run — codec drift is caught by the proptest round-trip suite before it
+//! can desynchronize a live cluster.
+//!
+//! Frames are capped at [`MAX_FRAME_BYTES`]: every protocol message is
+//! `O(κ)`-sized, so anything near the cap is a corrupt or hostile stream and
+//! is rejected before allocation.
+
+use crate::message::WireMessage;
+use serde::json;
+use std::io::{Read, Write};
+
+/// Upper bound on a frame's payload size. Protocol messages serialize to a
+/// few hundred bytes; a length prefix beyond this indicates stream
+/// corruption (or a hostile peer) and poisons the connection.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// A codec failure: I/O, a malformed frame, or undecodable payload.
+#[derive(Debug)]
+pub enum CodecError {
+    /// The underlying stream failed.
+    Io(std::io::Error),
+    /// The stream ended cleanly between frames (orderly peer shutdown).
+    Closed,
+    /// The frame is structurally invalid (oversized, or non-JSON payload).
+    Malformed(String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Io(e) => write!(f, "wire I/O error: {e}"),
+            CodecError::Closed => write!(f, "connection closed"),
+            CodecError::Malformed(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for CodecError {
+    fn from(e: std::io::Error) -> Self {
+        CodecError::Io(e)
+    }
+}
+
+/// Encodes a message into one self-contained frame (length prefix +
+/// deterministic JSON payload).
+pub fn encode_frame(msg: &WireMessage) -> Vec<u8> {
+    let payload = json::to_string(msg).into_bytes();
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Decodes one frame previously produced by [`encode_frame`]. Returns the
+/// message and the number of bytes consumed.
+pub fn decode_frame(bytes: &[u8]) -> Result<(WireMessage, usize), CodecError> {
+    if bytes.len() < 4 {
+        return Err(CodecError::Malformed(format!(
+            "frame shorter than its length prefix ({} bytes)",
+            bytes.len()
+        )));
+    }
+    let len = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(CodecError::Malformed(format!(
+            "frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )));
+    }
+    let end = 4 + len;
+    if bytes.len() < end {
+        return Err(CodecError::Malformed(format!(
+            "frame truncated: prefix says {len} bytes, {} available",
+            bytes.len() - 4
+        )));
+    }
+    let text = std::str::from_utf8(&bytes[4..end])
+        .map_err(|e| CodecError::Malformed(format!("payload is not UTF-8: {e}")))?;
+    let msg = json::from_str(text)
+        .map_err(|e| CodecError::Malformed(format!("payload is not a WireMessage: {e}")))?;
+    Ok((msg, end))
+}
+
+/// Writes one frame to a stream (a single `write_all`, so a frame is never
+/// interleaved with another writer's bytes on the same stream).
+pub fn write_frame<W: Write>(writer: &mut W, msg: &WireMessage) -> Result<(), CodecError> {
+    writer.write_all(&encode_frame(msg))?;
+    Ok(())
+}
+
+/// Reads exactly one frame from a stream. [`CodecError::Closed`] means the
+/// peer shut the stream down cleanly at a frame boundary.
+pub fn read_frame<R: Read>(reader: &mut R) -> Result<WireMessage, CodecError> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match reader.read(&mut prefix[filled..])? {
+            0 if filled == 0 => return Err(CodecError::Closed),
+            0 => {
+                return Err(CodecError::Malformed(
+                    "stream ended inside a length prefix".to_string(),
+                ))
+            }
+            k => filled += k,
+        }
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(CodecError::Malformed(format!(
+            "frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    let text = std::str::from_utf8(&payload)
+        .map_err(|e| CodecError::Malformed(format!("payload is not UTF-8: {e}")))?;
+    json::from_str(text).map_err(|e| CodecError::Malformed(format!("payload: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumiere_consensus::{ConsensusMessage, QuorumCert};
+
+    fn sample() -> WireMessage {
+        WireMessage::Consensus(ConsensusMessage::NewQc(QuorumCert::genesis()))
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let msg = sample();
+        let frame = encode_frame(&msg);
+        let (back, consumed) = decode_frame(&frame).unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(consumed, frame.len());
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        assert_eq!(encode_frame(&sample()), encode_frame(&sample()));
+    }
+
+    #[test]
+    fn stream_round_trip_handles_back_to_back_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &sample()).unwrap();
+        write_frame(&mut buf, &sample()).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), sample());
+        assert_eq!(read_frame(&mut cursor).unwrap(), sample());
+        assert!(matches!(read_frame(&mut cursor), Err(CodecError::Closed)));
+    }
+
+    #[test]
+    fn oversized_and_truncated_frames_are_rejected() {
+        let mut frame = encode_frame(&sample());
+        frame.truncate(frame.len() - 1);
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(CodecError::Malformed(_))
+        ));
+        let huge = ((MAX_FRAME_BYTES + 1) as u32).to_be_bytes();
+        let mut bytes = huge.to_vec();
+        bytes.extend_from_slice(b"xxxx");
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn garbage_payload_is_rejected() {
+        let payload = b"not json";
+        let mut frame = (payload.len() as u32).to_be_bytes().to_vec();
+        frame.extend_from_slice(payload);
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,224 @@
+//! Node configuration files for the `lumiere-node` binary.
+//!
+//! A config is a JSON object read with the workspace serde shim. Every field
+//! is required (the shim has no `#[serde(default)]`; optional values are
+//! written as `null`), which keeps cluster configs explicit and diffable:
+//!
+//! ```json
+//! {
+//!   "node_id": 0,
+//!   "n": 4,
+//!   "protocol": "lumiere",
+//!   "delta_ms": 20,
+//!   "seed": 42,
+//!   "listen": "127.0.0.1:7400",
+//!   "peers": [
+//!     {"id": 1, "addr": "127.0.0.1:7401"},
+//!     {"id": 2, "addr": "127.0.0.1:7402"},
+//!     {"id": 3, "addr": "127.0.0.1:7403"}
+//!   ],
+//!   "target_commits": 50,
+//!   "run_timeout_ms": 60000,
+//!   "connect_timeout_ms": 15000
+//! }
+//! ```
+//!
+//! Every node of a cluster must agree on `n`, `protocol`, `delta_ms` and
+//! `seed`: the seed drives the deterministic key generation, so equal seeds
+//! are what make the nodes mutually verifiable (see
+//! [`crate::protocol::build_runtime`]).
+
+use crate::protocol::ProtocolKind;
+use crate::tcp::TcpMeshConfig;
+use lumiere_types::{Duration, ProcessId};
+use serde::{json, Deserialize, Serialize};
+use std::time::Duration as WallDuration;
+
+/// One peer's identity and address.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeerConfig {
+    /// The peer's processor id.
+    pub id: usize,
+    /// The peer's listen address (`host:port`).
+    pub addr: String,
+}
+
+/// The configuration of one `lumiere-node` process.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeConfig {
+    /// This node's processor id (`0 ≤ node_id < n`).
+    pub node_id: usize,
+    /// Cluster size.
+    pub n: usize,
+    /// Protocol short name (see `ProtocolKind::name`).
+    pub protocol: String,
+    /// The known message-delay bound Δ, in milliseconds.
+    pub delta_ms: i64,
+    /// Seed for the deterministic cluster key generation.
+    pub seed: u64,
+    /// The local listen address (`host:port`).
+    pub listen: String,
+    /// Every *other* node of the cluster.
+    pub peers: Vec<PeerConfig>,
+    /// Stop after committing this many blocks (`null` = run to timeout).
+    pub target_commits: Option<u64>,
+    /// Hard wall-clock cap on the run, in milliseconds (`null` = none).
+    pub run_timeout_ms: Option<u64>,
+    /// How long to wait for the full mesh at boot, in milliseconds.
+    pub connect_timeout_ms: u64,
+}
+
+/// A configuration error: unreadable file, bad JSON, or inconsistent values.
+#[derive(Debug)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "config error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl NodeConfig {
+    /// Reads and validates a config file.
+    pub fn load(path: &str) -> Result<NodeConfig, ConfigError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ConfigError(format!("cannot read {path}: {e}")))?;
+        let cfg: NodeConfig =
+            json::from_str(&text).map_err(|e| ConfigError(format!("cannot parse {path}: {e}")))?;
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Checks internal consistency (ids in range, peer list complete,
+    /// protocol known).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.n < 1 {
+            return Err(ConfigError("n must be at least 1".to_string()));
+        }
+        if self.node_id >= self.n {
+            return Err(ConfigError(format!(
+                "node_id {} out of range for n = {}",
+                self.node_id, self.n
+            )));
+        }
+        if self.protocol_kind().is_none() {
+            return Err(ConfigError(format!(
+                "unknown protocol `{}` (known: {})",
+                self.protocol,
+                ProtocolKind::all()
+                    .iter()
+                    .map(|p| p.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )));
+        }
+        let mut seen: Vec<usize> = self.peers.iter().map(|p| p.id).collect();
+        seen.push(self.node_id);
+        seen.sort_unstable();
+        let expected: Vec<usize> = (0..self.n).collect();
+        if seen != expected {
+            return Err(ConfigError(format!(
+                "peers plus node_id must cover ids 0..{} exactly once, got {seen:?}",
+                self.n
+            )));
+        }
+        Ok(())
+    }
+
+    /// The parsed protocol, if `protocol` names one.
+    pub fn protocol_kind(&self) -> Option<ProtocolKind> {
+        ProtocolKind::from_name(&self.protocol)
+    }
+
+    /// The message-delay bound Δ as a virtual-time duration.
+    pub fn delta(&self) -> Duration {
+        Duration::from_millis(self.delta_ms)
+    }
+
+    /// The TCP mesh description this config implies.
+    pub fn mesh(&self) -> TcpMeshConfig {
+        TcpMeshConfig {
+            id: ProcessId::new(self.node_id),
+            n: self.n,
+            listen: self.listen.clone(),
+            peers: self
+                .peers
+                .iter()
+                .map(|p| (ProcessId::new(p.id), p.addr.clone()))
+                .collect(),
+            connect_timeout: WallDuration::from_millis(self.connect_timeout_ms),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> NodeConfig {
+        NodeConfig {
+            node_id: 0,
+            n: 3,
+            protocol: "lumiere".to_string(),
+            delta_ms: 20,
+            seed: 42,
+            listen: "127.0.0.1:7400".to_string(),
+            peers: vec![
+                PeerConfig {
+                    id: 1,
+                    addr: "127.0.0.1:7401".to_string(),
+                },
+                PeerConfig {
+                    id: 2,
+                    addr: "127.0.0.1:7402".to_string(),
+                },
+            ],
+            target_commits: Some(50),
+            run_timeout_ms: Some(60_000),
+            connect_timeout_ms: 15_000,
+        }
+    }
+
+    #[test]
+    fn sample_config_round_trips_through_json() {
+        let cfg = sample();
+        let text = json::to_string(&cfg);
+        let back: NodeConfig = json::from_str(&text).unwrap();
+        assert_eq!(back.node_id, cfg.node_id);
+        assert_eq!(back.peers, cfg.peers);
+        assert_eq!(back.target_commits, Some(50));
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_configs() {
+        let mut bad = sample();
+        bad.node_id = 3;
+        assert!(bad.validate().is_err(), "node_id out of range");
+
+        let mut bad = sample();
+        bad.protocol = "paxos".to_string();
+        assert!(bad.validate().is_err(), "unknown protocol");
+
+        let mut bad = sample();
+        bad.peers.pop();
+        assert!(bad.validate().is_err(), "incomplete peer set");
+
+        let mut bad = sample();
+        bad.peers[0].id = 0;
+        assert!(bad.validate().is_err(), "duplicate id");
+    }
+
+    #[test]
+    fn helpers_derive_mesh_and_protocol() {
+        let cfg = sample();
+        assert_eq!(cfg.protocol_kind(), Some(ProtocolKind::Lumiere));
+        assert_eq!(cfg.delta(), Duration::from_millis(20));
+        let mesh = cfg.mesh();
+        assert_eq!(mesh.n, 3);
+        assert_eq!(mesh.peers.len(), 2);
+        assert_eq!(mesh.connect_timeout, WallDuration::from_millis(15_000));
+    }
+}

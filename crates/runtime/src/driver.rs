@@ -1,0 +1,352 @@
+//! The real-time node driver: the event loop that runs a
+//! [`ConsensusRuntime`] against a [`Transport`] on wall-clock time.
+//!
+//! The simulator advances virtual time by popping a calendar queue; a live
+//! node cannot. The driver instead anchors an epoch `Instant` at boot and
+//! maps wall time to the protocol's virtual [`Time`] as elapsed microseconds,
+//! so the same pacemakers (whose deadlines are all virtual-time arithmetic)
+//! run unmodified. Wake-up requests go into a timer heap (with the same
+//! dedup the simulator applies) and the loop sleeps on the transport for
+//! whichever comes first: the next timer or the next inbound frame.
+//!
+//! Stop conditions, in priority order:
+//!
+//! 1. an external [`DriverHandle::stop`] request (graceful shutdown —
+//!    mid-view is fine, the protocol is crash-tolerant by construction);
+//! 2. the wall-clock `deadline`, if any;
+//! 3. `target_commits` reached **and** the `linger` grace period elapsed.
+//!    Lingering matters in a cluster where every node stops at a target:
+//!    without it, the first node to commit would vanish and could cost the
+//!    others their quorum one view short of their own target.
+
+use crate::output::RuntimeOutput;
+use crate::runtime::ConsensusRuntime;
+use crate::transport::{Transport, TransportError};
+use lumiere_types::{ProcessId, Time, View};
+use serde::Serialize;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration as WallDuration, Instant};
+
+/// Knobs for one driver run.
+#[derive(Debug, Clone)]
+pub struct DriverOptions {
+    /// Stop (after `linger`) once this many blocks are committed locally.
+    /// `None` runs until `deadline` or an external stop.
+    pub target_commits: Option<u64>,
+    /// Hard wall-clock cap on the whole run. `None` means no cap.
+    pub deadline: Option<WallDuration>,
+    /// Grace period to keep serving peers after reaching `target_commits`.
+    pub linger: WallDuration,
+    /// Upper bound on one transport wait (responsiveness of stop requests).
+    pub poll: WallDuration,
+}
+
+impl Default for DriverOptions {
+    fn default() -> Self {
+        DriverOptions {
+            target_commits: None,
+            deadline: None,
+            linger: WallDuration::from_millis(500),
+            poll: WallDuration::from_millis(10),
+        }
+    }
+}
+
+/// What a finished driver run reports.
+#[derive(Debug, Clone, Serialize)]
+pub struct DriverSummary {
+    /// The local processor id.
+    pub node: usize,
+    /// Short protocol name (see `ProtocolKind::name`).
+    pub protocol: String,
+    /// Number of blocks committed locally.
+    pub committed_height: u64,
+    /// The view the node was in when it stopped.
+    pub final_view: View,
+    /// Block hashes (as heights in this reproduction) in commit order —
+    /// compared across nodes to check agreement.
+    pub chain: Vec<u64>,
+    /// Wall-clock duration of the run in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// The wake-up heap: min-heap on time with the simulator's dedup (a time
+/// already pending is not scheduled twice).
+#[derive(Debug, Default)]
+struct Timers {
+    heap: BinaryHeap<Reverse<i64>>,
+    pending: HashSet<i64>,
+}
+
+impl Timers {
+    fn schedule(&mut self, at: Time) {
+        if self.pending.insert(at.as_micros()) {
+            self.heap.push(Reverse(at.as_micros()));
+        }
+    }
+
+    /// Pops the earliest timer if it is due at `now`.
+    fn pop_due(&mut self, now: Time) -> Option<Time> {
+        match self.heap.peek() {
+            Some(&Reverse(at)) if at <= now.as_micros() => {
+                self.heap.pop();
+                self.pending.remove(&at);
+                Some(Time::from_micros(at))
+            }
+            _ => None,
+        }
+    }
+
+    /// The earliest pending timer, if any.
+    fn next(&self) -> Option<Time> {
+        self.heap.peek().map(|&Reverse(at)| Time::from_micros(at))
+    }
+}
+
+/// Runs a [`ConsensusRuntime`] over a [`Transport`] until a stop condition
+/// fires, then returns the summary plus the runtime and transport (so tests
+/// can inspect protocol state, or rebuild a fresh runtime on the same
+/// transport to model a process restart).
+///
+/// `stop` is the external shutdown flag ([`spawn`] wires it to
+/// [`DriverHandle::stop`]); `committed` mirrors the local committed height
+/// for observers on other threads.
+pub fn run<R: ConsensusRuntime, T: Transport>(
+    mut runtime: R,
+    mut transport: T,
+    opts: &DriverOptions,
+    stop: &AtomicBool,
+    committed: &AtomicU64,
+) -> Result<(DriverSummary, R, T), TransportError> {
+    let epoch = Instant::now();
+    // Anchor virtual time at the runtime's resume floor: zero for a fresh
+    // node, its last-seen time for one being restarted on live state (its
+    // clocks and deadlines must never observe time running backwards).
+    let floor = runtime.resume_floor().as_micros();
+    let now_virtual =
+        |epoch: Instant| Time::from_micros(floor + epoch.elapsed().as_micros() as i64);
+
+    let mut out = RuntimeOutput::default();
+    let mut timers = Timers::default();
+    runtime.boot(now_virtual(epoch), &mut out);
+    flush(&mut out, &mut transport, &mut timers)?;
+
+    let mut reached_target_at: Option<Instant> = None;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        if let Some(cap) = opts.deadline {
+            if epoch.elapsed() >= cap {
+                break;
+            }
+        }
+
+        // Fire every due timer before sleeping again.
+        let now = now_virtual(epoch);
+        while timers.pop_due(now).is_some() {
+            runtime.wake(now, &mut out);
+            flush(&mut out, &mut transport, &mut timers)?;
+        }
+
+        // Sleep on the transport until the next timer (or the poll bound).
+        let timeout = match timers.next() {
+            Some(at) => {
+                let gap = (at - now_virtual(epoch)).as_micros().max(0) as u64;
+                WallDuration::from_micros(gap).min(opts.poll)
+            }
+            None => opts.poll,
+        };
+        if let Some((from, msg)) = transport.recv_timeout(timeout)? {
+            runtime.deliver(from, &msg, now_virtual(epoch), &mut out);
+            flush(&mut out, &mut transport, &mut timers)?;
+        }
+
+        let height = runtime.committed_height();
+        committed.store(height, Ordering::SeqCst);
+        if let Some(target) = opts.target_commits {
+            if height >= target {
+                let reached = *reached_target_at.get_or_insert_with(Instant::now);
+                if reached.elapsed() >= opts.linger {
+                    break;
+                }
+            }
+        }
+    }
+
+    committed.store(runtime.committed_height(), Ordering::SeqCst);
+    let summary = DriverSummary {
+        node: runtime.id().as_usize(),
+        protocol: runtime.protocol_name().to_string(),
+        committed_height: runtime.committed_height(),
+        final_view: runtime.current_view(),
+        chain: runtime.committed_chain(),
+        wall_ms: epoch.elapsed().as_secs_f64() * 1_000.0,
+    };
+    Ok((summary, runtime, transport))
+}
+
+/// Applies one event's worth of runtime output to the transport and timers.
+fn flush<T: Transport>(
+    out: &mut RuntimeOutput,
+    transport: &mut T,
+    timers: &mut Timers,
+) -> Result<(), TransportError> {
+    for (to, msg) in out.sends.drain(..) {
+        transport.send(to, &msg)?;
+    }
+    for msg in out.broadcasts.drain(..) {
+        transport.broadcast(&msg)?;
+    }
+    for at in out.wakes.drain(..) {
+        timers.schedule(at);
+    }
+    out.clear();
+    Ok(())
+}
+
+/// A handle onto a driver running on its own thread (see [`spawn`]).
+#[derive(Debug)]
+pub struct DriverHandle<R, T> {
+    stop: Arc<AtomicBool>,
+    committed: Arc<AtomicU64>,
+    local_id: ProcessId,
+    thread: JoinHandle<Result<(DriverSummary, R, T), TransportError>>,
+}
+
+impl<R, T> DriverHandle<R, T> {
+    /// The driven node's processor id.
+    pub fn local_id(&self) -> ProcessId {
+        self.local_id
+    }
+
+    /// The node's committed height, as of its latest event.
+    pub fn committed_height(&self) -> u64 {
+        self.committed.load(Ordering::SeqCst)
+    }
+
+    /// Requests a graceful stop; the driver notices within one poll
+    /// interval. Safe to call mid-view — that is exactly the lifecycle the
+    /// shutdown tests exercise.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the driver to finish and returns its summary plus the
+    /// runtime and transport it ran (the transport can host a restarted
+    /// node; see the lifecycle tests).
+    #[allow(clippy::type_complexity)]
+    pub fn join(self) -> Result<(DriverSummary, R, T), TransportError> {
+        match self.thread.join() {
+            Ok(result) => result,
+            Err(_) => Err(TransportError("driver thread panicked".to_string())),
+        }
+    }
+}
+
+/// Spawns [`run`] on a dedicated thread and returns its [`DriverHandle`].
+pub fn spawn<R, T>(runtime: R, transport: T, opts: DriverOptions) -> DriverHandle<R, T>
+where
+    R: ConsensusRuntime + 'static,
+    T: Transport + 'static,
+{
+    let stop = Arc::new(AtomicBool::new(false));
+    let committed = Arc::new(AtomicU64::new(0));
+    let local_id = runtime.id();
+    let thread = {
+        let stop = Arc::clone(&stop);
+        let committed = Arc::clone(&committed);
+        std::thread::spawn(move || run(runtime, transport, &opts, &stop, &committed))
+    };
+    DriverHandle {
+        stop,
+        committed,
+        local_id,
+        thread,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::channel_mesh;
+    use crate::protocol::{build_runtime, ProtocolKind};
+    use lumiere_types::Duration;
+
+    /// Four nodes on the channel mesh, driven in real time, must commit and
+    /// agree. This is the whole point of the runtime extraction: the exact
+    /// protocol code the simulator exercises, running on wall clocks.
+    #[test]
+    fn four_channel_nodes_commit_and_agree() {
+        let n = 4;
+        let delta = Duration::from_millis(5);
+        let handles: Vec<_> = channel_mesh(n)
+            .into_iter()
+            .enumerate()
+            .map(|(i, transport)| {
+                let rt = build_runtime(ProtocolKind::Lumiere, n, i, delta, 7);
+                spawn(
+                    rt,
+                    transport,
+                    DriverOptions {
+                        target_commits: Some(5),
+                        deadline: Some(WallDuration::from_secs(30)),
+                        linger: WallDuration::from_millis(300),
+                        poll: WallDuration::from_millis(2),
+                    },
+                )
+            })
+            .collect();
+        let summaries: Vec<_> = handles.into_iter().map(|h| h.join().unwrap().0).collect();
+        for s in &summaries {
+            assert!(
+                s.committed_height >= 5,
+                "node {} committed only {} blocks",
+                s.node,
+                s.committed_height
+            );
+        }
+        let shortest = summaries.iter().map(|s| s.chain.len()).min().unwrap();
+        for s in &summaries[1..] {
+            assert_eq!(
+                s.chain[..shortest],
+                summaries[0].chain[..shortest],
+                "nodes {} and {} disagree on the committed prefix",
+                summaries[0].node,
+                s.node
+            );
+        }
+    }
+
+    #[test]
+    fn stop_requests_interrupt_an_idle_driver() {
+        let mut mesh = channel_mesh(4);
+        let transport = mesh.remove(0);
+        // Keep the peer mailboxes alive but silent: alone, node 0 can never
+        // assemble a quorum, so the driver would spin until its deadline.
+        let _silent_peers = mesh;
+        let rt = build_runtime(
+            ProtocolKind::Lumiere,
+            4,
+            0,
+            lumiere_types::Duration::from_millis(5),
+            1,
+        );
+        let handle = spawn(
+            rt,
+            transport,
+            DriverOptions {
+                deadline: Some(WallDuration::from_secs(30)),
+                ..DriverOptions::default()
+            },
+        );
+        std::thread::sleep(WallDuration::from_millis(50));
+        handle.stop();
+        let (summary, _, _) = handle.join().unwrap();
+        assert!(summary.wall_ms < 10_000.0, "stop request was ignored");
+    }
+}

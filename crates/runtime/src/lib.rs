@@ -1,0 +1,51 @@
+//! The Lumiere protocol runtime: the consensus stack lifted out of the
+//! simulator, runnable on any transport.
+//!
+//! Historically the pacemaker + HotStuff stepping logic lived inside
+//! `lumiere-sim`'s `Node`, so the only way to run the protocol was under the
+//! discrete-event simulator. This crate inverts that relationship:
+//!
+//! * [`ConsensusRuntime`] is the protocol side of the boundary — a state
+//!   machine stepped by events (`boot` / `wake` / `deliver`) that emits its
+//!   effects into a [`RuntimeOutput`] buffer (sends, broadcasts, wake-up
+//!   requests, commits).
+//! * [`Transport`] is the world side — how wire messages actually move.
+//!   Three backends implement it: the simulator's virtual network (in
+//!   `lumiere-sim`, which now *hosts* runtimes instead of owning the
+//!   protocol), an in-process [`channel mesh`](channel_mesh) of threads, and
+//!   a real [`TCP mesh`](TcpTransport) of OS processes speaking
+//!   length-prefixed JSON [frames](codec).
+//! * [`driver`] is the real-time event loop gluing the two together for the
+//!   live backends; the `lumiere-node` binary wraps it behind a
+//!   [config file](NodeConfig).
+//!
+//! The simulator keeps its adversary instrumentation by passing per-event
+//! [`Gates`] into [`ProtocolRuntime`]'s gated entry points; live nodes run
+//! fully open through the plain [`ConsensusRuntime`] trait. Either way it is
+//! the same protocol code down to event ordering — which is what makes the
+//! simulator's Table 1 numbers and the live cluster's behavior commensurable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod codec;
+pub mod config;
+pub mod driver;
+pub mod message;
+pub mod output;
+pub mod protocol;
+pub mod runtime;
+pub mod tcp;
+pub mod transport;
+
+pub use channel::{channel_mesh, ChannelTransport};
+pub use codec::{decode_frame, encode_frame, read_frame, write_frame, CodecError, MAX_FRAME_BYTES};
+pub use config::{ConfigError, NodeConfig, PeerConfig};
+pub use driver::{spawn as spawn_driver, DriverHandle, DriverOptions, DriverSummary};
+pub use message::WireMessage;
+pub use output::RuntimeOutput;
+pub use protocol::{build_runtime, ProtocolKind};
+pub use runtime::{ConsensusRuntime, Gates, ProtocolRuntime};
+pub use tcp::{TcpMeshConfig, TcpTransport};
+pub use transport::{Transport, TransportError};

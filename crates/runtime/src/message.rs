@@ -1,0 +1,86 @@
+//! The protocol's wire message: one enum for everything a node puts on the
+//! network, regardless of which transport carries it.
+//!
+//! This type used to live inside the simulator (as `SimMessage`); it moved
+//! here when the protocol was lifted out of the simulator so that the same
+//! messages can travel through the discrete-event network, an in-process
+//! channel mesh, or real TCP sockets. The simulator re-exports it under its
+//! old name.
+
+use lumiere_consensus::ConsensusMessage;
+use lumiere_core::messages::PacemakerMessage;
+use lumiere_types::View;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A message travelling between processors: either a pacemaker
+/// (view-synchronization) message or an underlying-protocol message.
+///
+/// Serializes through the workspace's deterministic JSON, which is also the
+/// TCP wire codec (see [`crate::codec`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireMessage {
+    /// A view-synchronization message.
+    Pacemaker(PacemakerMessage),
+    /// An underlying-protocol (HotStuff) message.
+    Consensus(ConsensusMessage),
+}
+
+impl WireMessage {
+    /// Short kind tag for metrics and traces.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WireMessage::Pacemaker(m) => m.kind(),
+            WireMessage::Consensus(m) => m.kind(),
+        }
+    }
+
+    /// The view the message pertains to.
+    pub fn view(&self) -> View {
+        match self {
+            WireMessage::Pacemaker(m) => m.view(),
+            WireMessage::Consensus(m) => m.view(),
+        }
+    }
+
+    /// Whether this message belongs to a heavy epoch synchronization.
+    pub fn is_heavy_sync(&self) -> bool {
+        matches!(self, WireMessage::Pacemaker(m) if m.is_heavy_sync())
+    }
+}
+
+impl fmt::Display for WireMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireMessage::Pacemaker(m) => write!(f, "pm:{m}"),
+            WireMessage::Consensus(m) => write!(f, "cons:{m}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumiere_core::certs::view_msg_digest;
+    use lumiere_crypto::keygen;
+
+    #[test]
+    fn kind_view_and_heavy_sync_delegate() {
+        let (keys, _) = keygen(4, 0);
+        let v = View::new(3);
+        let pm = WireMessage::Pacemaker(PacemakerMessage::EpochViewMsg {
+            view: v,
+            signature: keys[0].sign(view_msg_digest(v)),
+        });
+        assert_eq!(pm.kind(), "epoch-view-msg");
+        assert_eq!(pm.view(), v);
+        assert!(pm.is_heavy_sync());
+        assert!(pm.to_string().starts_with("pm:"));
+        let cons = WireMessage::Consensus(ConsensusMessage::NewQc(
+            lumiere_consensus::QuorumCert::genesis(),
+        ));
+        assert!(!cons.is_heavy_sync());
+        assert_eq!(cons.kind(), "new-qc");
+        assert!(cons.to_string().starts_with("cons:"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Protocol selection: which view-synchronization pacemaker a runtime runs.
+//!
+//! [`ProtocolKind`] used to live inside the simulator's scenario module; it
+//! moved here when the protocol was lifted out of the simulator, because the
+//! live node binary needs to build pacemakers too. The simulator re-exports
+//! it from its old path.
+
+use lumiere_baselines::{Fever, Lp22, NaiveQuadratic, RelayPacemaker};
+use lumiere_consensus::HotStuffEngine;
+use lumiere_core::pacemaker::Pacemaker;
+use lumiere_core::planted::PlantedBug;
+use lumiere_core::{BasicLumiere, Lumiere, LumiereConfig};
+use lumiere_crypto::{keygen, KeyPair, Pki};
+use lumiere_types::{Duration, Params, ProcessId};
+use serde::{Deserialize, Serialize};
+
+use crate::runtime::ProtocolRuntime;
+
+/// The view-synchronization protocol under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// Full Lumiere (Algorithm 1).
+    Lumiere,
+    /// Basic Lumiere (Section 3.4) — heavy synchronization at every epoch.
+    BasicLumiere,
+    /// LP22 (Section 3.2).
+    Lp22,
+    /// Fever (Section 3.3) — granted its clock-synchrony assumption.
+    Fever,
+    /// Cogsworth-style relay synchronizer.
+    Cogsworth,
+    /// NK20-style relay synchronizer.
+    Nk20,
+    /// Naive PBFT-style all-to-all pacemaker.
+    Naive,
+}
+
+impl ProtocolKind {
+    /// Short name used in reports, CSV output and node config files.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolKind::Lumiere => "lumiere",
+            ProtocolKind::BasicLumiere => "basic-lumiere",
+            ProtocolKind::Lp22 => "lp22",
+            ProtocolKind::Fever => "fever",
+            ProtocolKind::Cogsworth => "cogsworth",
+            ProtocolKind::Nk20 => "nk20",
+            ProtocolKind::Naive => "naive-quadratic",
+        }
+    }
+
+    /// Parses a [`ProtocolKind::name`] back into the kind (node config
+    /// files name protocols by their short name).
+    pub fn from_name(name: &str) -> Option<ProtocolKind> {
+        ProtocolKind::all().into_iter().find(|p| p.name() == name)
+    }
+
+    /// All implemented protocols.
+    pub fn all() -> [ProtocolKind; 7] {
+        [
+            ProtocolKind::Lumiere,
+            ProtocolKind::BasicLumiere,
+            ProtocolKind::Lp22,
+            ProtocolKind::Fever,
+            ProtocolKind::Cogsworth,
+            ProtocolKind::Nk20,
+            ProtocolKind::Naive,
+        ]
+    }
+
+    /// The protocols that appear in Table 1 of the paper.
+    pub fn table1() -> [ProtocolKind; 5] {
+        [
+            ProtocolKind::Cogsworth,
+            ProtocolKind::Nk20,
+            ProtocolKind::Lp22,
+            ProtocolKind::Fever,
+            ProtocolKind::Lumiere,
+        ]
+    }
+
+    /// Builds the pacemaker instance of this protocol for one processor.
+    pub fn build_pacemaker(
+        &self,
+        params: Params,
+        keys: KeyPair,
+        pki: Pki,
+        seed: u64,
+    ) -> Box<dyn Pacemaker> {
+        self.build_pacemaker_with(params, keys, pki, seed, None)
+    }
+
+    /// Like [`ProtocolKind::build_pacemaker`], optionally planting a
+    /// calibration bug (Lumiere only; other protocols ignore it — see
+    /// [`lumiere_core::planted`]).
+    pub fn build_pacemaker_with(
+        &self,
+        params: Params,
+        keys: KeyPair,
+        pki: Pki,
+        seed: u64,
+        planted: Option<PlantedBug>,
+    ) -> Box<dyn Pacemaker> {
+        match self {
+            ProtocolKind::Lumiere => {
+                let mut cfg = LumiereConfig::new(params, seed);
+                cfg.planted = planted;
+                Box::new(Lumiere::new(cfg, keys, pki))
+            }
+            ProtocolKind::BasicLumiere => Box::new(BasicLumiere::new(params, keys, pki)),
+            ProtocolKind::Lp22 => Box::new(Lp22::new(params, keys, pki)),
+            ProtocolKind::Fever => Box::new(Fever::new(params, keys, pki)),
+            ProtocolKind::Cogsworth => Box::new(RelayPacemaker::cogsworth(params, keys, pki)),
+            ProtocolKind::Nk20 => Box::new(RelayPacemaker::nk20(params, keys, pki)),
+            ProtocolKind::Naive => Box::new(NaiveQuadratic::new(params, keys, pki)),
+        }
+    }
+}
+
+/// Builds the full [`ProtocolRuntime`] for processor `who` of an `n`-node
+/// cluster: deterministic keys from `seed` (every node derives the same PKI
+/// by running the same key generation), the chosen pacemaker, and a
+/// HotStuff engine.
+///
+/// This is the live deployments' counterpart of the simulator's
+/// `SimConfig::build_nodes`.
+pub fn build_runtime(
+    protocol: ProtocolKind,
+    n: usize,
+    who: usize,
+    delta: Duration,
+    seed: u64,
+) -> ProtocolRuntime {
+    assert!(who < n, "node id {who} out of range for n = {n}");
+    let params = Params::new(n, delta);
+    let (keys, pki) = keygen(n, seed);
+    let key = keys[who].clone();
+    let pacemaker = protocol.build_pacemaker(params, key.clone(), pki.clone(), seed);
+    let engine = HotStuffEngine::new(key.id(), key, pki, params);
+    ProtocolRuntime::new(ProcessId::new(who), pacemaker, engine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for kind in ProtocolKind::all() {
+            assert_eq!(ProtocolKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(ProtocolKind::from_name("no-such-protocol"), None);
+    }
+
+    #[test]
+    fn build_runtime_assigns_the_requested_id() {
+        let rt = build_runtime(ProtocolKind::Fever, 4, 2, Duration::from_millis(10), 0);
+        assert_eq!(rt.id(), ProcessId::new(2));
+        use crate::runtime::ConsensusRuntime as _;
+        assert_eq!(rt.protocol_name(), "fever");
+    }
+}

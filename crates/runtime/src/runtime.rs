@@ -1,0 +1,485 @@
+//! The `ConsensusRuntime` boundary: step-on-event, emit-outputs, request
+//! timers.
+//!
+//! A [`ConsensusRuntime`] is one processor's protocol state machine — a
+//! [`Pacemaker`] coupled with the underlying [`HotStuffEngine`] — detached
+//! from any particular way of delivering its events. The discrete-event
+//! simulator, the in-process channel mesh and the TCP mesh all drive the
+//! same [`ProtocolRuntime`] bytes; only the host differs.
+//!
+//! Hosts interact with a runtime through exactly three event kinds (boot,
+//! timer wake-up, message delivery) and read back a [`RuntimeOutput`]: sends,
+//! broadcasts, requested wake-ups and local notifications (commits, QCs,
+//! views entered). Nothing in this module knows about sockets, channels or
+//! the simulator's virtual clock.
+
+use crate::message::WireMessage;
+use crate::output::RuntimeOutput;
+use lumiere_consensus::{ConsensusAction, HotStuffEngine};
+use lumiere_core::pacemaker::{Pacemaker, PacemakerAction};
+use lumiere_types::{Duration, ProcessId, Time, View};
+use std::collections::VecDeque;
+use std::fmt::Debug;
+
+/// Per-event switches deciding which protocol components a step may run.
+///
+/// Honest hosts always pass [`Gates::OPEN`]. The simulator's adversary
+/// harness closes individual gates to model corrupted processors (a crashed
+/// node runs nothing; a silent leader runs everything but never proposes).
+/// Gates are constant for the duration of one event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gates {
+    /// Whether the pacemaker handles events (boot, wake-ups, pacemaker
+    /// messages, QC notifications).
+    pub pacemaker: bool,
+    /// Whether the consensus engine handles events (view entries, consensus
+    /// messages).
+    pub consensus: bool,
+    /// Whether the engine proposes when this processor leads a view.
+    pub proposes: bool,
+}
+
+impl Gates {
+    /// The honest configuration: every component runs.
+    pub const OPEN: Gates = Gates {
+        pacemaker: true,
+        consensus: true,
+        proposes: true,
+    };
+}
+
+impl Default for Gates {
+    fn default() -> Self {
+        Gates::OPEN
+    }
+}
+
+/// A single processor's consensus runtime: the step-on-event boundary every
+/// transport host drives.
+///
+/// # Contract
+///
+/// * [`boot`](ConsensusRuntime::boot) is called once, before any other
+///   event.
+/// * [`wake`](ConsensusRuntime::wake) fires a timer previously requested
+///   through [`RuntimeOutput::wakes`]; spurious wake-ups are allowed.
+/// * [`deliver`](ConsensusRuntime::deliver) hands over one network message.
+///   Duplicate delivery is tolerated (handlers are idempotent).
+/// * `now` is the host's clock reading — virtual time under the simulator,
+///   wall-clock-derived under the live drivers. Handlers never block and
+///   never read real time themselves.
+pub trait ConsensusRuntime: Debug + Send {
+    /// The processor's identifier.
+    fn id(&self) -> ProcessId;
+
+    /// The pacemaker protocol's short name (e.g. `"lumiere"`).
+    fn protocol_name(&self) -> &'static str;
+
+    /// Starts the processor, appending its effects to `out`.
+    fn boot(&mut self, now: Time, out: &mut RuntimeOutput);
+
+    /// Fires a timer wake-up, appending its effects to `out`.
+    fn wake(&mut self, now: Time, out: &mut RuntimeOutput);
+
+    /// Delivers a message from `from`, appending its effects to `out`.
+    fn deliver(&mut self, from: ProcessId, msg: &WireMessage, now: Time, out: &mut RuntimeOutput);
+
+    /// The view this processor is currently in.
+    fn current_view(&self) -> View;
+
+    /// Height of the highest block this processor has committed.
+    fn committed_height(&self) -> u64;
+
+    /// Hashes of the blocks this processor has committed, in chain order.
+    fn committed_chain(&self) -> Vec<u64>;
+
+    /// The minimum `now` the next event may carry. Fresh runtimes start at
+    /// zero; a runtime that already processed events (one being re-hosted
+    /// after a process restart) must never see time run backwards — its
+    /// clocks and deadlines all live in virtual time — so hosts anchor
+    /// their clock mapping at this floor.
+    fn resume_floor(&self) -> Time {
+        Time::ZERO
+    }
+}
+
+/// The workspace's [`ConsensusRuntime`] implementation: a [`Pacemaker`]
+/// (Lumiere or any baseline) coupled with the [`HotStuffEngine`], cascading
+/// their notifications until quiescence.
+///
+/// The gated entry points ([`ProtocolRuntime::boot_gated`] and friends) are
+/// the simulator's adversary hook; live hosts use the trait methods, which
+/// run fully open.
+#[derive(Debug)]
+pub struct ProtocolRuntime {
+    id: ProcessId,
+    pacemaker: Box<dyn Pacemaker>,
+    engine: HotStuffEngine,
+    booted: bool,
+    /// Latest `now` any event carried — the restart floor (see
+    /// [`ConsensusRuntime::resume_floor`]).
+    last_event_time: Time,
+    /// Persistent cascade queues, reused across events (no per-event
+    /// allocation once warm).
+    pm_queue: VecDeque<PacemakerAction>,
+    cons_queue: VecDeque<ConsensusAction>,
+}
+
+impl ProtocolRuntime {
+    /// Creates a runtime from its pacemaker and consensus engine.
+    pub fn new(id: ProcessId, pacemaker: Box<dyn Pacemaker>, engine: HotStuffEngine) -> Self {
+        ProtocolRuntime {
+            id,
+            pacemaker,
+            engine,
+            booted: false,
+            last_event_time: Time::ZERO,
+            pm_queue: VecDeque::new(),
+            cons_queue: VecDeque::new(),
+        }
+    }
+
+    /// Read access to the consensus engine (introspection: locks, votes,
+    /// equivocation counters).
+    pub fn engine(&self) -> &HotStuffEngine {
+        &self.engine
+    }
+
+    /// Whether the pacemaker has booted (run its first event).
+    pub fn booted(&self) -> bool {
+        self.booted
+    }
+
+    /// The pacemaker's local-clock reading (for honest-gap metrics).
+    pub fn local_clock_reading(&self, now: Time) -> Duration {
+        self.pacemaker.local_clock_reading(now)
+    }
+
+    /// How many equivocations (conflicting proposals for one view and
+    /// proposer) this processor's engine has witnessed.
+    pub fn equivocations_detected(&self) -> usize {
+        self.engine.equivocations_detected()
+    }
+
+    /// How many times this processor's engine lock advanced.
+    pub fn locks_advanced(&self) -> u64 {
+        self.engine.locks_advanced()
+    }
+
+    /// Runs the pacemaker's boot once, the first time the node is active.
+    fn maybe_boot_pacemaker(&mut self, now: Time, gates: Gates, out: &mut RuntimeOutput) {
+        if self.booted || !gates.pacemaker {
+            return;
+        }
+        self.booted = true;
+        let actions = self.pacemaker.boot(now);
+        self.drain_pacemaker(actions, now, gates, out);
+    }
+
+    /// Boots the processor under `gates`. Returns whether the pacemaker ran
+    /// (false when its gate was closed).
+    pub fn boot_gated(&mut self, now: Time, gates: Gates, out: &mut RuntimeOutput) -> bool {
+        self.last_event_time = self.last_event_time.max(now);
+        self.engine.set_proposing_enabled(gates.proposes);
+        let ran = gates.pacemaker;
+        self.maybe_boot_pacemaker(now, gates, out);
+        ran
+    }
+
+    /// Fires a wake-up under `gates`. Returns whether the pacemaker ran.
+    pub fn wake_gated(&mut self, now: Time, gates: Gates, out: &mut RuntimeOutput) -> bool {
+        self.last_event_time = self.last_event_time.max(now);
+        self.engine.set_proposing_enabled(gates.proposes);
+        self.maybe_boot_pacemaker(now, gates, out);
+        if !gates.pacemaker {
+            return false;
+        }
+        let actions = self.pacemaker.on_wake(now);
+        self.drain_pacemaker(actions, now, gates, out);
+        true
+    }
+
+    /// Delivers a message under `gates`. Returns whether the component the
+    /// message addresses actually ran (false when its gate was closed).
+    pub fn deliver_gated(
+        &mut self,
+        from: ProcessId,
+        msg: &WireMessage,
+        now: Time,
+        gates: Gates,
+        out: &mut RuntimeOutput,
+    ) -> bool {
+        self.last_event_time = self.last_event_time.max(now);
+        self.engine.set_proposing_enabled(gates.proposes);
+        self.maybe_boot_pacemaker(now, gates, out);
+        match msg {
+            WireMessage::Pacemaker(m) => {
+                if !gates.pacemaker {
+                    return false;
+                }
+                let actions = self.pacemaker.on_message(from, m, now);
+                self.drain_pacemaker(actions, now, gates, out);
+            }
+            WireMessage::Consensus(m) => {
+                if !gates.consensus {
+                    return false;
+                }
+                let actions = self.engine.on_message(from, m, now);
+                self.drain_consensus(actions, now, gates, out);
+            }
+        }
+        true
+    }
+
+    /// Processes pacemaker actions, cascading into the consensus engine as
+    /// needed (view entries trigger proposals, which may trigger QCs, which
+    /// feed back into the pacemaker, and so on until quiescence).
+    fn drain_pacemaker(
+        &mut self,
+        actions: Vec<PacemakerAction>,
+        now: Time,
+        gates: Gates,
+        out: &mut RuntimeOutput,
+    ) {
+        debug_assert!(self.pm_queue.is_empty() && self.cons_queue.is_empty());
+        self.pm_queue.extend(actions);
+        loop {
+            if let Some(action) = self.pm_queue.pop_front() {
+                match action {
+                    PacemakerAction::SendTo(to, m) => {
+                        out.sends.push((to, WireMessage::Pacemaker(m)));
+                    }
+                    PacemakerAction::Broadcast(m) => {
+                        out.broadcasts.push(WireMessage::Pacemaker(m));
+                    }
+                    PacemakerAction::WakeAt(t) => out.wakes.push(t),
+                    PacemakerAction::HeavySyncStarted { view } => out.heavy_syncs.push(view),
+                    PacemakerAction::SetQcDeadline { view, deadline } => {
+                        self.engine.set_qc_deadline(view, deadline);
+                    }
+                    PacemakerAction::EnterView { view, leader } => {
+                        out.entered_views.push(view);
+                        if gates.consensus {
+                            let actions = self.engine.enter_view(view, leader, now);
+                            self.cons_queue.extend(actions);
+                        }
+                    }
+                }
+                continue;
+            }
+            if let Some(action) = self.cons_queue.pop_front() {
+                match action {
+                    ConsensusAction::Broadcast(m) => {
+                        out.broadcasts.push(WireMessage::Consensus(m));
+                    }
+                    ConsensusAction::Send(to, m) => {
+                        out.sends.push((to, WireMessage::Consensus(m)));
+                    }
+                    ConsensusAction::Committed(block) => out.commits.push(block.height()),
+                    ConsensusAction::QcFormed(qc) => {
+                        out.qcs_formed.push(qc.clone());
+                        if gates.pacemaker {
+                            let actions = self.pacemaker.on_qc(&qc, true, now);
+                            self.pm_queue.extend(actions);
+                        }
+                    }
+                    ConsensusAction::QcObserved(qc) => {
+                        if gates.pacemaker {
+                            let actions = self.pacemaker.on_qc(&qc, false, now);
+                            self.pm_queue.extend(actions);
+                        }
+                    }
+                }
+                continue;
+            }
+            break;
+        }
+    }
+
+    /// Processes consensus actions, cascading into the pacemaker as needed.
+    fn drain_consensus(
+        &mut self,
+        actions: Vec<ConsensusAction>,
+        now: Time,
+        gates: Gates,
+        out: &mut RuntimeOutput,
+    ) {
+        // Reuse the same cascade machinery by starting from an empty
+        // pacemaker queue and a pre-filled consensus queue.
+        let mut pm_actions = Vec::new();
+        debug_assert!(self.cons_queue.is_empty());
+        self.cons_queue.extend(actions);
+        while let Some(action) = self.cons_queue.pop_front() {
+            match action {
+                ConsensusAction::Broadcast(m) => out.broadcasts.push(WireMessage::Consensus(m)),
+                ConsensusAction::Send(to, m) => out.sends.push((to, WireMessage::Consensus(m))),
+                ConsensusAction::Committed(block) => out.commits.push(block.height()),
+                ConsensusAction::QcFormed(qc) => {
+                    out.qcs_formed.push(qc.clone());
+                    if gates.pacemaker {
+                        pm_actions.extend(self.pacemaker.on_qc(&qc, true, now));
+                    }
+                }
+                ConsensusAction::QcObserved(qc) => {
+                    if gates.pacemaker {
+                        pm_actions.extend(self.pacemaker.on_qc(&qc, false, now));
+                    }
+                }
+            }
+        }
+        if !pm_actions.is_empty() {
+            self.drain_pacemaker(pm_actions, now, gates, out);
+        }
+    }
+}
+
+impl ConsensusRuntime for ProtocolRuntime {
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn protocol_name(&self) -> &'static str {
+        self.pacemaker.name()
+    }
+
+    fn boot(&mut self, now: Time, out: &mut RuntimeOutput) {
+        self.boot_gated(now, Gates::OPEN, out);
+    }
+
+    fn wake(&mut self, now: Time, out: &mut RuntimeOutput) {
+        self.wake_gated(now, Gates::OPEN, out);
+    }
+
+    fn deliver(&mut self, from: ProcessId, msg: &WireMessage, now: Time, out: &mut RuntimeOutput) {
+        self.deliver_gated(from, msg, now, Gates::OPEN, out);
+    }
+
+    fn current_view(&self) -> View {
+        self.pacemaker.current_view()
+    }
+
+    fn committed_height(&self) -> u64 {
+        self.engine.committed_height()
+    }
+
+    fn committed_chain(&self) -> Vec<u64> {
+        self.engine.store().committed_chain().to_vec()
+    }
+
+    fn resume_floor(&self) -> Time {
+        self.last_event_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ProtocolKind;
+
+    fn build(n: usize, who: usize) -> ProtocolRuntime {
+        crate::build_runtime(ProtocolKind::Lumiere, n, who, Duration::from_millis(10), 7)
+    }
+
+    #[test]
+    fn booted_runtime_enters_view_zero_and_requests_timers() {
+        let mut rt = build(4, 0);
+        let mut out = RuntimeOutput::default();
+        rt.boot(Time::ZERO, &mut out);
+        assert!(rt.booted());
+        assert!(!out.wakes.is_empty(), "boot must arm at least one timer");
+        assert_eq!(rt.protocol_name(), "lumiere");
+        assert_eq!(rt.id(), ProcessId::new(0));
+    }
+
+    #[test]
+    fn closed_pacemaker_gate_reports_unhandled() {
+        let mut rt = build(4, 1);
+        let gates = Gates {
+            pacemaker: false,
+            consensus: true,
+            proposes: false,
+        };
+        let mut out = RuntimeOutput::default();
+        assert!(!rt.boot_gated(Time::ZERO, gates, &mut out));
+        assert!(!rt.booted());
+        assert!(!rt.wake_gated(Time::from_millis(1), gates, &mut out));
+        assert!(out.sends.is_empty() && out.broadcasts.is_empty());
+    }
+
+    #[test]
+    fn four_runtimes_commit_when_stepped_by_hand() {
+        // A miniature host: synchronous rounds, instant delivery. Proves the
+        // runtime boundary is sufficient to drive the protocol to commits
+        // without the simulator.
+        let n = 4;
+        let mut nodes: Vec<ProtocolRuntime> = (0..n).map(|i| build(n, i)).collect();
+        let mut now = Time::ZERO;
+        let mut pending: Vec<(usize, usize, WireMessage)> = Vec::new(); // (from, to, msg)
+        let mut timers: Vec<Vec<Time>> = vec![Vec::new(); n];
+        let mut out = RuntimeOutput::default();
+        for (i, node) in nodes.iter_mut().enumerate() {
+            out.clear();
+            node.boot(now, &mut out);
+            collect(i, n, &out, &mut pending, &mut timers[i]);
+        }
+        for _round in 0..400 {
+            if nodes.iter().all(|n| n.committed_height() >= 3) {
+                break;
+            }
+            let batch = std::mem::take(&mut pending);
+            for (from, to, msg) in batch {
+                out.clear();
+                nodes[to].deliver(ProcessId::new(from), &msg, now, &mut out);
+                collect(to, n, &out, &mut pending, &mut timers[to]);
+            }
+            now += Duration::from_millis(1);
+            for i in 0..n {
+                let due: Vec<Time> = {
+                    let (fire, keep): (Vec<Time>, Vec<Time>) =
+                        timers[i].drain(..).partition(|t| *t <= now);
+                    timers[i] = keep;
+                    fire
+                };
+                if !due.is_empty() {
+                    out.clear();
+                    nodes[i].wake(now, &mut out);
+                    collect(i, n, &out, &mut pending, &mut timers[i]);
+                }
+            }
+        }
+        for node in &nodes {
+            assert!(
+                node.committed_height() >= 3,
+                "node {} stalled at height {}",
+                node.id(),
+                node.committed_height()
+            );
+        }
+        let chain0 = nodes[0].committed_chain();
+        for node in &nodes[1..] {
+            let chain = node.committed_chain();
+            let len = chain.len().min(chain0.len());
+            assert_eq!(chain[..len], chain0[..len], "committed chains diverged");
+        }
+    }
+
+    fn collect(
+        from: usize,
+        n: usize,
+        out: &RuntimeOutput,
+        pending: &mut Vec<(usize, usize, WireMessage)>,
+        timers: &mut Vec<Time>,
+    ) {
+        for (to, msg) in &out.sends {
+            pending.push((from, to.as_usize(), msg.clone()));
+        }
+        for msg in &out.broadcasts {
+            for to in 0..n {
+                if to != from {
+                    pending.push((from, to, msg.clone()));
+                }
+            }
+        }
+        timers.extend(out.wakes.iter().copied());
+    }
+}

@@ -1,0 +1,303 @@
+//! The TCP transport backend: a real socket mesh between OS processes.
+//!
+//! No async runtime is involved (the build environment is offline, so no
+//! tokio): the mesh is a classic thread-per-peer event loop. Each node
+//!
+//! * binds a listener and runs an **accept thread** (non-blocking accept,
+//!   polled every few milliseconds so shutdown is prompt);
+//! * spawns one **reader thread** per inbound connection, which first reads
+//!   a 4-byte big-endian handshake naming the dialing peer, then decodes
+//!   length-prefixed JSON frames (see [`crate::codec`]) into a shared inbox
+//!   channel;
+//! * **dials** every peer with bounded retries (peers boot in any order) and
+//!   keeps the outbound stream as its write half to that peer.
+//!
+//! Every pair of nodes is thus connected by two simplex TCP streams, one per
+//! direction — no connection-direction tie-breaking needed. A write failure
+//! marks the peer dead and is otherwise ignored: a BFT cluster must keep
+//! running while `f` peers are unreachable.
+
+use crate::codec::{write_frame, CodecError};
+use crate::message::WireMessage;
+use crate::transport::{Transport, TransportError};
+use lumiere_types::ProcessId;
+use serde::json;
+use std::io::Read;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration as WallDuration, Instant};
+
+/// How often blocked I/O loops (accept, idle reads) re-check the stop flag.
+const POLL_INTERVAL: WallDuration = WallDuration::from_millis(25);
+
+/// Interval between redial attempts while a peer is still booting.
+const DIAL_RETRY: WallDuration = WallDuration::from_millis(50);
+
+/// Configuration of one node's view of the TCP mesh.
+#[derive(Debug, Clone)]
+pub struct TcpMeshConfig {
+    /// The local processor id.
+    pub id: ProcessId,
+    /// Cluster size.
+    pub n: usize,
+    /// The local listen address (`host:port`).
+    pub listen: String,
+    /// Peer addresses, one `(id, host:port)` pair per remote processor.
+    pub peers: Vec<(ProcessId, String)>,
+    /// How long to keep dialing/waiting for the full mesh before giving up.
+    pub connect_timeout: WallDuration,
+}
+
+/// One node's handle onto the TCP mesh.
+#[derive(Debug)]
+pub struct TcpTransport {
+    id: ProcessId,
+    n: usize,
+    inbox: Receiver<(ProcessId, WireMessage)>,
+    /// Outbound write halves, indexed by peer id (`None` = local slot or a
+    /// peer that died).
+    writers: Vec<Option<TcpStream>>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl TcpTransport {
+    /// Boots this node's corner of the mesh: binds, accepts, dials every
+    /// peer, and blocks until the full mesh is up (all outbound streams
+    /// connected **and** `n − 1` inbound handshakes received) or
+    /// `connect_timeout` elapses.
+    pub fn connect(cfg: TcpMeshConfig) -> Result<TcpTransport, TransportError> {
+        if cfg.peers.len() != cfg.n - 1 {
+            return Err(TransportError(format!(
+                "expected {} peer addresses for an n = {} mesh, got {}",
+                cfg.n - 1,
+                cfg.n,
+                cfg.peers.len()
+            )));
+        }
+        let listener = TcpListener::bind(&cfg.listen)
+            .map_err(|e| TransportError(format!("cannot bind {}: {e}", cfg.listen)))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| TransportError(format!("cannot set listener non-blocking: {e}")))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (inbox_tx, inbox_rx) = channel();
+        let inbound = Arc::new(AtomicUsize::new(0));
+        let accept_thread =
+            spawn_acceptor(listener, inbox_tx, Arc::clone(&stop), Arc::clone(&inbound));
+
+        // Dial every peer (they boot in any order, so retry until deadline).
+        let deadline = Instant::now() + cfg.connect_timeout;
+        let mut writers: Vec<Option<TcpStream>> = (0..cfg.n).map(|_| None).collect();
+        for (peer, addr) in &cfg.peers {
+            let stream = dial(addr, deadline).map_err(|e| {
+                stop.store(true, Ordering::SeqCst);
+                TransportError(format!("cannot reach peer {peer} at {addr}: {e}"))
+            })?;
+            let _ = stream.set_nodelay(true);
+            let mut stream = stream;
+            use std::io::Write as _;
+            stream
+                .write_all(&(cfg.id.as_usize() as u32).to_be_bytes())
+                .map_err(|e| {
+                    stop.store(true, Ordering::SeqCst);
+                    TransportError(format!("handshake to peer {peer} failed: {e}"))
+                })?;
+            writers[peer.as_usize()] = Some(stream);
+        }
+
+        // Barrier: wait for the inbound half of the mesh too, so the caller
+        // can boot the protocol knowing nobody's first broadcast is lost.
+        while inbound.load(Ordering::SeqCst) < cfg.n - 1 {
+            if Instant::now() >= deadline {
+                stop.store(true, Ordering::SeqCst);
+                return Err(TransportError(format!(
+                    "only {} of {} inbound connections arrived within the connect timeout",
+                    inbound.load(Ordering::SeqCst),
+                    cfg.n - 1
+                )));
+            }
+            std::thread::sleep(POLL_INTERVAL);
+        }
+
+        Ok(TcpTransport {
+            id: cfg.id,
+            n: cfg.n,
+            inbox: inbox_rx,
+            writers,
+            stop,
+            threads: vec![accept_thread],
+        })
+    }
+}
+
+fn dial(addr: &str, deadline: Instant) -> Result<TcpStream, String> {
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(format!("gave up dialing: {e}"));
+                }
+                std::thread::sleep(DIAL_RETRY);
+            }
+        }
+    }
+}
+
+fn spawn_acceptor(
+    listener: TcpListener,
+    inbox: Sender<(ProcessId, WireMessage)>,
+    stop: Arc<AtomicBool>,
+    inbound: Arc<AtomicUsize>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut readers = Vec::new();
+        while !stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+                    readers.push(spawn_reader(
+                        stream,
+                        inbox.clone(),
+                        Arc::clone(&stop),
+                        Arc::clone(&inbound),
+                    ));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                Err(_) => break,
+            }
+        }
+        for reader in readers {
+            let _ = reader.join();
+        }
+    })
+}
+
+fn spawn_reader(
+    mut stream: TcpStream,
+    inbox: Sender<(ProcessId, WireMessage)>,
+    stop: Arc<AtomicBool>,
+    inbound: Arc<AtomicUsize>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        // Handshake: 4-byte big-endian id of the dialing peer.
+        let mut id_bytes = [0u8; 4];
+        if read_exact_interruptible(&mut stream, &mut id_bytes, &stop).is_err() {
+            return;
+        }
+        let from = ProcessId::new(u32::from_be_bytes(id_bytes) as usize);
+        inbound.fetch_add(1, Ordering::SeqCst);
+        loop {
+            match read_frame_interruptible(&mut stream, &stop) {
+                Ok(msg) => {
+                    if inbox.send((from, msg)).is_err() {
+                        return; // local inbox gone: transport dropped
+                    }
+                }
+                Err(_) => return, // peer closed, stream corrupt, or stopping
+            }
+        }
+    })
+}
+
+/// Fills `buf` from the stream, treating read timeouts as opportunities to
+/// check the stop flag rather than as errors.
+fn read_exact_interruptible(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+) -> Result<(), CodecError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if stop.load(Ordering::SeqCst) {
+            return Err(CodecError::Closed);
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Err(CodecError::Closed),
+            Ok(k) => filled += k,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => return Err(CodecError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame, interruptible at any byte boundary by the stop flag.
+fn read_frame_interruptible(
+    stream: &mut TcpStream,
+    stop: &AtomicBool,
+) -> Result<WireMessage, CodecError> {
+    let mut prefix = [0u8; 4];
+    read_exact_interruptible(stream, &mut prefix, stop)?;
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > crate::codec::MAX_FRAME_BYTES {
+        return Err(CodecError::Malformed(format!(
+            "frame length {len} exceeds the cap"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_interruptible(stream, &mut payload, stop)?;
+    let text = std::str::from_utf8(&payload)
+        .map_err(|e| CodecError::Malformed(format!("payload is not UTF-8: {e}")))?;
+    json::from_str(text).map_err(|e| CodecError::Malformed(format!("payload: {e}")))
+}
+
+impl Transport for TcpTransport {
+    fn local_id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn cluster_size(&self) -> usize {
+        self.n
+    }
+
+    fn send(&mut self, to: ProcessId, msg: &WireMessage) -> Result<(), TransportError> {
+        let slot = &mut self.writers[to.as_usize()];
+        if let Some(stream) = slot {
+            if write_frame(stream, msg).is_err() {
+                // The peer died mid-write. Mark it dead and move on: the
+                // protocol keeps running with the live quorum.
+                *slot = None;
+            }
+        }
+        Ok(())
+    }
+
+    fn recv_timeout(
+        &mut self,
+        timeout: WallDuration,
+    ) -> Result<Option<(ProcessId, WireMessage)>, TransportError> {
+        match self.inbox.recv_timeout(timeout) {
+            Ok(pair) => Ok(Some(pair)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Ok(None),
+        }
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for writer in self.writers.iter_mut() {
+            if let Some(stream) = writer.take() {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

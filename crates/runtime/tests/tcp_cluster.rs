@@ -1,0 +1,92 @@
+//! End-to-end smoke test of the TCP backend: four nodes in one process,
+//! each on its own socket pair mesh over localhost, must connect, commit
+//! and agree — the same property the `scripts/local-cluster.sh` script
+//! checks across real OS processes.
+
+use lumiere_runtime::driver::{spawn, DriverOptions};
+use lumiere_runtime::{build_runtime, ProtocolKind, TcpMeshConfig, TcpTransport, Transport};
+use lumiere_types::{Duration, ProcessId};
+use std::time::Duration as WallDuration;
+
+/// Fixed localhost ports for the 4-node mesh. The range is obscure enough
+/// that a collision with another service is a freak occurrence, and the
+/// test fails loudly (connect error) rather than flakily if one happens.
+const BASE_PORT: u16 = 46210;
+
+fn mesh_config(id: usize, n: usize) -> TcpMeshConfig {
+    TcpMeshConfig {
+        id: ProcessId::new(id),
+        n,
+        listen: format!("127.0.0.1:{}", BASE_PORT + id as u16),
+        peers: (0..n)
+            .filter(|&j| j != id)
+            .map(|j| {
+                (
+                    ProcessId::new(j),
+                    format!("127.0.0.1:{}", BASE_PORT + j as u16),
+                )
+            })
+            .collect(),
+        connect_timeout: WallDuration::from_secs(10),
+    }
+}
+
+#[test]
+fn four_tcp_nodes_commit_and_agree() {
+    let n = 4;
+    // Connect all transports first (each spawns its own acceptor thread, so
+    // the dial/accept barrier resolves even from one test thread).
+    let connectors: Vec<_> = (0..n)
+        .map(|i| std::thread::spawn(move || TcpTransport::connect(mesh_config(i, n))))
+        .collect();
+    let transports: Vec<TcpTransport> = connectors
+        .into_iter()
+        .map(|c| c.join().unwrap().expect("mesh connect"))
+        .collect();
+
+    let handles: Vec<_> = transports
+        .into_iter()
+        .enumerate()
+        .map(|(i, transport)| {
+            let rt = build_runtime(ProtocolKind::Lumiere, n, i, Duration::from_millis(5), 23);
+            spawn(
+                rt,
+                transport,
+                DriverOptions {
+                    target_commits: Some(3),
+                    deadline: Some(WallDuration::from_secs(60)),
+                    linger: WallDuration::from_millis(400),
+                    poll: WallDuration::from_millis(2),
+                },
+            )
+        })
+        .collect();
+
+    let summaries: Vec<_> = handles
+        .into_iter()
+        .map(|h| {
+            let (summary, _rt, mut transport) = h.join().unwrap();
+            transport.shutdown();
+            summary
+        })
+        .collect();
+
+    for s in &summaries {
+        assert!(
+            s.committed_height >= 3,
+            "node {} committed only {} blocks over TCP",
+            s.node,
+            s.committed_height
+        );
+    }
+    let shortest = summaries.iter().map(|s| s.chain.len()).min().unwrap();
+    for s in &summaries[1..] {
+        assert_eq!(
+            s.chain[..shortest],
+            summaries[0].chain[..shortest],
+            "nodes {} and {} disagree on the committed prefix over TCP",
+            summaries[0].node,
+            s.node
+        );
+    }
+}

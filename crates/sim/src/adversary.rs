@@ -132,7 +132,7 @@ pub trait AdversaryStrategy: Debug + Send {
 
     /// Rewrites the node's outgoing traffic before it reaches the network.
     /// The default is the identity. Implementations should bump
-    /// [`NodeOutput::adversary_events`] for every message they suppress,
+    /// [`NodeOutput::gated_events`] for every message they suppress,
     /// forge or redirect — the runner turns those marks into the coverage
     /// fingerprint's per-strategy activation windows.
     fn transform_output(&mut self, _ctx: &StrategyCtx, out: NodeOutput) -> NodeOutput {
@@ -347,9 +347,10 @@ impl AdversarySchedule {
         self
     }
 
-    /// The legacy closed-enum adversary: every id corrupted with the same
-    /// [`ByzBehavior`], no delay targeting.
-    pub fn from_legacy(ids: &[usize], behavior: ByzBehavior) -> Self {
+    /// The uniform adversary: every id corrupted with the same
+    /// [`ByzBehavior`], no delay targeting. (The translation target of the
+    /// retired `with_byzantine` legacy configuration path.)
+    pub fn uniform(ids: &[usize], behavior: ByzBehavior) -> Self {
         AdversarySchedule {
             corruptions: ids
                 .iter()
@@ -604,7 +605,7 @@ impl AdversaryStrategy for EquivocateStrategy {
             match msg {
                 SimMessage::Consensus(ConsensusMessage::Proposal(block)) => {
                     let forged = self.forge_conflicting(&block);
-                    out.adversary_events += 1;
+                    out.gated_events += 1;
                     for to in ProcessId::all(ctx.n) {
                         if to == ctx.id {
                             continue;
@@ -695,7 +696,7 @@ impl AdversaryStrategy for AdaptiveLeaderTargetingStrategy {
         }
         let before = out.sends.len();
         out.sends.retain(|(to, _)| *to != target);
-        out.adversary_events += (before - out.sends.len()) as u32;
+        out.gated_events += (before - out.sends.len()) as u32;
         out
     }
 }
@@ -775,7 +776,7 @@ impl AdversaryStrategy for QcStarvationStrategy {
         });
         // Deaf periods are marked by the hosting node when it gates an
         // incoming message, so only actual suppressions count here.
-        out.adversary_events += dropped;
+        out.gated_events += dropped;
         let _ = ctx;
         out
     }
@@ -850,7 +851,7 @@ mod tests {
             StrategyKind::from(ByzBehavior::SyncSilent),
             StrategyKind::SyncSilent
         );
-        let schedule = AdversarySchedule::from_legacy(&[1, 3], ByzBehavior::Crash);
+        let schedule = AdversarySchedule::uniform(&[1, 3], ByzBehavior::Crash);
         assert_eq!(
             schedule.corrupted_ids().into_iter().collect::<Vec<_>>(),
             [1, 3]
@@ -1018,7 +1019,7 @@ mod tests {
         };
         let out = strategy.transform_output(&ctx, out);
         assert!(out.broadcasts.is_empty(), "the broadcast must be rewritten");
-        assert!(out.adversary_events > 0, "forging marks an activation");
+        assert!(out.gated_events > 0, "forging marks an activation");
         assert_eq!(out.sends.len(), 12, "both blocks go to every other node");
         // first_seen[recipient] = hash of the first proposal that recipient
         // receives (under symmetric delays, the one it votes for).
@@ -1062,7 +1063,7 @@ mod tests {
         assert_eq!(out.sends.len(), 1, "only the non-leader unicast survives");
         assert_eq!(out.sends[0].0, ProcessId::new(1));
         assert_eq!(out.broadcasts.len(), 1, "broadcasts are untouched");
-        assert_eq!(out.adversary_events, 2);
+        assert_eq!(out.gated_events, 2);
         // The target follows the observation: a different leader next view.
         ctx.obs.leader = Some(ProcessId::new(1));
         let out = strategy.transform_output(
@@ -1129,7 +1130,7 @@ mod tests {
         };
         let out = strategy.transform_output(&ctx, out);
         assert!(out.broadcasts.is_empty(), "the QC broadcast is withheld");
-        assert!(out.adversary_events > 0);
+        assert!(out.gated_events > 0);
         // A later proposal justified by the withheld QC is suppressed too;
         // proposals justified by public QCs pass.
         let hidden = Block::new(0, 1, View::new(5), ProcessId::new(0), 1, qc);

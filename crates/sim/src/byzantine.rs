@@ -3,10 +3,11 @@
 //! Since the adversary subsystem became pluggable, this closed enum is a
 //! convenience layer: each variant maps onto an
 //! [`adversary::StrategyKind`](crate::adversary::StrategyKind) (via `From`),
-//! and [`SimConfig::with_byzantine`](crate::scenario::SimConfig::with_byzantine)
+//! and [`SimConfig::with_faults`](crate::scenario::SimConfig::with_faults)
 //! translates it into an
-//! [`AdversarySchedule`](crate::adversary::AdversarySchedule) under the
-//! hood. Richer behaviours — equivocation, crash–recovery windows, targeted
+//! [`AdversarySchedule`](crate::adversary::AdversarySchedule) (via
+//! [`AdversarySchedule::uniform`](crate::adversary::AdversarySchedule::uniform))
+//! under the hood. Richer behaviours — equivocation, crash–recovery windows, targeted
 //! partitions — live in [`crate::adversary`]; `docs/ADVERSARIES.md` maps
 //! every strategy to the paper's attack arguments.
 

@@ -9,37 +9,16 @@
 //! property test that pins the calendar queue to identical delivery order
 //! (`same order as the old BinaryHeap on random schedules`).
 
-use lumiere_consensus::ConsensusMessage;
-use lumiere_core::messages::PacemakerMessage;
 use lumiere_types::{ProcessId, Time};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
-/// A message travelling through the simulated network: either a pacemaker
-/// (view synchronization) message or an underlying-protocol message.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SimMessage {
-    /// A view-synchronization message.
-    Pacemaker(PacemakerMessage),
-    /// An underlying-protocol (HotStuff) message.
-    Consensus(ConsensusMessage),
-}
-
-impl SimMessage {
-    /// Short kind tag for metrics and traces.
-    pub fn kind(&self) -> &'static str {
-        match self {
-            SimMessage::Pacemaker(m) => m.kind(),
-            SimMessage::Consensus(m) => m.kind(),
-        }
-    }
-
-    /// Whether this message belongs to a heavy epoch synchronization.
-    pub fn is_heavy_sync(&self) -> bool {
-        matches!(self, SimMessage::Pacemaker(m) if m.is_heavy_sync())
-    }
-}
+/// A message travelling through the simulated network (re-exported from
+/// `lumiere-runtime`; the simulator's historical name for the wire message).
+/// The simulated network carries exactly the frames a live TCP cluster
+/// would.
+pub use lumiere_runtime::WireMessage as SimMessage;
 
 /// An event scheduled for execution at a point in simulated time.
 ///

@@ -22,8 +22,14 @@
 //! * [`byzantine`] — the legacy closed behaviour enum
 //!   ([`byzantine::ByzBehavior`]), kept as a convenient shorthand that maps
 //!   onto the strategy subsystem.
-//! * [`node`] — couples a [`lumiere_core::Pacemaker`] with the underlying
-//!   [`lumiere_consensus::HotStuffEngine`] and cascades their notifications.
+//! * [`node`] — hosts one [`lumiere_runtime::ProtocolRuntime`] under the
+//!   adversary harness. **The simulator is now a transport**: the
+//!   pacemaker/engine stepping logic that used to live here moved to
+//!   `lumiere-runtime`, and this crate is one of three backends (virtual
+//!   network, in-process channel mesh, TCP mesh) driving the identical
+//!   protocol code. The simulator keeps what the live backends don't have —
+//!   adversary gating and output rewriting — by calling the runtime's gated
+//!   entry points.
 //! * [`event`] — the calendar event queue; [`runner`] — the event loop;
 //!   [`metrics`] — the measurements; [`trace`] — per-processor execution
 //!   traces (used for Figure 1); [`scenario`] — configuration and protocol

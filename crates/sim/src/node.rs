@@ -1,79 +1,54 @@
-//! A simulated processor: pacemaker + consensus engine + adversary strategy.
+//! A simulated processor: a [`ProtocolRuntime`] hosted under the simulator,
+//! plus its adversary strategy.
+//!
+//! # The sim-is-a-transport inversion
+//!
+//! The pacemaker/engine stepping logic used to live here; it now lives in
+//! `lumiere-runtime` ([`ProtocolRuntime`]), where the live channel-mesh and
+//! TCP backends drive the very same code. What remains in this module is the
+//! simulator-specific part: the [`AdversaryStrategy`] harness. Per event the
+//! node snapshots a [`StrategyCtx`], asks the strategy which components may
+//! run, folds the answers into a [`Gates`] value for the runtime's gated
+//! entry points, and finally lets the strategy rewrite the runtime's output
+//! (equivocation, selective starvation) before it reaches the network.
+//!
+//! [`NodeOutput`] is the runtime's [`RuntimeOutput`](lumiere_runtime::RuntimeOutput)
+//! re-exported under its historical name, and [`SimMessage`] is likewise the
+//! runtime's wire message — the simulator delivers exactly the frames a TCP
+//! cluster would.
 
 use crate::adversary::{AdversaryStrategy, ProtocolObs, StrategyCtx};
 use crate::event::SimMessage;
-use lumiere_consensus::{ConsensusAction, HotStuffEngine, QuorumCert};
-use lumiere_core::pacemaker::{Pacemaker, PacemakerAction};
+use lumiere_consensus::HotStuffEngine;
+use lumiere_core::pacemaker::Pacemaker;
+use lumiere_runtime::runtime::ConsensusRuntime as _;
+use lumiere_runtime::{Gates, ProtocolRuntime};
 use lumiere_types::{Duration, ProcessId, Time, View};
-use std::collections::VecDeque;
 
-/// Everything a processor wants the simulator to do after handling an event.
-///
-/// The simulator owns one scratch instance and reuses it across events
-/// (see [`NodeOutput::clear`]), so the epoch loop allocates nothing once the
-/// buffers have grown to their working size.
-#[derive(Debug, Default)]
-pub struct NodeOutput {
-    /// Point-to-point sends.
-    pub sends: Vec<(ProcessId, SimMessage)>,
-    /// Broadcasts (to every other processor).
-    pub broadcasts: Vec<SimMessage>,
-    /// Requested wake-up times.
-    pub wakes: Vec<Time>,
-    /// QCs this processor formed as leader (for the latency metric).
-    pub qcs_formed: Vec<QuorumCert>,
-    /// Heights of blocks newly committed by this processor.
-    pub commits: Vec<u64>,
-    /// Views entered by this processor.
-    pub entered_views: Vec<View>,
-    /// Epoch views for which this processor started heavy synchronization.
-    pub heavy_syncs: Vec<View>,
-    /// How many messages the node's adversary strategy suppressed, forged
-    /// or redirected while producing this output (always zero for honest
-    /// processors). The runner folds non-zero counts into the coverage
-    /// fingerprint's per-strategy activation windows.
-    pub adversary_events: u32,
-}
-
-impl NodeOutput {
-    /// Empties every buffer while keeping its capacity, so one instance can
-    /// be reused across events without reallocating.
-    pub fn clear(&mut self) {
-        self.sends.clear();
-        self.broadcasts.clear();
-        self.wakes.clear();
-        self.qcs_formed.clear();
-        self.commits.clear();
-        self.entered_views.clear();
-        self.heavy_syncs.clear();
-        self.adversary_events = 0;
-    }
-}
+/// Everything a processor wants the simulator to do after handling an event
+/// (re-exported from `lumiere-runtime`; the simulator's historical name for
+/// it). The `gated_events` field counts strategy-suppressed events; the
+/// runner folds non-zero counts into the coverage fingerprint's per-strategy
+/// activation windows.
+pub use lumiere_runtime::RuntimeOutput as NodeOutput;
 
 /// A simulated processor.
 ///
-/// Honest processors run their pacemaker and consensus engine unmodified.
-/// Corrupted processors are driven through an
+/// Honest processors run their [`ProtocolRuntime`] fully open. Corrupted
+/// processors are driven through an
 /// [`AdversaryStrategy`](crate::adversary::AdversaryStrategy): the strategy
 /// decides, per event time, which components run and whether the node
 /// proposes, and may rewrite the node's outgoing traffic (equivocation,
 /// selective starvation) before it reaches the network.
 #[derive(Debug)]
 pub struct Node {
-    id: ProcessId,
     n: usize,
-    pacemaker: Box<dyn Pacemaker>,
-    engine: HotStuffEngine,
+    runtime: ProtocolRuntime,
     strategy: Option<Box<dyn AdversaryStrategy>>,
-    pacemaker_booted: bool,
     /// Start-of-event [`StrategyCtx`] snapshot, taken once per event for
     /// corrupted nodes and reused by every gating decision of that event
     /// (honest nodes never build one).
     event_ctx: Option<StrategyCtx>,
-    /// Persistent cascade queues, reused across events (no per-event
-    /// allocation once warm).
-    pm_queue: VecDeque<PacemakerAction>,
-    cons_queue: VecDeque<ConsensusAction>,
 }
 
 impl Node {
@@ -88,21 +63,16 @@ impl Node {
         strategy: Option<Box<dyn AdversaryStrategy>>,
     ) -> Self {
         Node {
-            id,
             n,
-            pacemaker,
-            engine,
+            runtime: ProtocolRuntime::new(id, pacemaker, engine),
             strategy,
-            pacemaker_booted: false,
             event_ctx: None,
-            pm_queue: VecDeque::new(),
-            cons_queue: VecDeque::new(),
         }
     }
 
     /// The processor's identifier.
     pub fn id(&self) -> ProcessId {
-        self.id
+        self.runtime.id()
     }
 
     /// Whether the processor is honest.
@@ -117,59 +87,60 @@ impl Node {
 
     /// The processor's current view according to its pacemaker.
     pub fn current_view(&self) -> View {
-        self.pacemaker.current_view()
+        self.runtime.current_view()
     }
 
     /// The pacemaker's local-clock reading (for honest-gap metrics).
     pub fn local_clock_reading(&self, now: Time) -> Duration {
-        self.pacemaker.local_clock_reading(now)
+        self.runtime.local_clock_reading(now)
     }
 
     /// Height of the highest block this processor has committed.
     pub fn committed_height(&self) -> u64 {
-        self.engine.committed_height()
+        self.runtime.committed_height()
     }
 
     /// Hashes of the blocks this processor has committed, in chain order.
     pub fn committed_chain(&self) -> Vec<u64> {
-        self.engine.store().committed_chain().to_vec()
+        self.runtime.committed_chain()
     }
 
     /// How many equivocations (conflicting proposals for one view and
     /// proposer) this processor's engine has witnessed.
     pub fn equivocations_detected(&self) -> usize {
-        self.engine.equivocations_detected()
+        self.runtime.equivocations_detected()
     }
 
     /// How many times this processor's engine lock advanced (coverage
     /// fingerprint event mix).
     pub fn locks_advanced(&self) -> u64 {
-        self.engine.locks_advanced()
+        self.runtime.locks_advanced()
     }
 
     /// The protocol name reported by the pacemaker.
     pub fn protocol_name(&self) -> &'static str {
-        self.pacemaker.name()
+        self.runtime.protocol_name()
     }
 
     /// Snapshots the node's protocol state into a [`StrategyCtx`] for the
     /// adversary strategy (cheap: a handful of field reads plus one scan of
     /// the engine's pending-vote pools for the current view).
     fn strategy_ctx(&self, now: Time) -> StrategyCtx {
+        let engine = self.runtime.engine();
         StrategyCtx {
-            id: self.id,
+            id: self.runtime.id(),
             n: self.n,
             now,
             obs: ProtocolObs {
-                view: self.pacemaker.current_view(),
-                engine_view: self.engine.current_view(),
-                leader: self.engine.current_leader(),
-                locked_view: self.engine.locked_view(),
-                last_voted_view: self.engine.last_voted_view(),
-                high_qc_view: self.engine.high_qc().view(),
-                pending_qc_votes: self.engine.pending_votes(self.engine.current_view()),
-                clock: self.pacemaker.local_clock_reading(now),
-                booted: self.pacemaker_booted,
+                view: self.runtime.current_view(),
+                engine_view: engine.current_view(),
+                leader: engine.current_leader(),
+                locked_view: engine.locked_view(),
+                last_voted_view: engine.last_voted_view(),
+                high_qc_view: engine.high_qc().view(),
+                pending_qc_votes: engine.pending_votes(engine.current_view()),
+                clock: self.runtime.local_clock_reading(now),
+                booted: self.runtime.booted(),
             },
         }
     }
@@ -188,38 +159,19 @@ impl Node {
         }
     }
 
-    fn runs_pacemaker(&self, _now: Time) -> bool {
+    /// Folds the strategy's per-event gating decisions into the [`Gates`]
+    /// the runtime's gated entry points take (fully open for honest nodes).
+    /// The decisions read only the strategy and the start-of-event snapshot,
+    /// so they are constant for the duration of the event.
+    fn gates(&self) -> Gates {
         match (&self.strategy, &self.event_ctx) {
-            (Some(s), Some(ctx)) => s.runs_pacemaker(ctx),
-            _ => true,
+            (Some(s), Some(ctx)) => Gates {
+                pacemaker: s.runs_pacemaker(ctx),
+                consensus: s.runs_consensus(ctx),
+                proposes: s.proposes(ctx),
+            },
+            _ => Gates::OPEN,
         }
-    }
-
-    fn runs_consensus(&self, _now: Time) -> bool {
-        match (&self.strategy, &self.event_ctx) {
-            (Some(s), Some(ctx)) => s.runs_consensus(ctx),
-            _ => true,
-        }
-    }
-
-    /// Synchronizes the engine's proposing switch with the strategy (the
-    /// honest default is to propose).
-    fn sync_proposing(&mut self, _now: Time) {
-        let proposes = match (&self.strategy, &self.event_ctx) {
-            (Some(s), Some(ctx)) => s.proposes(ctx),
-            _ => true,
-        };
-        self.engine.set_proposing_enabled(proposes);
-    }
-
-    /// Runs the pacemaker's boot once, the first time the node is active.
-    fn maybe_boot_pacemaker(&mut self, now: Time, out: &mut NodeOutput) {
-        if self.pacemaker_booted || !self.runs_pacemaker(now) {
-            return;
-        }
-        self.pacemaker_booted = true;
-        let actions = self.pacemaker.boot(now);
-        self.drain_pacemaker(actions, now, out);
     }
 
     /// Applies the strategy's output rewrite (identity for honest nodes,
@@ -248,13 +200,12 @@ impl Node {
     /// Boots the processor, appending its effects to `out`.
     pub fn boot_into(&mut self, now: Time, out: &mut NodeOutput) {
         self.observe_strategy(now);
-        self.sync_proposing(now);
         if let Some(strategy) = &self.strategy {
             // Strategy-requested wake-ups (e.g. crash-recovery rejoin) are
             // scheduled even while the node is dark.
             out.wakes.extend(strategy.boot_wakes());
         }
-        self.maybe_boot_pacemaker(now, out);
+        self.runtime.boot_gated(now, self.gates(), out);
         self.finish(now, out);
     }
 
@@ -268,13 +219,8 @@ impl Node {
     /// Fires a wake-up, appending its effects to `out`.
     pub fn wake_into(&mut self, now: Time, out: &mut NodeOutput) {
         self.observe_strategy(now);
-        self.sync_proposing(now);
-        self.maybe_boot_pacemaker(now, out);
-        if self.runs_pacemaker(now) {
-            let actions = self.pacemaker.on_wake(now);
-            self.drain_pacemaker(actions, now, out);
-        } else if self.strategy.is_some() {
-            out.adversary_events += 1;
+        if !self.runtime.wake_gated(now, self.gates(), out) && self.strategy.is_some() {
+            out.gated_events += 1;
         }
         self.finish(now, out);
     }
@@ -296,116 +242,14 @@ impl Node {
         out: &mut NodeOutput,
     ) {
         self.observe_strategy(now);
-        self.sync_proposing(now);
-        self.maybe_boot_pacemaker(now, out);
-        match msg {
-            SimMessage::Pacemaker(m) => {
-                if self.runs_pacemaker(now) {
-                    let actions = self.pacemaker.on_message(from, m, now);
-                    self.drain_pacemaker(actions, now, out);
-                } else if self.strategy.is_some() {
-                    out.adversary_events += 1;
-                }
-            }
-            SimMessage::Consensus(m) => {
-                if self.runs_consensus(now) {
-                    let actions = self.engine.on_message(from, m, now);
-                    self.drain_consensus(actions, now, out);
-                } else if self.strategy.is_some() {
-                    out.adversary_events += 1;
-                }
-            }
+        if !self
+            .runtime
+            .deliver_gated(from, msg, now, self.gates(), out)
+            && self.strategy.is_some()
+        {
+            out.gated_events += 1;
         }
         self.finish(now, out);
-    }
-
-    /// Processes pacemaker actions, cascading into the consensus engine as
-    /// needed (view entries trigger proposals, which may trigger QCs, which
-    /// feed back into the pacemaker, and so on until quiescence).
-    fn drain_pacemaker(&mut self, actions: Vec<PacemakerAction>, now: Time, out: &mut NodeOutput) {
-        debug_assert!(self.pm_queue.is_empty() && self.cons_queue.is_empty());
-        self.pm_queue.extend(actions);
-        loop {
-            if let Some(action) = self.pm_queue.pop_front() {
-                match action {
-                    PacemakerAction::SendTo(to, m) => {
-                        out.sends.push((to, SimMessage::Pacemaker(m)));
-                    }
-                    PacemakerAction::Broadcast(m) => {
-                        out.broadcasts.push(SimMessage::Pacemaker(m));
-                    }
-                    PacemakerAction::WakeAt(t) => out.wakes.push(t),
-                    PacemakerAction::HeavySyncStarted { view } => out.heavy_syncs.push(view),
-                    PacemakerAction::SetQcDeadline { view, deadline } => {
-                        self.engine.set_qc_deadline(view, deadline);
-                    }
-                    PacemakerAction::EnterView { view, leader } => {
-                        out.entered_views.push(view);
-                        if self.runs_consensus(now) {
-                            let actions = self.engine.enter_view(view, leader, now);
-                            self.cons_queue.extend(actions);
-                        }
-                    }
-                }
-                continue;
-            }
-            if let Some(action) = self.cons_queue.pop_front() {
-                match action {
-                    ConsensusAction::Broadcast(m) => {
-                        out.broadcasts.push(SimMessage::Consensus(m));
-                    }
-                    ConsensusAction::Send(to, m) => {
-                        out.sends.push((to, SimMessage::Consensus(m)));
-                    }
-                    ConsensusAction::Committed(block) => out.commits.push(block.height()),
-                    ConsensusAction::QcFormed(qc) => {
-                        out.qcs_formed.push(qc.clone());
-                        if self.runs_pacemaker(now) {
-                            let actions = self.pacemaker.on_qc(&qc, true, now);
-                            self.pm_queue.extend(actions);
-                        }
-                    }
-                    ConsensusAction::QcObserved(qc) => {
-                        if self.runs_pacemaker(now) {
-                            let actions = self.pacemaker.on_qc(&qc, false, now);
-                            self.pm_queue.extend(actions);
-                        }
-                    }
-                }
-                continue;
-            }
-            break;
-        }
-    }
-
-    /// Processes consensus actions, cascading into the pacemaker as needed.
-    fn drain_consensus(&mut self, actions: Vec<ConsensusAction>, now: Time, out: &mut NodeOutput) {
-        // Reuse the same cascade machinery by starting from an empty
-        // pacemaker queue and a pre-filled consensus queue.
-        let mut pm_actions = Vec::new();
-        debug_assert!(self.cons_queue.is_empty());
-        self.cons_queue.extend(actions);
-        while let Some(action) = self.cons_queue.pop_front() {
-            match action {
-                ConsensusAction::Broadcast(m) => out.broadcasts.push(SimMessage::Consensus(m)),
-                ConsensusAction::Send(to, m) => out.sends.push((to, SimMessage::Consensus(m))),
-                ConsensusAction::Committed(block) => out.commits.push(block.height()),
-                ConsensusAction::QcFormed(qc) => {
-                    out.qcs_formed.push(qc.clone());
-                    if self.runs_pacemaker(now) {
-                        pm_actions.extend(self.pacemaker.on_qc(&qc, true, now));
-                    }
-                }
-                ConsensusAction::QcObserved(qc) => {
-                    if self.runs_pacemaker(now) {
-                        pm_actions.extend(self.pacemaker.on_qc(&qc, false, now));
-                    }
-                }
-            }
-        }
-        if !pm_actions.is_empty() {
-            self.drain_pacemaker(pm_actions, now, out);
-        }
     }
 }
 

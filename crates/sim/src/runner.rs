@@ -211,11 +211,11 @@ impl Simulation {
 
         // Adversary activation marks feed the coverage fingerprint's
         // per-strategy activation windows.
-        if out.adversary_events > 0 {
+        if out.gated_events > 0 {
             if let Some(name) = self.nodes[from.as_usize()].strategy_name() {
                 self.collector.record_strategy_activation(name, now);
             }
-            out.adversary_events = 0;
+            out.gated_events = 0;
         }
 
         // Network sends.

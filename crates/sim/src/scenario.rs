@@ -8,110 +8,17 @@ use crate::network::DelayModel;
 use crate::node::Node;
 use crate::runner::Simulation;
 use crate::trace::Trace;
-use lumiere_baselines::{Fever, Lp22, NaiveQuadratic, RelayPacemaker};
 use lumiere_consensus::HotStuffEngine;
-use lumiere_core::pacemaker::Pacemaker;
 use lumiere_core::planted::PlantedBug;
-use lumiere_core::{BasicLumiere, Lumiere, LumiereConfig};
-use lumiere_crypto::{keygen, KeyPair, Pki};
+use lumiere_crypto::keygen;
 use lumiere_types::{Duration, Params, Time};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
 
-/// The view-synchronization protocol under test.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum ProtocolKind {
-    /// Full Lumiere (Algorithm 1).
-    Lumiere,
-    /// Basic Lumiere (Section 3.4) — heavy synchronization at every epoch.
-    BasicLumiere,
-    /// LP22 (Section 3.2).
-    Lp22,
-    /// Fever (Section 3.3) — granted its clock-synchrony assumption.
-    Fever,
-    /// Cogsworth-style relay synchronizer.
-    Cogsworth,
-    /// NK20-style relay synchronizer.
-    Nk20,
-    /// Naive PBFT-style all-to-all pacemaker.
-    Naive,
-}
-
-impl ProtocolKind {
-    /// Short name used in reports and CSV output.
-    pub fn name(&self) -> &'static str {
-        match self {
-            ProtocolKind::Lumiere => "lumiere",
-            ProtocolKind::BasicLumiere => "basic-lumiere",
-            ProtocolKind::Lp22 => "lp22",
-            ProtocolKind::Fever => "fever",
-            ProtocolKind::Cogsworth => "cogsworth",
-            ProtocolKind::Nk20 => "nk20",
-            ProtocolKind::Naive => "naive-quadratic",
-        }
-    }
-
-    /// All implemented protocols.
-    pub fn all() -> [ProtocolKind; 7] {
-        [
-            ProtocolKind::Lumiere,
-            ProtocolKind::BasicLumiere,
-            ProtocolKind::Lp22,
-            ProtocolKind::Fever,
-            ProtocolKind::Cogsworth,
-            ProtocolKind::Nk20,
-            ProtocolKind::Naive,
-        ]
-    }
-
-    /// The protocols that appear in Table 1 of the paper.
-    pub fn table1() -> [ProtocolKind; 5] {
-        [
-            ProtocolKind::Cogsworth,
-            ProtocolKind::Nk20,
-            ProtocolKind::Lp22,
-            ProtocolKind::Fever,
-            ProtocolKind::Lumiere,
-        ]
-    }
-
-    /// Builds the pacemaker instance of this protocol for one processor.
-    pub fn build_pacemaker(
-        &self,
-        params: Params,
-        keys: KeyPair,
-        pki: Pki,
-        seed: u64,
-    ) -> Box<dyn Pacemaker> {
-        self.build_pacemaker_with(params, keys, pki, seed, None)
-    }
-
-    /// Like [`ProtocolKind::build_pacemaker`], optionally planting a
-    /// calibration bug (Lumiere only; other protocols ignore it — see
-    /// [`lumiere_core::planted`]).
-    pub fn build_pacemaker_with(
-        &self,
-        params: Params,
-        keys: KeyPair,
-        pki: Pki,
-        seed: u64,
-        planted: Option<PlantedBug>,
-    ) -> Box<dyn Pacemaker> {
-        match self {
-            ProtocolKind::Lumiere => {
-                let mut cfg = LumiereConfig::new(params, seed);
-                cfg.planted = planted;
-                Box::new(Lumiere::new(cfg, keys, pki))
-            }
-            ProtocolKind::BasicLumiere => Box::new(BasicLumiere::new(params, keys, pki)),
-            ProtocolKind::Lp22 => Box::new(Lp22::new(params, keys, pki)),
-            ProtocolKind::Fever => Box::new(Fever::new(params, keys, pki)),
-            ProtocolKind::Cogsworth => Box::new(RelayPacemaker::cogsworth(params, keys, pki)),
-            ProtocolKind::Nk20 => Box::new(RelayPacemaker::nk20(params, keys, pki)),
-            ProtocolKind::Naive => Box::new(NaiveQuadratic::new(params, keys, pki)),
-        }
-    }
-}
+/// The view-synchronization protocol under test (re-exported from
+/// `lumiere-runtime`, where it moved when the protocol was lifted out of the
+/// simulator — the live `lumiere-node` binary selects protocols by the same
+/// enum).
+pub use lumiere_runtime::ProtocolKind;
 
 /// Configuration of one simulated execution.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -120,12 +27,9 @@ pub struct SimConfig {
     pub protocol: ProtocolKind,
     /// Number of processors.
     pub n: usize,
-    /// Number of corrupted processors (`f_a ≤ f`).
+    /// Number of corrupted processors (`f_a ≤ f`), kept in sync with
+    /// [`SimConfig::adversary`] by the fault builders.
     pub f_a: usize,
-    /// How corrupted processors behave.
-    pub byz_behavior: ByzBehavior,
-    /// Explicit choice of corrupted processors (defaults to the last `f_a`).
-    pub byzantine_ids: Option<Vec<usize>>,
     /// The known delay bound Δ.
     pub delta_cap: Duration,
     /// The network adversary.
@@ -147,9 +51,8 @@ pub struct SimConfig {
     /// [`SimConfig::DEFAULT_SAMPLE_METRICS_ABOVE`]; set to `usize::MAX`
     /// for exact metrics at any scale.
     pub sample_metrics_above: usize,
-    /// The pluggable adversary plan. When set it overrides `f_a`,
-    /// `byz_behavior` and `byzantine_ids`, and its delay rules steer the
-    /// [`DelayModel`] per edge instead of globally.
+    /// The adversary plan: strategy assignments plus per-edge delay
+    /// targeting. `None` means every processor is honest.
     pub adversary: Option<AdversarySchedule>,
     /// A deliberately planted protocol bug, used to calibrate the fuzzer
     /// (see [`lumiere_core::planted`]). `None` — the default — is stock
@@ -167,8 +70,6 @@ impl SimConfig {
             protocol,
             n,
             f_a: 0,
-            byz_behavior: ByzBehavior::SilentLeader,
-            byzantine_ids: None,
             delta_cap: Duration::from_millis(10),
             delay: DelayModel::Fixed {
                 delta: Duration::from_millis(1),
@@ -257,46 +158,36 @@ impl SimConfig {
         self
     }
 
-    /// Corrupts `f_a` processors with the given behaviour.
-    pub fn with_byzantine(mut self, f_a: usize, behavior: ByzBehavior) -> Self {
-        self.f_a = f_a;
-        self.byz_behavior = behavior;
-        self
+    /// Corrupts the **last** `f_a` processors with the given behaviour (the
+    /// convention every experiment in the repo uses unless it targets
+    /// specific leaders). Shorthand for
+    /// [`with_adversary`](Self::with_adversary) +
+    /// [`AdversarySchedule::uniform`].
+    pub fn with_faults(self, f_a: usize, behavior: ByzBehavior) -> Self {
+        let ids: Vec<usize> = (self.n.saturating_sub(f_a)..self.n).collect();
+        self.with_adversary(AdversarySchedule::uniform(&ids, behavior))
     }
 
-    /// Chooses exactly which processors are corrupted.
-    pub fn with_byzantine_ids(mut self, ids: Vec<usize>, behavior: ByzBehavior) -> Self {
-        self.f_a = ids.len();
-        self.byzantine_ids = Some(ids);
-        self.byz_behavior = behavior;
-        self
+    /// Corrupts exactly the given processors with the given behaviour.
+    /// Shorthand for [`with_adversary`](Self::with_adversary) +
+    /// [`AdversarySchedule::uniform`].
+    pub fn with_faulty_ids(self, mut ids: Vec<usize>, behavior: ByzBehavior) -> Self {
+        ids.sort_unstable();
+        self.with_adversary(AdversarySchedule::uniform(&ids, behavior))
     }
 
-    /// Installs a pluggable adversary plan (strategy assignments plus
-    /// per-edge delay targeting). Overrides any legacy
-    /// [`with_byzantine`](Self::with_byzantine) /
-    /// [`with_byzantine_ids`](Self::with_byzantine_ids) choice.
+    /// Installs an adversary plan (strategy assignments plus per-edge delay
+    /// targeting), replacing any previous one and syncing `f_a` with it.
     pub fn with_adversary(mut self, schedule: AdversarySchedule) -> Self {
         self.f_a = schedule.corrupted_ids().len();
-        self.byzantine_ids = Some(schedule.corrupted_ids().into_iter().collect());
         self.adversary = Some(schedule);
         self
     }
 
-    /// The adversary plan in effect: the explicit one, or the legacy
-    /// `byz_behavior` fields translated into a schedule.
+    /// The adversary plan in effect (the empty, all-honest schedule when
+    /// none is configured).
     pub fn effective_adversary(&self) -> AdversarySchedule {
-        match &self.adversary {
-            Some(schedule) => schedule.clone(),
-            None => {
-                let ids: Vec<usize> = {
-                    let mut v: Vec<usize> = self.byzantine_set().into_iter().collect();
-                    v.sort_unstable();
-                    v
-                };
-                AdversarySchedule::from_legacy(&ids, self.byz_behavior)
-            }
-        }
+        self.adversary.clone().unwrap_or_default()
     }
 
     /// Stops the run after this many honest-leader QCs.
@@ -320,14 +211,6 @@ impl SimConfig {
     /// The derived protocol parameters.
     pub fn params(&self) -> Params {
         Params::new(self.n, self.delta_cap)
-    }
-
-    /// The set of corrupted processor indices.
-    pub fn byzantine_set(&self) -> HashSet<usize> {
-        match &self.byzantine_ids {
-            Some(ids) => ids.iter().copied().collect(),
-            None => (self.n - self.f_a..self.n).collect(),
-        }
     }
 
     /// Builds all processors for this configuration.
@@ -412,7 +295,7 @@ mod tests {
     fn every_protocol_survives_silent_leaders() {
         for protocol in ProtocolKind::all() {
             let report = quick(protocol)
-                .with_byzantine(1, ByzBehavior::SilentLeader)
+                .with_faults(1, ByzBehavior::SilentLeader)
                 .with_horizon(Duration::from_secs(8))
                 .run();
             assert!(
@@ -427,7 +310,7 @@ mod tests {
     fn every_protocol_survives_crash_faults() {
         for protocol in ProtocolKind::all() {
             let report = quick(protocol)
-                .with_byzantine(1, ByzBehavior::Crash)
+                .with_faults(1, ByzBehavior::Crash)
                 .with_horizon(Duration::from_secs(8))
                 .run();
             assert!(
@@ -457,21 +340,51 @@ mod tests {
     }
 
     #[test]
-    fn byzantine_set_defaults_to_the_last_processors() {
-        let cfg = SimConfig::new(ProtocolKind::Lumiere, 7).with_byzantine(2, ByzBehavior::Crash);
-        let set = cfg.byzantine_set();
-        assert_eq!(set.len(), 2);
-        assert!(set.contains(&5) && set.contains(&6));
-        let cfg = cfg.with_byzantine_ids(vec![0, 3], ByzBehavior::Crash);
-        let set = cfg.byzantine_set();
-        assert!(set.contains(&0) && set.contains(&3));
+    fn fault_builders_corrupt_the_expected_processors() {
+        let cfg = SimConfig::new(ProtocolKind::Lumiere, 7).with_faults(2, ByzBehavior::Crash);
+        let schedule = cfg.effective_adversary();
+        assert_eq!(
+            schedule.corrupted_ids().into_iter().collect::<Vec<_>>(),
+            vec![5, 6],
+            "with_faults corrupts the last f_a processors"
+        );
+        assert_eq!(cfg.f_a, 2);
+        let cfg = cfg.with_faulty_ids(vec![3, 0], ByzBehavior::Crash);
+        let schedule = cfg.effective_adversary();
+        assert_eq!(
+            schedule.corrupted_ids().into_iter().collect::<Vec<_>>(),
+            vec![0, 3]
+        );
+        assert_eq!(cfg.f_a, 2);
+        assert_eq!(
+            schedule.strategy_for(3),
+            Some(crate::adversary::StrategyKind::Crash)
+        );
+        assert!(schedule.delay_rules.is_empty());
+    }
+
+    #[test]
+    fn effective_adversary_defaults_to_all_honest() {
+        let cfg = SimConfig::new(ProtocolKind::Lumiere, 7);
+        let schedule = cfg.effective_adversary();
+        assert!(schedule.corruptions.is_empty());
+        assert!(schedule.delay_rules.is_empty());
+        // The explicit schedule wins over any earlier fault builder.
+        let cfg = cfg
+            .with_faults(2, ByzBehavior::Crash)
+            .with_adversary(AdversarySchedule::equivocation(&[1]));
+        assert_eq!(cfg.f_a, 1);
+        assert_eq!(
+            cfg.effective_adversary().strategy_for(1),
+            Some(crate::adversary::StrategyKind::Equivocate)
+        );
     }
 
     #[test]
     #[should_panic(expected = "exceeds the tolerated")]
     fn too_many_faults_are_rejected() {
         let _ = SimConfig::new(ProtocolKind::Lumiere, 4)
-            .with_byzantine(2, ByzBehavior::Crash)
+            .with_faults(2, ByzBehavior::Crash)
             .build_nodes();
     }
 
@@ -530,28 +443,6 @@ mod tests {
         assert!(report.safety_ok);
         assert!(!report.truncated);
         assert!(report.decisions() > 0);
-    }
-
-    #[test]
-    fn effective_adversary_translates_legacy_configs() {
-        let cfg = SimConfig::new(ProtocolKind::Lumiere, 7).with_byzantine(2, ByzBehavior::Crash);
-        let schedule = cfg.effective_adversary();
-        assert_eq!(
-            schedule.corrupted_ids().into_iter().collect::<Vec<_>>(),
-            vec![5, 6]
-        );
-        assert_eq!(
-            schedule.strategy_for(5),
-            Some(crate::adversary::StrategyKind::Crash)
-        );
-        assert!(schedule.delay_rules.is_empty());
-        // The explicit schedule wins over legacy fields.
-        let cfg = cfg.with_adversary(AdversarySchedule::equivocation(&[1]));
-        assert_eq!(cfg.f_a, 1);
-        assert_eq!(
-            cfg.effective_adversary().strategy_for(1),
-            Some(crate::adversary::StrategyKind::Equivocate)
-        );
     }
 
     #[test]

@@ -126,9 +126,9 @@ proptest! {
             .with_horizon(Duration::from_millis(horizon_ms))
             .with_seed(seed);
         config = if explicit_ids == 1 {
-            config.with_byzantine_ids((0..f).collect(), behavior)
+            config.with_faulty_ids((0..f).collect(), behavior)
         } else {
-            config.with_byzantine(f, behavior)
+            config.with_faults(f, behavior)
         };
         config = match delay_kind {
             0 => config.with_actual_delay(Duration::from_millis(1)),
@@ -218,7 +218,7 @@ fn a_real_simulation_report_round_trips() {
     let (report, trace) = SimConfig::new(ProtocolKind::Lumiere, 7)
         .with_delta(Duration::from_millis(10))
         .with_actual_delay(Duration::from_millis(1))
-        .with_byzantine(2, ByzBehavior::SilentLeader)
+        .with_faults(2, ByzBehavior::SilentLeader)
         .with_horizon(Duration::from_secs(3))
         .with_max_honest_qcs(20)
         .with_seed(42)

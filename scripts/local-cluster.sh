@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# Boots a local lumiere-node cluster on 127.0.0.1, waits for every node to
+# commit TARGET blocks, and verifies that all nodes agree on the committed
+# chain prefix. Per-node logs and JSON summaries land in OUT_DIR.
+#
+# Usage:
+#   scripts/local-cluster.sh [N] [TARGET]
+#
+# Environment overrides:
+#   PROTOCOL   pacemaker protocol short name        (default: lumiere)
+#   BASE_PORT  first listen port, node i gets +i    (default: 7700)
+#   DELTA_MS   known message-delay bound in ms      (default: 20)
+#   SEED       deterministic cluster keygen seed    (default: 42)
+#   TIMEOUT_S  hard wall-clock cap on the whole run (default: 180)
+#   OUT_DIR    logs/configs/summaries directory     (default: cluster-out)
+#
+# Exit code 0 means: every node committed >= TARGET blocks AND all nodes
+# agree on the first TARGET entries of the commit log.
+
+set -euo pipefail
+
+N="${1:-4}"
+TARGET="${2:-50}"
+PROTOCOL="${PROTOCOL:-lumiere}"
+BASE_PORT="${BASE_PORT:-7700}"
+DELTA_MS="${DELTA_MS:-20}"
+SEED="${SEED:-42}"
+TIMEOUT_S="${TIMEOUT_S:-180}"
+OUT_DIR="${OUT_DIR:-cluster-out}"
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$REPO_ROOT"
+NODE_BIN="target/release/lumiere-node"
+
+if [[ ! -x "$NODE_BIN" ]]; then
+    echo "== building lumiere-node (release) =="
+    cargo build --release -p lumiere-runtime --bin lumiere-node
+fi
+
+rm -rf "$OUT_DIR"
+mkdir -p "$OUT_DIR"
+
+# Per-node wall-clock cap: leave the shell watchdog some slack to collect
+# logs after a node gives up on its own.
+RUN_TIMEOUT_MS=$(( (TIMEOUT_S - 10 > 30 ? TIMEOUT_S - 10 : 30) * 1000 ))
+
+echo "== writing $N node configs (protocol=$PROTOCOL, target=$TARGET commits) =="
+for ((i = 0; i < N; i++)); do
+    {
+        printf '{'
+        printf '"node_id":%d,"n":%d,"protocol":"%s","delta_ms":%d,"seed":%d,' \
+            "$i" "$N" "$PROTOCOL" "$DELTA_MS" "$SEED"
+        printf '"listen":"127.0.0.1:%d","peers":[' "$((BASE_PORT + i))"
+        sep=""
+        for ((j = 0; j < N; j++)); do
+            [[ $j -eq $i ]] && continue
+            printf '%s{"id":%d,"addr":"127.0.0.1:%d"}' "$sep" "$j" "$((BASE_PORT + j))"
+            sep=","
+        done
+        printf '],"target_commits":%d,"run_timeout_ms":%d,"connect_timeout_ms":30000}' \
+            "$TARGET" "$RUN_TIMEOUT_MS"
+    } > "$OUT_DIR/node$i.json"
+done
+
+echo "== booting the cluster =="
+pids=()
+for ((i = 0; i < N; i++)); do
+    "$NODE_BIN" --config "$OUT_DIR/node$i.json" --out "$OUT_DIR/summary$i.json" \
+        > "$OUT_DIR/node$i.log" 2>&1 &
+    pids+=($!)
+done
+
+cleanup() {
+    for pid in "${pids[@]}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+}
+trap cleanup EXIT
+
+# Watchdog: the nodes bound themselves via run_timeout_ms, but a hung mesh
+# connect or a wedged process must not hang CI — hard-kill past TIMEOUT_S.
+deadline=$(( SECONDS + TIMEOUT_S ))
+failed=0
+for idx in "${!pids[@]}"; do
+    pid="${pids[$idx]}"
+    while kill -0 "$pid" 2>/dev/null; do
+        if (( SECONDS >= deadline )); then
+            echo "ERROR: timeout after ${TIMEOUT_S}s; killing the cluster" >&2
+            cleanup
+            failed=1
+            break 2
+        fi
+        sleep 1
+    done
+    if ! wait "$pid"; then
+        echo "ERROR: node $idx exited with a failure (see $OUT_DIR/node$idx.log)" >&2
+        failed=1
+    fi
+done
+
+if (( failed )); then
+    for ((i = 0; i < N; i++)); do
+        echo "---- node $i log tail ----"
+        tail -n 20 "$OUT_DIR/node$i.log" || true
+    done
+    exit 1
+fi
+
+echo "== verifying commit logs =="
+N="$N" TARGET="$TARGET" OUT_DIR="$OUT_DIR" python3 - <<'PY'
+import json, os, sys
+
+n = int(os.environ["N"])
+target = int(os.environ["TARGET"])
+out_dir = os.environ["OUT_DIR"]
+
+chains = []
+for i in range(n):
+    path = os.path.join(out_dir, f"summary{i}.json")
+    with open(path) as f:
+        summary = json.load(f)
+    height = summary["committed_height"]
+    if height < target:
+        sys.exit(f"ERROR: node {i} committed only {height} < {target} blocks")
+    chains.append(summary["chain"])
+    print(f"node {i}: committed {height} blocks, final view {summary['final_view']}, "
+          f"{summary['wall_ms']:.0f} ms")
+
+prefix = chains[0][:target]
+for i, chain in enumerate(chains[1:], start=1):
+    if chain[:target] != prefix:
+        sys.exit(f"ERROR: node {i} disagrees with node 0 on the first {target} commits")
+
+print(f"OK: all {n} nodes agree on the first {target} committed blocks")
+PY
