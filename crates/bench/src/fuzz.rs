@@ -231,9 +231,11 @@ pub fn parse_args(args: &[String]) -> Result<Option<FuzzOptions>, String> {
 
 /// The liveness bound after GST: a generous `O(nΔ)` envelope. The paper's
 /// Theorem 1.1(2) gives worst-case latency `O(nΔ)`; the constant here leaves
-/// room for a commit (two consecutive honest-leader QCs) on top.
+/// room for a commit (two consecutive honest-leader QCs) on top. Delegates
+/// to [`lumiere_runtime::liveness_envelope`] so the simulator's fuzz oracle
+/// and the live-cluster harness judge commits against the same envelope.
 pub fn liveness_bound(n: usize, delta: Duration) -> Duration {
-    delta * (40 * n as i64 + 100)
+    lumiere_runtime::liveness_envelope(n, delta)
 }
 
 /// Deterministically expands `seed` into a fuzz case for `protocol`.

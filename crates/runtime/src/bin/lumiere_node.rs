@@ -2,67 +2,172 @@
 //!
 //! ```text
 //! lumiere-node --config node0.json [--out summary0.json]
+//!              [--strategy <name|json>] [--fault-plan <json>]
+//!              [--planted-bug <name>]
 //! ```
 //!
 //! Reads a [`NodeConfig`], joins the TCP mesh it describes (blocking until
 //! every peer is reachable), runs the configured protocol in real time, and
-//! on exit writes a JSON run summary — committed chain included — to
-//! `--out` (or stdout). `scripts/local-cluster.sh` boots four of these on
-//! localhost and diffs their chains.
+//! on exit writes a JSON run summary — committed chain and per-commit
+//! timestamps included — to `--out` (or stdout). `scripts/local-cluster.sh`
+//! boots clusters of these on localhost and checks their chains against the
+//! simulator's oracles.
+//!
+//! The adversarial switches make a live node a test subject:
+//!
+//! * `--strategy` corrupts the node with the *same*
+//!   [`StrategyKind`](lumiere_runtime::StrategyKind) machinery the simulator
+//!   uses — a short name (`silent-leader`, `crash`, …) or the serialized
+//!   JSON form for parameterized strategies (e.g.
+//!   `{"CrashRecovery":{"down":{"from":0,"until":5000000}}}`, times in
+//!   microseconds).
+//! * `--fault-plan` installs a serialized
+//!   [`FaultPlan`](lumiere_runtime::FaultPlan) on the transport: per-peer
+//!   drop windows, partitions and added delays in wall-clock milliseconds.
+//! * `--planted-bug` runs a known calibration bug (builds with the
+//!   `planted-bugs` feature only; a stock binary refuses, so CI can never
+//!   silently measure stock behaviour).
 
+use lumiere_core::planted::{self, PlantedBug};
 use lumiere_runtime::driver::{self, DriverOptions};
-use lumiere_runtime::{build_runtime, NodeConfig, TcpTransport, Transport};
+use lumiere_runtime::{
+    build_runtime_with, FaultPlan, FaultedTransport, NodeConfig, StrategyHost, StrategyKind,
+    TcpTransport, Transport,
+};
 use serde::json;
 use std::sync::atomic::{AtomicBool, AtomicU64};
 use std::time::Duration as WallDuration;
 
+/// Parsed command line.
+struct Args {
+    config: String,
+    out: Option<String>,
+    strategy: Option<StrategyKind>,
+    fault_plan: Option<FaultPlan>,
+    planted: Option<PlantedBug>,
+}
+
 fn main() {
-    let (config_path, out_path) = match parse_args() {
-        Ok(paths) => paths,
+    let args = match parse_args() {
+        Ok(args) => args,
         Err(usage) => {
             eprintln!("{usage}");
             std::process::exit(2);
         }
     };
-    if let Err(e) = run_node(&config_path, out_path.as_deref()) {
+    if let Err(e) = run_node(&args) {
         eprintln!("lumiere-node: {e}");
         std::process::exit(1);
     }
 }
 
-fn parse_args() -> Result<(String, Option<String>), String> {
-    let usage = "usage: lumiere-node --config <node.json> [--out <summary.json>]";
+fn parse_args() -> Result<Args, String> {
+    let usage = "usage: lumiere-node --config <node.json> [--out <summary.json>] \
+                 [--strategy <name|json>] [--fault-plan <json>] [--planted-bug <name>]";
     let mut config = None;
     let mut out = None;
+    let mut strategy = None;
+    let mut fault_plan = None;
+    let mut planted = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--config" => config = Some(args.next().ok_or(usage)?),
             "--out" => out = Some(args.next().ok_or(usage)?),
+            "--strategy" => {
+                let raw = args.next().ok_or(usage)?;
+                strategy = Some(parse_strategy(&raw)?);
+            }
+            "--fault-plan" => {
+                let raw = args.next().ok_or(usage)?;
+                fault_plan = Some(
+                    json::from_str::<FaultPlan>(&raw)
+                        .map_err(|e| format!("cannot parse --fault-plan: {e}"))?,
+                );
+            }
+            "--planted-bug" => {
+                let raw = args.next().ok_or(usage)?;
+                planted = Some(PlantedBug::parse(&raw).ok_or_else(|| {
+                    format!(
+                        "unknown planted bug `{raw}` (known: {})",
+                        PlantedBug::ALL.map(|b| b.name()).join(", ")
+                    )
+                })?);
+            }
             "--help" | "-h" => return Err(usage.to_string()),
             other => return Err(format!("unknown argument `{other}`\n{usage}")),
         }
     }
-    Ok((config.ok_or(usage)?, out))
+    Ok(Args {
+        config: config.ok_or(usage)?,
+        out,
+        strategy,
+        fault_plan,
+        planted,
+    })
 }
 
-fn run_node(config_path: &str, out_path: Option<&str>) -> Result<(), String> {
-    let cfg = NodeConfig::load(config_path).map_err(|e| e.to_string())?;
+/// Accepts a [`StrategyKind::name`] short name for the parameter-free
+/// strategies, or the serialized JSON form for any strategy.
+fn parse_strategy(raw: &str) -> Result<StrategyKind, String> {
+    if let Some(kind) = StrategyKind::from_name(raw) {
+        return Ok(kind);
+    }
+    json::from_str::<StrategyKind>(raw).map_err(|e| {
+        format!("cannot parse --strategy `{raw}` (not a known short name, and not valid JSON: {e})")
+    })
+}
+
+fn run_node(args: &Args) -> Result<(), String> {
+    let cfg = NodeConfig::load(&args.config).map_err(|e| e.to_string())?;
     let protocol = cfg
         .protocol_kind()
         .expect("validated config names a known protocol");
+    if args.planted.is_some() && !planted::enabled() {
+        return Err(
+            "--planted-bug requires a binary built with `--features planted-bugs`; \
+             this is a stock build"
+                .to_string(),
+        );
+    }
+    if let Some(plan) = &args.fault_plan {
+        plan.validate(cfg.n)
+            .map_err(|e| format!("--fault-plan: {e}"))?;
+    }
     eprintln!(
-        "[node {}] {} | n = {} | listening on {}",
+        "[node {}] {} | n = {} | listening on {}{}{}{}",
         cfg.node_id,
         protocol.name(),
         cfg.n,
-        cfg.listen
+        cfg.listen,
+        args.strategy
+            .map(|s| format!(" | strategy = {}", s.name()))
+            .unwrap_or_default(),
+        args.planted
+            .map(|b| format!(" | planted-bug = {}", b.name()))
+            .unwrap_or_default(),
+        if args.fault_plan.is_some() {
+            " | fault plan installed"
+        } else {
+            ""
+        },
     );
 
     let transport = TcpTransport::connect(cfg.mesh()).map_err(|e| e.to_string())?;
+    // An empty plan is transparent, so the faulted wrapper is unconditional:
+    // one code path whether or not faults were requested.
+    let transport = FaultedTransport::new(transport, args.fault_plan.clone().unwrap_or_default());
     eprintln!("[node {}] mesh up, booting protocol", cfg.node_id);
 
-    let runtime = build_runtime(protocol, cfg.n, cfg.node_id, cfg.delta(), cfg.seed);
+    let runtime = build_runtime_with(
+        protocol,
+        cfg.n,
+        cfg.node_id,
+        cfg.delta(),
+        cfg.seed,
+        args.planted,
+    );
+    let runtime = StrategyHost::new(runtime, cfg.n, args.strategy.map(|k| k.build()));
     let opts = DriverOptions {
         target_commits: cfg.target_commits,
         deadline: cfg.run_timeout_ms.map(WallDuration::from_millis),
@@ -75,11 +180,18 @@ fn run_node(config_path: &str, out_path: Option<&str>) -> Result<(), String> {
     transport.shutdown();
 
     eprintln!(
-        "[node {}] done: committed {} blocks in view {} after {:.0} ms",
-        summary.node, summary.committed_height, summary.final_view, summary.wall_ms
+        "[node {}] done: committed {} blocks in view {} after {:.0} ms \
+         ({} gated events, {} dropped / {} delayed by faults)",
+        summary.node,
+        summary.committed_height,
+        summary.final_view,
+        summary.wall_ms,
+        summary.gated_events,
+        transport.dropped(),
+        transport.delayed(),
     );
     let text = json::to_string(&summary);
-    match out_path {
+    match args.out.as_deref() {
         Some(path) => std::fs::write(path, text)
             .map_err(|e| format!("cannot write summary to {path}: {e}"))?,
         None => println!("{text}"),

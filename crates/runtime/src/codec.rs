@@ -122,8 +122,18 @@ pub fn read_frame<R: Read>(reader: &mut R) -> Result<WireMessage, CodecError> {
             "frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"
         )));
     }
-    let mut payload = vec![0u8; len];
-    reader.read_exact(&mut payload)?;
+    // Fill the payload in bounded chunks: even a length prefix at the cap
+    // commits no allocation until matching bytes actually arrive, so a
+    // hostile peer cannot make the reader reserve memory with a prefix
+    // alone.
+    const READ_CHUNK: usize = 8 * 1024;
+    let mut payload = Vec::with_capacity(len.min(READ_CHUNK));
+    let mut chunk = [0u8; READ_CHUNK];
+    while payload.len() < len {
+        let want = (len - payload.len()).min(READ_CHUNK);
+        reader.read_exact(&mut chunk[..want])?;
+        payload.extend_from_slice(&chunk[..want]);
+    }
     let text = std::str::from_utf8(&payload)
         .map_err(|e| CodecError::Malformed(format!("payload is not UTF-8: {e}")))?;
     json::from_str(text).map_err(|e| CodecError::Malformed(format!("payload: {e}")))
@@ -189,5 +199,69 @@ mod tests {
             decode_frame(&frame),
             Err(CodecError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn stream_reader_rejects_oversized_prefix_without_allocating() {
+        // A hostile prefix claiming u32::MAX bytes must be rejected from the
+        // prefix alone — the reader never gets to touch the (absent)
+        // payload.
+        let bytes = u32::MAX.to_be_bytes().to_vec();
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn stream_reader_rejects_short_payloads_and_corrupt_bytes() {
+        // Prefix promises 100 bytes, stream holds 3: an I/O error (EOF
+        // inside the frame), not a panic or a hang.
+        let mut bytes = 100u32.to_be_bytes().to_vec();
+        bytes.extend_from_slice(b"abc");
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert!(matches!(read_frame(&mut cursor), Err(CodecError::Io(_))));
+
+        // A full frame of non-UTF-8 garbage is malformed, not a panic.
+        let garbage = [0xFFu8, 0xFE, 0x80, 0x81];
+        let mut bytes = (garbage.len() as u32).to_be_bytes().to_vec();
+        bytes.extend_from_slice(&garbage);
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(CodecError::Malformed(_))
+        ));
+
+        // Valid UTF-8, valid JSON, wrong shape (not a WireMessage).
+        let not_a_message = br#"{"Unknown":{"x":1}}"#;
+        let mut bytes = (not_a_message.len() as u32).to_be_bytes().to_vec();
+        bytes.extend_from_slice(not_a_message);
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(CodecError::Malformed(_))
+        ));
+
+        // A zero-length frame is malformed (empty payload is not JSON).
+        let bytes = 0u32.to_be_bytes().to_vec();
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn frames_larger_than_one_read_chunk_still_round_trip() {
+        // Pad a valid payload with JSON whitespace past the 8 KiB read
+        // chunk, so the chunked reader has to cross chunk boundaries to
+        // assemble one frame.
+        let mut payload = json::to_string(&sample()).into_bytes();
+        payload.resize(20_000, b' ');
+        let mut frame = (payload.len() as u32).to_be_bytes().to_vec();
+        frame.extend_from_slice(&payload);
+        let mut cursor = std::io::Cursor::new(frame);
+        assert_eq!(read_frame(&mut cursor).unwrap(), sample());
     }
 }

@@ -22,8 +22,8 @@
 use crate::output::RuntimeOutput;
 use crate::runtime::ConsensusRuntime;
 use crate::transport::{Transport, TransportError};
-use lumiere_types::{ProcessId, Time, View};
-use serde::Serialize;
+use lumiere_types::{Duration, ProcessId, Time, View};
+use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -56,8 +56,21 @@ impl Default for DriverOptions {
     }
 }
 
+/// One locally committed block, stamped with the wall-clock time (relative
+/// to the driver's boot) at which the commit happened. The live harness
+/// replays these against the `O(nΔ)` liveness envelope: a commit gap wider
+/// than [`liveness_envelope`] flags a stall the same way the simulator's
+/// liveness oracle does in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommitRecord {
+    /// Milliseconds since the driver booted.
+    pub wall_ms: f64,
+    /// Height of the committed block.
+    pub height: u64,
+}
+
 /// What a finished driver run reports.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DriverSummary {
     /// The local processor id.
     pub node: usize,
@@ -72,6 +85,23 @@ pub struct DriverSummary {
     pub chain: Vec<u64>,
     /// Wall-clock duration of the run in milliseconds.
     pub wall_ms: f64,
+    /// Per-commit wall-clock timestamps, in commit order (the liveness
+    /// oracle's raw material).
+    pub commits: Vec<CommitRecord>,
+    /// Strategy-gated events, when the node ran under a `--strategy`
+    /// corruption (0 for honest nodes) — the live counterpart of the
+    /// simulator's per-strategy activation count.
+    pub gated_events: u64,
+}
+
+/// The `O(nΔ)` liveness envelope shared by the simulator's fuzzing oracle
+/// and the live-cluster harness: after GST (wall-clock clusters are post-GST
+/// from boot), some honest commit must land within this bound, and no two
+/// consecutive commits may be further apart. The paper's Theorem 1.1(2)
+/// gives worst-case latency `O(nΔ)`; the constant leaves room for a commit
+/// (two consecutive honest-leader QCs) on top.
+pub fn liveness_envelope(n: usize, delta: Duration) -> Duration {
+    delta * (40 * n as i64 + 100)
 }
 
 /// The wake-up heap: min-heap on time with the simulator's dedup (a time
@@ -132,8 +162,17 @@ pub fn run<R: ConsensusRuntime, T: Transport>(
 
     let mut out = RuntimeOutput::default();
     let mut timers = Timers::default();
+    let mut commit_log: Vec<CommitRecord> = Vec::new();
+    let mut gated_events: u64 = 0;
     runtime.boot(now_virtual(epoch), &mut out);
-    flush(&mut out, &mut transport, &mut timers)?;
+    flush(
+        &mut out,
+        &mut transport,
+        &mut timers,
+        epoch,
+        &mut commit_log,
+        &mut gated_events,
+    )?;
 
     let mut reached_target_at: Option<Instant> = None;
     loop {
@@ -150,7 +189,14 @@ pub fn run<R: ConsensusRuntime, T: Transport>(
         let now = now_virtual(epoch);
         while timers.pop_due(now).is_some() {
             runtime.wake(now, &mut out);
-            flush(&mut out, &mut transport, &mut timers)?;
+            flush(
+                &mut out,
+                &mut transport,
+                &mut timers,
+                epoch,
+                &mut commit_log,
+                &mut gated_events,
+            )?;
         }
 
         // Sleep on the transport until the next timer (or the poll bound).
@@ -163,7 +209,14 @@ pub fn run<R: ConsensusRuntime, T: Transport>(
         };
         if let Some((from, msg)) = transport.recv_timeout(timeout)? {
             runtime.deliver(from, &msg, now_virtual(epoch), &mut out);
-            flush(&mut out, &mut transport, &mut timers)?;
+            flush(
+                &mut out,
+                &mut transport,
+                &mut timers,
+                epoch,
+                &mut commit_log,
+                &mut gated_events,
+            )?;
         }
 
         let height = runtime.committed_height();
@@ -186,16 +239,30 @@ pub fn run<R: ConsensusRuntime, T: Transport>(
         final_view: runtime.current_view(),
         chain: runtime.committed_chain(),
         wall_ms: epoch.elapsed().as_secs_f64() * 1_000.0,
+        commits: commit_log,
+        gated_events,
     };
     Ok((summary, runtime, transport))
 }
 
-/// Applies one event's worth of runtime output to the transport and timers.
+/// Applies one event's worth of runtime output to the transport and timers,
+/// harvesting commit timestamps and gated-event counts before the buffer is
+/// cleared.
 fn flush<T: Transport>(
     out: &mut RuntimeOutput,
     transport: &mut T,
     timers: &mut Timers,
+    epoch: Instant,
+    commit_log: &mut Vec<CommitRecord>,
+    gated_events: &mut u64,
 ) -> Result<(), TransportError> {
+    for height in out.commits.drain(..) {
+        commit_log.push(CommitRecord {
+            wall_ms: epoch.elapsed().as_secs_f64() * 1_000.0,
+            height,
+        });
+    }
+    *gated_events += out.gated_events as u64;
     for (to, msg) in out.sends.drain(..) {
         transport.send(to, &msg)?;
     }
@@ -309,6 +376,18 @@ mod tests {
                 s.node,
                 s.committed_height
             );
+            assert_eq!(
+                s.commits.len() as u64,
+                s.committed_height,
+                "every commit must leave a timestamped record"
+            );
+            assert!(
+                s.commits
+                    .windows(2)
+                    .all(|w| w[0].wall_ms <= w[1].wall_ms && w[0].height < w[1].height),
+                "commit records must be monotone in time and height"
+            );
+            assert_eq!(s.gated_events, 0, "honest nodes gate nothing");
         }
         let shortest = summaries.iter().map(|s| s.chain.len()).min().unwrap();
         for s in &summaries[1..] {

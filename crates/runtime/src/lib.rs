@@ -19,33 +19,53 @@
 //!   live backends; the `lumiere-node` binary wraps it behind a
 //!   [config file](NodeConfig).
 //!
-//! The simulator keeps its adversary instrumentation by passing per-event
-//! [`Gates`] into [`ProtocolRuntime`]'s gated entry points; live nodes run
-//! fully open through the plain [`ConsensusRuntime`] trait. Either way it is
-//! the same protocol code down to event ordering — which is what makes the
-//! simulator's Table 1 numbers and the live cluster's behavior commensurable.
+//! The adversary subsystem lives on this side of the boundary too: the
+//! [`adversary`] module holds the strategy machinery ([`StrategyKind`],
+//! [`AdversarySchedule`]), [`StrategyHost`] wraps a runtime in the per-event
+//! gating harness (the simulator's `Node` delegates to it, and
+//! `lumiere-node --strategy` installs one on a live process), and
+//! [`FaultedTransport`] applies serializable per-peer [`FaultPlan`]s — drop
+//! windows, partitions, added delay — to any transport. Honest live nodes
+//! run fully open through the plain [`ConsensusRuntime`] trait. Either way
+//! it is the same protocol code down to event ordering — which is what makes
+//! the simulator's Table 1 numbers and the live cluster's behavior
+//! commensurable.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod channel;
 pub mod codec;
 pub mod config;
+pub mod delay;
 pub mod driver;
+pub mod fault;
 pub mod message;
 pub mod output;
 pub mod protocol;
 pub mod runtime;
+pub mod strategy;
 pub mod tcp;
 pub mod transport;
 
+pub use adversary::{
+    AdversarySchedule, AdversaryStrategy, ByzBehavior, Corruption, DelayRule, EdgeClass, MsgClass,
+    ProtocolObs, StrategyCtx, StrategyKind,
+};
 pub use channel::{channel_mesh, ChannelTransport};
 pub use codec::{decode_frame, encode_frame, read_frame, write_frame, CodecError, MAX_FRAME_BYTES};
 pub use config::{ConfigError, NodeConfig, PeerConfig};
-pub use driver::{spawn as spawn_driver, DriverHandle, DriverOptions, DriverSummary};
+pub use delay::DelayModel;
+pub use driver::{
+    liveness_envelope, spawn as spawn_driver, CommitRecord, DriverHandle, DriverOptions,
+    DriverSummary,
+};
+pub use fault::{FaultAction, FaultDirection, FaultPlan, FaultedTransport, LinkFault};
 pub use message::WireMessage;
 pub use output::RuntimeOutput;
-pub use protocol::{build_runtime, ProtocolKind};
+pub use protocol::{build_runtime, build_runtime_with, ProtocolKind};
 pub use runtime::{ConsensusRuntime, Gates, ProtocolRuntime};
+pub use strategy::StrategyHost;
 pub use tcp::{TcpMeshConfig, TcpTransport};
 pub use transport::{Transport, TransportError};

@@ -131,11 +131,26 @@ pub fn build_runtime(
     delta: Duration,
     seed: u64,
 ) -> ProtocolRuntime {
+    build_runtime_with(protocol, n, who, delta, seed, None)
+}
+
+/// Like [`build_runtime`], optionally planting a calibration bug (Lumiere
+/// only; see [`lumiere_core::planted`]). The live planted-bug detection
+/// check builds its cluster through this: real processes running a known
+/// liveness bug the harness's oracles must flag.
+pub fn build_runtime_with(
+    protocol: ProtocolKind,
+    n: usize,
+    who: usize,
+    delta: Duration,
+    seed: u64,
+    planted: Option<PlantedBug>,
+) -> ProtocolRuntime {
     assert!(who < n, "node id {who} out of range for n = {n}");
     let params = Params::new(n, delta);
     let (keys, pki) = keygen(n, seed);
     let key = keys[who].clone();
-    let pacemaker = protocol.build_pacemaker(params, key.clone(), pki.clone(), seed);
+    let pacemaker = protocol.build_pacemaker_with(params, key.clone(), pki.clone(), seed, planted);
     let engine = HotStuffEngine::new(key.id(), key, pki, params);
     ProtocolRuntime::new(ProcessId::new(who), pacemaker, engine)
 }

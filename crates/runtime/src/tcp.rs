@@ -15,7 +15,18 @@
 //! Every pair of nodes is thus connected by two simplex TCP streams, one per
 //! direction — no connection-direction tie-breaking needed. A write failure
 //! marks the peer dead and is otherwise ignored: a BFT cluster must keep
-//! running while `f` peers are unreachable.
+//! running while `f` peers are unreachable. Dead peers are **redialed
+//! lazily on send** (rate-limited, with a short per-attempt timeout): when a
+//! killed process is restarted on the same address, the survivors' next
+//! sends re-establish the outbound streams and replay the handshake, which
+//! is what lets the restarted node's own [`TcpTransport::connect`] barrier
+//! complete mid-epoch.
+//!
+//! Inbound connections are only trusted after a valid handshake: an id out
+//! of range or claiming to be the local node closes the connection without
+//! counting toward the mesh barrier (a garbage-spewing or mis-addressed
+//! dialer cannot wedge the cluster, and frames are capped and parsed
+//! defensively — see [`crate::codec`]).
 
 use crate::codec::{write_frame, CodecError};
 use crate::message::WireMessage;
@@ -23,7 +34,7 @@ use crate::transport::{Transport, TransportError};
 use lumiere_types::ProcessId;
 use serde::json;
 use std::io::Read;
-use std::net::{TcpListener, TcpStream};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
@@ -35,6 +46,19 @@ const POLL_INTERVAL: WallDuration = WallDuration::from_millis(25);
 
 /// Interval between redial attempts while a peer is still booting.
 const DIAL_RETRY: WallDuration = WallDuration::from_millis(50);
+
+/// Minimum gap between redial attempts to a dead peer (rate limit so a
+/// down peer costs at most one short dial per interval, not one per send).
+const REDIAL_INTERVAL: WallDuration = WallDuration::from_millis(250);
+
+/// Per-attempt timeout when redialing a dead peer; kept short so a send to
+/// a still-down peer never stalls the event loop noticeably.
+const REDIAL_TIMEOUT: WallDuration = WallDuration::from_millis(100);
+
+/// Payload read granularity: frames are filled in bounded chunks so a
+/// malicious length prefix commits no allocation before matching bytes
+/// actually arrive.
+const READ_CHUNK: usize = 8 * 1024;
 
 /// Configuration of one node's view of the TCP mesh.
 #[derive(Debug, Clone)]
@@ -60,6 +84,11 @@ pub struct TcpTransport {
     /// Outbound write halves, indexed by peer id (`None` = local slot or a
     /// peer that died).
     writers: Vec<Option<TcpStream>>,
+    /// Peer addresses, indexed by peer id (`None` = local slot), kept for
+    /// lazy redial of dead peers.
+    peer_addrs: Vec<Option<String>>,
+    /// Last redial attempt per peer (rate limiting).
+    last_redial: Vec<Option<Instant>>,
     stop: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
 }
@@ -86,8 +115,14 @@ impl TcpTransport {
         let stop = Arc::new(AtomicBool::new(false));
         let (inbox_tx, inbox_rx) = channel();
         let inbound = Arc::new(AtomicUsize::new(0));
-        let accept_thread =
-            spawn_acceptor(listener, inbox_tx, Arc::clone(&stop), Arc::clone(&inbound));
+        let accept_thread = spawn_acceptor(
+            listener,
+            inbox_tx,
+            Arc::clone(&stop),
+            Arc::clone(&inbound),
+            cfg.id,
+            cfg.n,
+        );
 
         // Dial every peer (they boot in any order, so retry until deadline).
         let deadline = Instant::now() + cfg.connect_timeout;
@@ -123,14 +158,57 @@ impl TcpTransport {
             std::thread::sleep(POLL_INTERVAL);
         }
 
+        let mut peer_addrs: Vec<Option<String>> = (0..cfg.n).map(|_| None).collect();
+        for (peer, addr) in &cfg.peers {
+            peer_addrs[peer.as_usize()] = Some(addr.clone());
+        }
         Ok(TcpTransport {
             id: cfg.id,
             n: cfg.n,
             inbox: inbox_rx,
             writers,
+            peer_addrs,
+            last_redial: (0..cfg.n).map(|_| None).collect(),
             stop,
             threads: vec![accept_thread],
         })
+    }
+
+    /// Attempts to re-establish the outbound stream to a dead peer: one
+    /// short, rate-limited dial plus the 4-byte handshake. Failure is
+    /// silent — the peer is simply still down; the next send past the rate
+    /// limit tries again. This is what heals the mesh around a killed and
+    /// restarted process.
+    fn try_redial(&mut self, to: ProcessId) {
+        let idx = to.as_usize();
+        let Some(addr) = self.peer_addrs[idx].as_deref() else {
+            return;
+        };
+        let now = Instant::now();
+        if let Some(last) = self.last_redial[idx] {
+            if now.duration_since(last) < REDIAL_INTERVAL {
+                return;
+            }
+        }
+        self.last_redial[idx] = Some(now);
+        let Ok(mut resolved) = addr.to_socket_addrs() else {
+            return;
+        };
+        let Some(sock_addr) = resolved.next() else {
+            return;
+        };
+        let Ok(mut stream) = TcpStream::connect_timeout(&sock_addr, REDIAL_TIMEOUT) else {
+            return;
+        };
+        let _ = stream.set_nodelay(true);
+        use std::io::Write as _;
+        if stream
+            .write_all(&(self.id.as_usize() as u32).to_be_bytes())
+            .is_err()
+        {
+            return;
+        }
+        self.writers[idx] = Some(stream);
     }
 }
 
@@ -153,6 +231,8 @@ fn spawn_acceptor(
     inbox: Sender<(ProcessId, WireMessage)>,
     stop: Arc<AtomicBool>,
     inbound: Arc<AtomicUsize>,
+    local: ProcessId,
+    n: usize,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
         let mut readers = Vec::new();
@@ -166,6 +246,8 @@ fn spawn_acceptor(
                         inbox.clone(),
                         Arc::clone(&stop),
                         Arc::clone(&inbound),
+                        local,
+                        n,
                     ));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -185,14 +267,24 @@ fn spawn_reader(
     inbox: Sender<(ProcessId, WireMessage)>,
     stop: Arc<AtomicBool>,
     inbound: Arc<AtomicUsize>,
+    local: ProcessId,
+    n: usize,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
-        // Handshake: 4-byte big-endian id of the dialing peer.
+        // Handshake: 4-byte big-endian id of the dialing peer. An id out of
+        // range, or one claiming to be this very node, is a corrupt or
+        // forged handshake: close the connection without counting it toward
+        // the mesh barrier.
         let mut id_bytes = [0u8; 4];
         if read_exact_interruptible(&mut stream, &mut id_bytes, &stop).is_err() {
             return;
         }
-        let from = ProcessId::new(u32::from_be_bytes(id_bytes) as usize);
+        let claimed = u32::from_be_bytes(id_bytes) as usize;
+        if claimed >= n || claimed == local.as_usize() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            return;
+        }
+        let from = ProcessId::new(claimed);
         inbound.fetch_add(1, Ordering::SeqCst);
         loop {
             match read_frame_interruptible(&mut stream, &stop) {
@@ -244,8 +336,15 @@ fn read_frame_interruptible(
             "frame length {len} exceeds the cap"
         )));
     }
-    let mut payload = vec![0u8; len];
-    read_exact_interruptible(stream, &mut payload, stop)?;
+    // Fill the payload in bounded chunks: a malicious length prefix commits
+    // no allocation until matching bytes actually arrive.
+    let mut payload = Vec::with_capacity(len.min(READ_CHUNK));
+    let mut chunk = [0u8; READ_CHUNK];
+    while payload.len() < len {
+        let want = (len - payload.len()).min(READ_CHUNK);
+        read_exact_interruptible(stream, &mut chunk[..want], stop)?;
+        payload.extend_from_slice(&chunk[..want]);
+    }
     let text = std::str::from_utf8(&payload)
         .map_err(|e| CodecError::Malformed(format!("payload is not UTF-8: {e}")))?;
     json::from_str(text).map_err(|e| CodecError::Malformed(format!("payload: {e}")))
@@ -261,11 +360,16 @@ impl Transport for TcpTransport {
     }
 
     fn send(&mut self, to: ProcessId, msg: &WireMessage) -> Result<(), TransportError> {
+        if self.writers[to.as_usize()].is_none() {
+            self.try_redial(to);
+        }
         let slot = &mut self.writers[to.as_usize()];
         if let Some(stream) = slot {
             if write_frame(stream, msg).is_err() {
                 // The peer died mid-write. Mark it dead and move on: the
-                // protocol keeps running with the live quorum.
+                // protocol keeps running with the live quorum, and the next
+                // send past the rate limit redials (a restarted process on
+                // the same address rejoins this way).
                 *slot = None;
             }
         }

@@ -1,1157 +1,16 @@
-//! The pluggable adversary subsystem.
+//! The pluggable adversary subsystem — re-exported from `lumiere-runtime`.
 //!
-//! The paper's headline claims (`O(n·f_a + n)` view-synchronization cost,
-//! bounded latency after GST) are worst-case *over all Byzantine
-//! adversaries*, so the harness must be able to express far more than a
-//! fixed menu of behaviours. This module splits the adversary into three
-//! pieces:
-//!
-//! * [`AdversaryStrategy`] — the *per-node* behaviour of a corrupted
-//!   processor: which of its components run at a given time, whether it
-//!   proposes as leader, and how its outgoing traffic is rewritten before it
-//!   reaches the network (equivocation, selective starvation). Strategies
-//!   are trait objects, so new behaviours plug in without touching the
-//!   simulator.
-//! * [`StrategyKind`] — the serializable *description* of a strategy, from
-//!   which the runtime trait object is built. This is what fuzzer findings
-//!   and report files persist.
-//! * [`AdversarySchedule`] — the *global* plan: which processors are
-//!   corrupted with which strategy, plus time-windowed, per-edge
-//!   [`DelayRule`]s that drive the [`DelayModel`](crate::network::DelayModel)
-//!   per message instead of globally. Every rule still respects the
-//!   partial-synchrony envelope (delivery by `max(GST, send) + Δ`): the
-//!   adversary chooses delays, it cannot break the model.
-//!
-//! The concrete strategies implemented here are the ones the paper's attack
-//! arguments use (see `docs/ADVERSARIES.md` for the mapping):
-//!
-//! * crash / silent-leader / sync-silent — the legacy
-//!   [`ByzBehavior`](crate::byzantine::ByzBehavior) trio;
-//! * **equivocation** — a corrupted leader sends *conflicting proposals to
-//!   disjoint vote sets*, trying to split the quorum;
-//! * **targeted partition** — expressed as delay rules: honest→honest
-//!   synchronization messages are delayed the full Δ while edges touching
-//!   the adversary are fast-pathed;
-//! * **crash–recovery** — processors go dark for a window of time and rejoin
-//!   mid-epoch.
-
-use crate::byzantine::ByzBehavior;
-use crate::event::SimMessage;
-use crate::network::DelayModel;
-use crate::node::NodeOutput;
-use lumiere_consensus::{Block, ConsensusMessage};
-use lumiere_types::{Duration, ProcessId, Time, TimeRange, View};
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
-use std::fmt::Debug;
-
-/// Read-only protocol observations a corrupted processor may react to.
-///
-/// A snapshot of the node's own pacemaker and consensus-engine state, taken
-/// at the start of the event being processed. Strategies that consult it can
-/// corrupt *adaptively mid-run* — e.g. target whichever processor currently
-/// leads, or stall exactly when one more vote would complete a QC — which a
-/// static schedule cannot express. All fields are derived deterministically
-/// from simulator state, so adaptive strategies keep the same-seed ⇒
-/// byte-identical-report guarantee.
-#[derive(Debug, Clone, Copy)]
-pub struct ProtocolObs {
-    /// The pacemaker's current view (`View::SENTINEL` before the first).
-    pub view: View,
-    /// The consensus engine's current view (may trail the pacemaker).
-    pub engine_view: View,
-    /// Leader of the engine's current view, once a view has been entered.
-    pub leader: Option<ProcessId>,
-    /// The engine's lock (highest QC'd view it is locked on).
-    pub locked_view: View,
-    /// The highest view this node has voted in.
-    pub last_voted_view: View,
-    /// View of the highest QC known to this node.
-    pub high_qc_view: View,
-    /// Most votes collected toward any single pending QC of the engine's
-    /// current view (non-zero only while this node leads and collects).
-    pub pending_qc_votes: usize,
-    /// The pacemaker's local-clock reading (timer status).
-    pub clock: Duration,
-    /// Whether the pacemaker's timer chain has been booted yet.
-    pub booted: bool,
-}
-
-/// Context handed to a strategy on every event: identity, cluster size, the
-/// simulated time and a read-only [`ProtocolObs`] snapshot.
-#[derive(Debug, Clone, Copy)]
-pub struct StrategyCtx {
-    /// The corrupted processor's identifier.
-    pub id: ProcessId,
-    /// Total number of processors.
-    pub n: usize,
-    /// Simulated time of the event being processed.
-    pub now: Time,
-    /// Protocol state at the start of the event.
-    pub obs: ProtocolObs,
-}
-
-impl StrategyCtx {
-    /// The quorum size `2f + 1` of the cluster this strategy corrupts.
-    pub fn quorum(&self) -> usize {
-        2 * ((self.n - 1) / 3) + 1
-    }
-}
-
-/// Per-node behaviour of a corrupted processor.
-///
-/// All methods must be deterministic functions of their arguments and the
-/// strategy's own state — the simulator's reproducibility (same seed + same
-/// schedule ⇒ byte-identical report) depends on it.
-pub trait AdversaryStrategy: Debug + Send {
-    /// Short name used in traces and reports.
-    fn name(&self) -> &'static str;
-
-    /// Called once at the start of every event the node processes, before
-    /// any other method. Stateful strategies use it to react to the
-    /// [`ProtocolObs`] snapshot (adaptive corruption); the default is a
-    /// no-op.
-    fn observe(&mut self, _ctx: &StrategyCtx) {}
-
-    /// Whether the node's consensus engine runs for this event
-    /// (votes/proposes).
-    fn runs_consensus(&self, ctx: &StrategyCtx) -> bool;
-
-    /// Whether the node's pacemaker (view synchronization) runs for this
-    /// event.
-    fn runs_pacemaker(&self, ctx: &StrategyCtx) -> bool;
-
-    /// Whether the node proposes blocks when it is the leader.
-    fn proposes(&self, ctx: &StrategyCtx) -> bool;
-
-    /// Extra wake-ups the strategy needs (e.g. the rejoin instant of a
-    /// crash–recovery window). Requested once at boot.
-    fn boot_wakes(&self) -> Vec<Time> {
-        Vec::new()
-    }
-
-    /// Rewrites the node's outgoing traffic before it reaches the network.
-    /// The default is the identity. Implementations should bump
-    /// [`NodeOutput::gated_events`] for every message they suppress,
-    /// forge or redirect — the runner turns those marks into the coverage
-    /// fingerprint's per-strategy activation windows.
-    fn transform_output(&mut self, _ctx: &StrategyCtx, out: NodeOutput) -> NodeOutput {
-        out
-    }
-}
-
-/// Serializable description of a per-node strategy; the factory for the
-/// runtime [`AdversaryStrategy`] trait objects.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum StrategyKind {
-    /// Sends nothing at all (never boots).
-    Crash,
-    /// Participates fully except it never proposes as leader.
-    SilentLeader,
-    /// Votes but does not help view synchronization and never proposes.
-    SyncSilent,
-    /// Proposes *conflicting* blocks to disjoint halves of the processors,
-    /// attempting to split the vote and waste its views (and, against a
-    /// broken quorum rule, to break safety).
-    Equivocate,
-    /// Behaves honestly except it is completely dark during `down`,
-    /// dropping every incoming and outgoing message, then rejoins.
-    CrashRecovery {
-        /// The window during which the processor is dark.
-        down: TimeRange,
-    },
-    /// *Adaptive*: participates everywhere except that it silently drops
-    /// every unicast it would send to the **current leader** — votes and
-    /// view messages — retargeting as the leader rotates, and never proposes
-    /// itself. To everyone but the leader under attack it is
-    /// indistinguishable from an honest processor.
-    AdaptiveLeaderTargeting,
-    /// *Adaptive*: proposes as leader to bait votes, then goes deaf to
-    /// consensus traffic exactly when one more vote would complete its
-    /// pending QC (observed via [`ProtocolObs::pending_qc_votes`]), starving
-    /// the QC; it recovers when its pacemaker moves past the starved view.
-    /// Any QC it does complete is withheld from the network.
-    QcStarvation,
-}
-
-impl StrategyKind {
-    /// Short name used in labels and reports.
-    pub fn name(&self) -> &'static str {
-        match self {
-            StrategyKind::Crash => "crash",
-            StrategyKind::SilentLeader => "silent-leader",
-            StrategyKind::SyncSilent => "sync-silent",
-            StrategyKind::Equivocate => "equivocate",
-            StrategyKind::CrashRecovery { .. } => "crash-recovery",
-            StrategyKind::AdaptiveLeaderTargeting => "adaptive-leader-targeting",
-            StrategyKind::QcStarvation => "qc-starvation",
-        }
-    }
-
-    /// Every parameter-free strategy kind — samplers and mutators index into
-    /// this so a new variant is picked up everywhere at once
-    /// (crash–recovery, which needs a window, is sampled separately).
-    pub const SIMPLE: [StrategyKind; 6] = [
-        StrategyKind::Crash,
-        StrategyKind::SilentLeader,
-        StrategyKind::SyncSilent,
-        StrategyKind::Equivocate,
-        StrategyKind::AdaptiveLeaderTargeting,
-        StrategyKind::QcStarvation,
-    ];
-
-    /// Builds the runtime strategy object.
-    pub fn build(&self) -> Box<dyn AdversaryStrategy> {
-        match self {
-            StrategyKind::Crash => Box::new(CrashStrategy),
-            StrategyKind::SilentLeader => Box::new(SilentLeaderStrategy),
-            StrategyKind::SyncSilent => Box::new(SyncSilentStrategy),
-            StrategyKind::Equivocate => Box::new(EquivocateStrategy { forged: 0 }),
-            StrategyKind::CrashRecovery { down } => Box::new(CrashRecoveryStrategy { down: *down }),
-            StrategyKind::AdaptiveLeaderTargeting => Box::new(AdaptiveLeaderTargetingStrategy),
-            StrategyKind::QcStarvation => Box::new(QcStarvationStrategy {
-                starving_since: None,
-                withheld: BTreeSet::new(),
-            }),
-        }
-    }
-}
-
-impl From<ByzBehavior> for StrategyKind {
-    fn from(behavior: ByzBehavior) -> Self {
-        match behavior {
-            ByzBehavior::Crash => StrategyKind::Crash,
-            ByzBehavior::SilentLeader => StrategyKind::SilentLeader,
-            ByzBehavior::SyncSilent => StrategyKind::SyncSilent,
-        }
-    }
-}
-
-/// One corrupted processor and how it behaves.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Corruption {
-    /// The corrupted processor's index.
-    pub node: usize,
-    /// Its behaviour.
-    pub strategy: StrategyKind,
-}
-
-/// Which directed edges a [`DelayRule`] applies to, classified by the
-/// honesty of the two endpoints.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum EdgeClass {
-    /// Every edge.
-    Any,
-    /// Both endpoints honest — the edges a partitioning adversary slows.
-    HonestToHonest,
-    /// At least one endpoint corrupted — the edges it fast-paths.
-    AdversaryInvolved,
-    /// The sender is corrupted.
-    FromAdversary,
-    /// The recipient is corrupted.
-    ToAdversary,
-}
-
-impl EdgeClass {
-    /// Every edge class — samplers and exhaustive tests index into this so
-    /// a new variant is picked up everywhere at once.
-    pub const ALL: [EdgeClass; 5] = [
-        EdgeClass::Any,
-        EdgeClass::HonestToHonest,
-        EdgeClass::AdversaryInvolved,
-        EdgeClass::FromAdversary,
-        EdgeClass::ToAdversary,
-    ];
-
-    /// Whether the class covers an edge with the given endpoint honesty.
-    pub fn matches(&self, from_honest: bool, to_honest: bool) -> bool {
-        match self {
-            EdgeClass::Any => true,
-            EdgeClass::HonestToHonest => from_honest && to_honest,
-            EdgeClass::AdversaryInvolved => !from_honest || !to_honest,
-            EdgeClass::FromAdversary => !from_honest,
-            EdgeClass::ToAdversary => !to_honest,
-        }
-    }
-}
-
-/// Which messages a [`DelayRule`] applies to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum MsgClass {
-    /// Every message.
-    Any,
-    /// View-synchronization (pacemaker) messages only.
-    Sync,
-    /// Underlying-protocol (consensus) messages only.
-    Consensus,
-}
-
-impl MsgClass {
-    /// Every message class (see [`EdgeClass::ALL`]).
-    pub const ALL: [MsgClass; 3] = [MsgClass::Any, MsgClass::Sync, MsgClass::Consensus];
-
-    /// Whether the class covers a message.
-    pub fn matches(&self, msg: &SimMessage) -> bool {
-        match self {
-            MsgClass::Any => true,
-            MsgClass::Sync => matches!(msg, SimMessage::Pacemaker(_)),
-            MsgClass::Consensus => matches!(msg, SimMessage::Consensus(_)),
-        }
-    }
-}
-
-/// A time-windowed, per-edge delay directive: while `window` contains the
-/// send time and the edge/message classes match, the message's delay is
-/// drawn from `delay` instead of the scenario's base
-/// [`DelayModel`](crate::network::DelayModel).
-///
-/// Every [`DelayModel`] clamps its samples to Δ, so no rule can push a
-/// delivery past the `max(GST, send) + Δ` envelope.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct DelayRule {
-    /// Edges the rule applies to.
-    pub edge: EdgeClass,
-    /// Messages the rule applies to.
-    pub msg: MsgClass,
-    /// Send-time window during which the rule is active.
-    pub window: TimeRange,
-    /// The delay model used when the rule matches.
-    pub delay: DelayModel,
-}
-
-/// The global adversary plan: corruption assignments plus per-edge delay
-/// targeting. The first matching [`DelayRule`] wins.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-pub struct AdversarySchedule {
-    /// Which processors are corrupted, and how.
-    pub corruptions: Vec<Corruption>,
-    /// Per-edge delay directives, first match wins.
-    pub delay_rules: Vec<DelayRule>,
-}
-
-impl AdversarySchedule {
-    /// An empty schedule (no corruptions, no delay rules).
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Corrupts `node` with `strategy`.
-    pub fn corrupt(mut self, node: usize, strategy: StrategyKind) -> Self {
-        self.corruptions.push(Corruption { node, strategy });
-        self
-    }
-
-    /// Appends a delay rule (first match wins).
-    pub fn rule(mut self, rule: DelayRule) -> Self {
-        self.delay_rules.push(rule);
-        self
-    }
-
-    /// The uniform adversary: every id corrupted with the same
-    /// [`ByzBehavior`], no delay targeting. (The translation target of the
-    /// retired `with_byzantine` legacy configuration path.)
-    pub fn uniform(ids: &[usize], behavior: ByzBehavior) -> Self {
-        AdversarySchedule {
-            corruptions: ids
-                .iter()
-                .map(|&node| Corruption {
-                    node,
-                    strategy: StrategyKind::from(behavior),
-                })
-                .collect(),
-            delay_rules: Vec::new(),
-        }
-    }
-
-    /// The equivocation adversary: every id proposes conflicting blocks to
-    /// disjoint vote sets.
-    pub fn equivocation(ids: &[usize]) -> Self {
-        AdversarySchedule {
-            corruptions: ids
-                .iter()
-                .map(|&node| Corruption {
-                    node,
-                    strategy: StrategyKind::Equivocate,
-                })
-                .collect(),
-            delay_rules: Vec::new(),
-        }
-    }
-
-    /// The targeted-partition adversary: its processors stay silent as
-    /// leaders while the network delays honest→honest synchronization
-    /// messages the full Δ and fast-paths every edge the adversary touches
-    /// (delay `fast`).
-    pub fn targeted_partition(ids: &[usize], fast: Duration) -> Self {
-        AdversarySchedule {
-            corruptions: ids
-                .iter()
-                .map(|&node| Corruption {
-                    node,
-                    strategy: StrategyKind::SilentLeader,
-                })
-                .collect(),
-            delay_rules: vec![
-                DelayRule {
-                    edge: EdgeClass::AdversaryInvolved,
-                    msg: MsgClass::Any,
-                    window: TimeRange::always(),
-                    delay: DelayModel::Fixed { delta: fast },
-                },
-                DelayRule {
-                    edge: EdgeClass::HonestToHonest,
-                    msg: MsgClass::Sync,
-                    window: TimeRange::always(),
-                    delay: DelayModel::AdversarialMax,
-                },
-            ],
-        }
-    }
-
-    /// The crash–recovery adversary: node `ids[i]` is dark during
-    /// `[start + i·stagger, start + i·stagger + down_for)` and rejoins
-    /// mid-epoch.
-    pub fn crash_recovery(
-        ids: &[usize],
-        start: Time,
-        down_for: Duration,
-        stagger: Duration,
-    ) -> Self {
-        AdversarySchedule {
-            corruptions: ids
-                .iter()
-                .enumerate()
-                .map(|(i, &node)| {
-                    let from = start + stagger * i as i64;
-                    Corruption {
-                        node,
-                        strategy: StrategyKind::CrashRecovery {
-                            down: TimeRange::new(from, from + down_for),
-                        },
-                    }
-                })
-                .collect(),
-            delay_rules: Vec::new(),
-        }
-    }
-
-    /// The set of corrupted processor indices, deduplicated.
-    pub fn corrupted_ids(&self) -> BTreeSet<usize> {
-        self.corruptions.iter().map(|c| c.node).collect()
-    }
-
-    /// The strategy corrupting `node`, if any (first entry wins).
-    pub fn strategy_for(&self, node: usize) -> Option<StrategyKind> {
-        self.corruptions
-            .iter()
-            .find(|c| c.node == node)
-            .map(|c| c.strategy)
-    }
-
-    /// The delay model for a message on the edge `from → to` sent at
-    /// `send`, or `None` when no rule matches (use the scenario's base
-    /// model).
-    pub fn delay_for(
-        &self,
-        from_honest: bool,
-        to_honest: bool,
-        msg: &SimMessage,
-        send: Time,
-    ) -> Option<DelayModel> {
-        self.delay_rules
-            .iter()
-            .find(|r| {
-                r.window.contains(send)
-                    && r.edge.matches(from_honest, to_honest)
-                    && r.msg.matches(msg)
-            })
-            .map(|r| r.delay)
-    }
-
-    /// Checks the schedule against a cluster of `n` processors tolerating
-    /// `f` faults: indices in range, no duplicate corruption of one node,
-    /// and at most `f` corrupted processors.
-    pub fn validate(&self, n: usize, f: usize) -> Result<(), String> {
-        let mut seen = BTreeSet::new();
-        for c in &self.corruptions {
-            if c.node >= n {
-                return Err(format!("corrupted node {} out of range (n = {n})", c.node));
-            }
-            if !seen.insert(c.node) {
-                return Err(format!("node {} corrupted more than once", c.node));
-            }
-        }
-        if seen.len() > f {
-            return Err(format!(
-                "{} corrupted processors exceed the tolerated f = {f}",
-                seen.len()
-            ));
-        }
-        Ok(())
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Concrete strategies.
-// ---------------------------------------------------------------------------
-
-/// Never boots, never sends.
-#[derive(Debug)]
-struct CrashStrategy;
-
-impl AdversaryStrategy for CrashStrategy {
-    fn name(&self) -> &'static str {
-        "crash"
-    }
-    fn runs_consensus(&self, _ctx: &StrategyCtx) -> bool {
-        false
-    }
-    fn runs_pacemaker(&self, _ctx: &StrategyCtx) -> bool {
-        false
-    }
-    fn proposes(&self, _ctx: &StrategyCtx) -> bool {
-        false
-    }
-}
-
-/// Participates fully but never proposes as leader.
-#[derive(Debug)]
-struct SilentLeaderStrategy;
-
-impl AdversaryStrategy for SilentLeaderStrategy {
-    fn name(&self) -> &'static str {
-        "silent-leader"
-    }
-    fn runs_consensus(&self, _ctx: &StrategyCtx) -> bool {
-        true
-    }
-    fn runs_pacemaker(&self, _ctx: &StrategyCtx) -> bool {
-        true
-    }
-    fn proposes(&self, _ctx: &StrategyCtx) -> bool {
-        false
-    }
-}
-
-/// Votes but does not help view synchronization and never proposes.
-#[derive(Debug)]
-struct SyncSilentStrategy;
-
-impl AdversaryStrategy for SyncSilentStrategy {
-    fn name(&self) -> &'static str {
-        "sync-silent"
-    }
-    fn runs_consensus(&self, _ctx: &StrategyCtx) -> bool {
-        true
-    }
-    fn runs_pacemaker(&self, _ctx: &StrategyCtx) -> bool {
-        false
-    }
-    fn proposes(&self, _ctx: &StrategyCtx) -> bool {
-        false
-    }
-}
-
-/// Proposes conflicting blocks to disjoint halves of the cluster.
-#[derive(Debug)]
-struct EquivocateStrategy {
-    forged: u64,
-}
-
-impl EquivocateStrategy {
-    /// A well-formed block conflicting with `block`: same parent, height,
-    /// view, proposer and justify, different payload — hence a different
-    /// hash competing for the same view.
-    fn forge_conflicting(&mut self, block: &Block) -> Block {
-        self.forged += 1;
-        Block::new(
-            block.parent(),
-            block.height(),
-            block.view(),
-            block.proposer(),
-            block.payload() ^ (0x4551_5549_564f_4321 + self.forged),
-            block.justify().clone(),
-        )
-    }
-}
-
-impl AdversaryStrategy for EquivocateStrategy {
-    fn name(&self) -> &'static str {
-        "equivocate"
-    }
-    fn runs_consensus(&self, _ctx: &StrategyCtx) -> bool {
-        true
-    }
-    fn runs_pacemaker(&self, _ctx: &StrategyCtx) -> bool {
-        true
-    }
-    fn proposes(&self, _ctx: &StrategyCtx) -> bool {
-        true
-    }
-
-    /// Splits every broadcast proposal into *two* conflicting proposals.
-    /// Every recipient gets both blocks, but the delivery order is flipped
-    /// between the even and the odd half, so under symmetric delays each
-    /// half votes for a different block (replicas vote for the first
-    /// proposal of a view they see). With an honest quorum rule neither
-    /// disjoint vote set can reach `2f + 1`, so the view is wasted — and
-    /// any protocol whose quorum intersection were broken would commit
-    /// both, which is exactly what the fuzzer's safety oracle watches for.
-    /// Because both blocks reach everyone, honest engines also *witness*
-    /// the equivocation (`SimReport::equivocations_observed`).
-    fn transform_output(&mut self, ctx: &StrategyCtx, mut out: NodeOutput) -> NodeOutput {
-        let mut broadcasts = Vec::with_capacity(out.broadcasts.len());
-        for msg in out.broadcasts.drain(..) {
-            match msg {
-                SimMessage::Consensus(ConsensusMessage::Proposal(block)) => {
-                    let forged = self.forge_conflicting(&block);
-                    out.gated_events += 1;
-                    for to in ProcessId::all(ctx.n) {
-                        if to == ctx.id {
-                            continue;
-                        }
-                        let (first, second) = if to.as_usize() % 2 == 0 {
-                            (block.clone(), forged.clone())
-                        } else {
-                            (forged.clone(), block.clone())
-                        };
-                        out.sends
-                            .push((to, SimMessage::Consensus(ConsensusMessage::Proposal(first))));
-                        out.sends.push((
-                            to,
-                            SimMessage::Consensus(ConsensusMessage::Proposal(second)),
-                        ));
-                    }
-                }
-                other => broadcasts.push(other),
-            }
-        }
-        out.broadcasts = broadcasts;
-        out
-    }
-}
-
-/// Honest behaviour except for a dark window.
-#[derive(Debug)]
-struct CrashRecoveryStrategy {
-    down: TimeRange,
-}
-
-impl AdversaryStrategy for CrashRecoveryStrategy {
-    fn name(&self) -> &'static str {
-        "crash-recovery"
-    }
-    fn runs_consensus(&self, ctx: &StrategyCtx) -> bool {
-        !self.down.contains(ctx.now)
-    }
-    fn runs_pacemaker(&self, ctx: &StrategyCtx) -> bool {
-        !self.down.contains(ctx.now)
-    }
-    fn proposes(&self, ctx: &StrategyCtx) -> bool {
-        !self.down.contains(ctx.now)
-    }
-    fn boot_wakes(&self) -> Vec<Time> {
-        // Rejoin instant: without this wake the node would stay silent until
-        // the next message reaches it (its own timer chain broke while dark).
-        if self.down.is_empty() {
-            Vec::new()
-        } else {
-            vec![self.down.until]
-        }
-    }
-}
-
-/// Withholds everything it would send to the current leader, switching
-/// targets as the leader rotates (see
-/// [`StrategyKind::AdaptiveLeaderTargeting`]).
-#[derive(Debug)]
-struct AdaptiveLeaderTargetingStrategy;
-
-impl AdversaryStrategy for AdaptiveLeaderTargetingStrategy {
-    fn name(&self) -> &'static str {
-        "adaptive-leader-targeting"
-    }
-    fn runs_consensus(&self, _ctx: &StrategyCtx) -> bool {
-        true
-    }
-    fn runs_pacemaker(&self, _ctx: &StrategyCtx) -> bool {
-        true
-    }
-    fn proposes(&self, _ctx: &StrategyCtx) -> bool {
-        false
-    }
-
-    /// Drops every unicast addressed to the leader of the view this node is
-    /// currently in — its vote and its view message, the two certificates
-    /// the leader needs — while every other send and broadcast goes out
-    /// untouched. The target follows [`ProtocolObs::leader`], so the attack
-    /// retargets itself as views rotate: a static schedule cannot express
-    /// "always starve whoever leads right now".
-    fn transform_output(&mut self, ctx: &StrategyCtx, mut out: NodeOutput) -> NodeOutput {
-        let Some(target) = ctx.obs.leader else {
-            return out;
-        };
-        if target == ctx.id {
-            return out;
-        }
-        let before = out.sends.len();
-        out.sends.retain(|(to, _)| *to != target);
-        out.gated_events += (before - out.sends.len()) as u32;
-        out
-    }
-}
-
-/// Baits votes as leader, then stalls its pending QC one vote short of
-/// quorum (see [`StrategyKind::QcStarvation`]).
-#[derive(Debug)]
-struct QcStarvationStrategy {
-    /// The pacemaker view at which the current starvation window began;
-    /// `None` while the node participates.
-    starving_since: Option<View>,
-    /// Views whose QCs this node formed but withheld from the network.
-    withheld: BTreeSet<i64>,
-}
-
-impl AdversaryStrategy for QcStarvationStrategy {
-    fn name(&self) -> &'static str {
-        "qc-starvation"
-    }
-
-    /// Flips into the starving state exactly when the node observes that one
-    /// more vote would complete the QC it is collecting, and back out once
-    /// its pacemaker has moved past the view it starved (the clock-driven
-    /// view change re-arms the attack for the next time it leads).
-    fn observe(&mut self, ctx: &StrategyCtx) {
-        match self.starving_since {
-            None => {
-                if ctx.obs.pending_qc_votes + 1 >= ctx.quorum() && ctx.obs.pending_qc_votes > 0 {
-                    self.starving_since = Some(ctx.obs.view);
-                }
-            }
-            Some(since) => {
-                if ctx.obs.view > since {
-                    self.starving_since = None;
-                }
-            }
-        }
-    }
-
-    fn runs_consensus(&self, _ctx: &StrategyCtx) -> bool {
-        self.starving_since.is_none()
-    }
-    fn runs_pacemaker(&self, _ctx: &StrategyCtx) -> bool {
-        true
-    }
-    fn proposes(&self, _ctx: &StrategyCtx) -> bool {
-        true
-    }
-
-    /// Suppresses any QC broadcast that slips out (a quorum can complete in
-    /// the same event that crosses the threshold) and every later message
-    /// that would reveal a withheld QC as a proposal's justification.
-    fn transform_output(&mut self, ctx: &StrategyCtx, mut out: NodeOutput) -> NodeOutput {
-        let withheld = &mut self.withheld;
-        let mut dropped = 0u32;
-        let mut suppress = |msg: &SimMessage| -> bool {
-            match msg {
-                SimMessage::Consensus(ConsensusMessage::NewQc(qc)) => {
-                    withheld.insert(qc.view().as_i64());
-                    true
-                }
-                SimMessage::Consensus(ConsensusMessage::Proposal(block)) => {
-                    withheld.contains(&block.justify().view().as_i64())
-                }
-                _ => false,
-            }
-        };
-        out.broadcasts.retain(|m| {
-            let drop = suppress(m);
-            dropped += drop as u32;
-            !drop
-        });
-        out.sends.retain(|(_, m)| {
-            let drop = suppress(m);
-            dropped += drop as u32;
-            !drop
-        });
-        // Deaf periods are marked by the hosting node when it gates an
-        // incoming message, so only actual suppressions count here.
-        out.gated_events += dropped;
-        let _ = ctx;
-        out
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use lumiere_consensus::QuorumCert;
-    use lumiere_types::View;
-
-    /// A neutral observation snapshot for driving strategies directly.
-    fn obs() -> ProtocolObs {
-        ProtocolObs {
-            view: View::SENTINEL,
-            engine_view: View::SENTINEL,
-            leader: None,
-            locked_view: View::SENTINEL,
-            last_voted_view: View::SENTINEL,
-            high_qc_view: View::SENTINEL,
-            pending_qc_votes: 0,
-            clock: Duration::ZERO,
-            booted: false,
-        }
-    }
-
-    fn ctx_at(now: Time) -> StrategyCtx {
-        StrategyCtx {
-            id: ProcessId::new(0),
-            n: 7,
-            now,
-            obs: obs(),
-        }
-    }
-
-    #[test]
-    fn strategy_kinds_build_their_runtime_objects() {
-        for (kind, name) in [
-            (StrategyKind::Crash, "crash"),
-            (StrategyKind::SilentLeader, "silent-leader"),
-            (StrategyKind::SyncSilent, "sync-silent"),
-            (StrategyKind::Equivocate, "equivocate"),
-            (
-                StrategyKind::CrashRecovery {
-                    down: TimeRange::new(Time::ZERO, Time::from_millis(5)),
-                },
-                "crash-recovery",
-            ),
-            (
-                StrategyKind::AdaptiveLeaderTargeting,
-                "adaptive-leader-targeting",
-            ),
-            (StrategyKind::QcStarvation, "qc-starvation"),
-        ] {
-            assert_eq!(kind.name(), name);
-            assert_eq!(kind.build().name(), name);
-        }
-        for kind in StrategyKind::SIMPLE {
-            assert!(!matches!(kind, StrategyKind::CrashRecovery { .. }));
-            assert_eq!(kind.build().name(), kind.name());
-        }
-    }
-
-    #[test]
-    fn legacy_behaviours_map_onto_strategy_kinds() {
-        assert_eq!(StrategyKind::from(ByzBehavior::Crash), StrategyKind::Crash);
-        assert_eq!(
-            StrategyKind::from(ByzBehavior::SilentLeader),
-            StrategyKind::SilentLeader
-        );
-        assert_eq!(
-            StrategyKind::from(ByzBehavior::SyncSilent),
-            StrategyKind::SyncSilent
-        );
-        let schedule = AdversarySchedule::uniform(&[1, 3], ByzBehavior::Crash);
-        assert_eq!(
-            schedule.corrupted_ids().into_iter().collect::<Vec<_>>(),
-            [1, 3]
-        );
-        assert_eq!(schedule.strategy_for(3), Some(StrategyKind::Crash));
-        assert_eq!(schedule.strategy_for(2), None);
-    }
-
-    #[test]
-    fn edge_classes_match_by_endpoint_honesty() {
-        assert!(EdgeClass::Any.matches(true, true));
-        assert!(EdgeClass::HonestToHonest.matches(true, true));
-        assert!(!EdgeClass::HonestToHonest.matches(false, true));
-        assert!(EdgeClass::AdversaryInvolved.matches(false, true));
-        assert!(EdgeClass::AdversaryInvolved.matches(true, false));
-        assert!(!EdgeClass::AdversaryInvolved.matches(true, true));
-        assert!(EdgeClass::FromAdversary.matches(false, true));
-        assert!(!EdgeClass::FromAdversary.matches(true, false));
-        assert!(EdgeClass::ToAdversary.matches(true, false));
-        assert!(!EdgeClass::ToAdversary.matches(false, true));
-    }
-
-    fn sync_msg() -> SimMessage {
-        SimMessage::Consensus(ConsensusMessage::NewQc(QuorumCert::genesis()))
-    }
-
-    #[test]
-    fn delay_rules_match_first_wins_and_respect_windows() {
-        let schedule = AdversarySchedule::new()
-            .rule(DelayRule {
-                edge: EdgeClass::HonestToHonest,
-                msg: MsgClass::Consensus,
-                window: TimeRange::new(Time::from_millis(10), Time::from_millis(20)),
-                delay: DelayModel::AdversarialMax,
-            })
-            .rule(DelayRule {
-                edge: EdgeClass::Any,
-                msg: MsgClass::Any,
-                window: TimeRange::always(),
-                delay: DelayModel::Fixed {
-                    delta: Duration::from_millis(1),
-                },
-            });
-        // Inside the window, first rule wins on honest→honest consensus.
-        assert_eq!(
-            schedule.delay_for(true, true, &sync_msg(), Time::from_millis(15)),
-            Some(DelayModel::AdversarialMax)
-        );
-        // Outside the window, the catch-all second rule applies.
-        assert_eq!(
-            schedule.delay_for(true, true, &sync_msg(), Time::from_millis(25)),
-            Some(DelayModel::Fixed {
-                delta: Duration::from_millis(1)
-            })
-        );
-        // Adversary edges skip the first rule even inside the window.
-        assert_eq!(
-            schedule.delay_for(false, true, &sync_msg(), Time::from_millis(15)),
-            Some(DelayModel::Fixed {
-                delta: Duration::from_millis(1)
-            })
-        );
-        // An empty schedule matches nothing.
-        assert_eq!(
-            AdversarySchedule::new().delay_for(true, true, &sync_msg(), Time::ZERO),
-            None
-        );
-    }
-
-    #[test]
-    fn targeted_partition_slows_honest_sync_and_fast_paths_the_adversary() {
-        let schedule = AdversarySchedule::targeted_partition(&[5, 6], Duration::from_millis(1));
-        assert_eq!(schedule.corrupted_ids().len(), 2);
-        let pm = SimMessage::Pacemaker(lumiere_core::messages::PacemakerMessage::ViewMsg {
-            view: View::new(0),
-            signature: lumiere_crypto::Signature::new(ProcessId::new(0), 0),
-        });
-        // Honest→honest sync crawls at Δ.
-        assert_eq!(
-            schedule.delay_for(true, true, &pm, Time::ZERO),
-            Some(DelayModel::AdversarialMax)
-        );
-        // Any edge touching the adversary is fast.
-        assert_eq!(
-            schedule.delay_for(false, true, &pm, Time::ZERO),
-            Some(DelayModel::Fixed {
-                delta: Duration::from_millis(1)
-            })
-        );
-        // Honest→honest consensus traffic is untouched (base model).
-        assert_eq!(
-            schedule.delay_for(true, true, &sync_msg(), Time::ZERO),
-            None
-        );
-    }
-
-    #[test]
-    fn crash_recovery_windows_are_staggered() {
-        let schedule = AdversarySchedule::crash_recovery(
-            &[2, 4],
-            Time::from_millis(100),
-            Duration::from_millis(50),
-            Duration::from_millis(30),
-        );
-        let StrategyKind::CrashRecovery { down: w0 } = schedule.strategy_for(2).unwrap() else {
-            panic!("expected crash-recovery");
-        };
-        let StrategyKind::CrashRecovery { down: w1 } = schedule.strategy_for(4).unwrap() else {
-            panic!("expected crash-recovery");
-        };
-        assert_eq!(
-            w0,
-            TimeRange::new(Time::from_millis(100), Time::from_millis(150))
-        );
-        assert_eq!(
-            w1,
-            TimeRange::new(Time::from_millis(130), Time::from_millis(180))
-        );
-        // The runtime object is dark exactly inside its window and asks for
-        // a rejoin wake at the end of it.
-        let strategy = schedule.strategy_for(2).unwrap().build();
-        assert!(strategy.runs_consensus(&ctx_at(Time::from_millis(99))));
-        assert!(!strategy.runs_consensus(&ctx_at(Time::from_millis(100))));
-        assert!(!strategy.runs_pacemaker(&ctx_at(Time::from_millis(149))));
-        assert!(strategy.runs_pacemaker(&ctx_at(Time::from_millis(150))));
-        assert_eq!(strategy.boot_wakes(), vec![Time::from_millis(150)]);
-    }
-
-    #[test]
-    fn schedule_validation_rejects_bad_plans() {
-        let ok = AdversarySchedule::equivocation(&[5, 6]);
-        assert!(ok.validate(7, 2).is_ok());
-        assert!(ok.validate(7, 1).is_err(), "too many corruptions");
-        assert!(AdversarySchedule::equivocation(&[9])
-            .validate(7, 2)
-            .is_err());
-        assert!(AdversarySchedule::equivocation(&[3, 3])
-            .validate(7, 2)
-            .is_err());
-    }
-
-    #[test]
-    fn equivocation_splits_a_proposal_into_conflicting_halves() {
-        let mut strategy = StrategyKind::Equivocate.build();
-        let parent = Block::genesis();
-        let block = Block::new(
-            parent.hash(),
-            1,
-            View::new(0),
-            ProcessId::new(2),
-            0,
-            QuorumCert::genesis(),
-        );
-        let out = NodeOutput {
-            broadcasts: vec![SimMessage::Consensus(ConsensusMessage::Proposal(
-                block.clone(),
-            ))],
-            ..NodeOutput::default()
-        };
-        let ctx = StrategyCtx {
-            id: ProcessId::new(2),
-            n: 7,
-            now: Time::ZERO,
-            obs: obs(),
-        };
-        let out = strategy.transform_output(&ctx, out);
-        assert!(out.broadcasts.is_empty(), "the broadcast must be rewritten");
-        assert!(out.gated_events > 0, "forging marks an activation");
-        assert_eq!(out.sends.len(), 12, "both blocks go to every other node");
-        // first_seen[recipient] = hash of the first proposal that recipient
-        // receives (under symmetric delays, the one it votes for).
-        let mut first_seen: std::collections::BTreeMap<usize, u64> = Default::default();
-        let mut all_hashes = BTreeSet::new();
-        for (to, msg) in &out.sends {
-            let SimMessage::Consensus(ConsensusMessage::Proposal(b)) = msg else {
-                panic!("expected a proposal");
-            };
-            assert!(b.well_formed(), "forged blocks must still be well-formed");
-            assert_eq!(b.view(), block.view());
-            assert_eq!(b.proposer(), block.proposer());
-            assert_ne!(*to, ctx.id);
-            first_seen.entry(to.as_usize()).or_insert(b.hash());
-            all_hashes.insert(b.hash());
-        }
-        assert_eq!(all_hashes.len(), 2, "exactly two conflicting blocks");
-        // The first-delivered block is consistent per half and differs
-        // between halves: disjoint vote sets.
-        let halves: BTreeSet<(usize, u64)> =
-            first_seen.iter().map(|(id, h)| (id % 2, *h)).collect();
-        assert_eq!(halves.len(), 2, "each half votes for its own block");
-    }
-
-    #[test]
-    fn adaptive_leader_targeting_drops_exactly_the_leaders_mail() {
-        let mut strategy = StrategyKind::AdaptiveLeaderTargeting.build();
-        let leader = ProcessId::new(3);
-        let mut ctx = ctx_at(Time::ZERO);
-        ctx.obs.leader = Some(leader);
-        let out = NodeOutput {
-            sends: vec![
-                (leader, sync_msg()),
-                (ProcessId::new(1), sync_msg()),
-                (leader, sync_msg()),
-            ],
-            broadcasts: vec![sync_msg()],
-            ..NodeOutput::default()
-        };
-        let out = strategy.transform_output(&ctx, out);
-        assert_eq!(out.sends.len(), 1, "only the non-leader unicast survives");
-        assert_eq!(out.sends[0].0, ProcessId::new(1));
-        assert_eq!(out.broadcasts.len(), 1, "broadcasts are untouched");
-        assert_eq!(out.gated_events, 2);
-        // The target follows the observation: a different leader next view.
-        ctx.obs.leader = Some(ProcessId::new(1));
-        let out = strategy.transform_output(
-            &ctx,
-            NodeOutput {
-                sends: vec![(leader, sync_msg()), (ProcessId::new(1), sync_msg())],
-                ..NodeOutput::default()
-            },
-        );
-        assert_eq!(out.sends.len(), 1);
-        assert_eq!(out.sends[0].0, leader, "the old leader is safe again");
-        // With no leader known (or itself leading) nothing is dropped.
-        ctx.obs.leader = None;
-        let out = strategy.transform_output(
-            &ctx,
-            NodeOutput {
-                sends: vec![(leader, sync_msg())],
-                ..NodeOutput::default()
-            },
-        );
-        assert_eq!(out.sends.len(), 1);
-    }
-
-    #[test]
-    fn qc_starvation_goes_deaf_one_vote_short_of_quorum_and_recovers() {
-        let mut strategy = StrategyKind::QcStarvation.build();
-        let mut ctx = ctx_at(Time::ZERO); // n = 7, quorum = 5
-        ctx.obs.view = View::new(2);
-        ctx.obs.pending_qc_votes = 3;
-        strategy.observe(&ctx);
-        assert!(
-            strategy.runs_consensus(&ctx),
-            "two votes short: still collecting"
-        );
-        ctx.obs.pending_qc_votes = 4;
-        strategy.observe(&ctx);
-        assert!(
-            !strategy.runs_consensus(&ctx),
-            "one vote short of quorum: deaf"
-        );
-        assert!(strategy.runs_pacemaker(&ctx), "the pacemaker stays alive");
-        // Still deaf while the pacemaker sits in the starved view.
-        strategy.observe(&ctx);
-        assert!(!strategy.runs_consensus(&ctx));
-        // The clock-driven view change re-arms the attack.
-        ctx.obs.view = View::new(3);
-        strategy.observe(&ctx);
-        assert!(strategy.runs_consensus(&ctx), "recovers in the next view");
-    }
-
-    #[test]
-    fn qc_starvation_withholds_qcs_and_their_justifying_proposals() {
-        let mut strategy = StrategyKind::QcStarvation.build();
-        let ctx = ctx_at(Time::ZERO);
-        // A QC the node failed to prevent slips into its output: withheld.
-        let digest = QuorumCert::vote_digest(View::new(4), 0xBB);
-        let params = lumiere_types::Params::new(7, Duration::from_millis(10));
-        let (keys, _) = lumiere_crypto::keygen(7, 1);
-        let votes: Vec<_> = keys.iter().take(5).map(|k| k.sign(digest)).collect();
-        let qc = QuorumCert::aggregate(View::new(4), 0xBB, &votes, &params).unwrap();
-        let out = NodeOutput {
-            broadcasts: vec![SimMessage::Consensus(ConsensusMessage::NewQc(qc.clone()))],
-            ..NodeOutput::default()
-        };
-        let out = strategy.transform_output(&ctx, out);
-        assert!(out.broadcasts.is_empty(), "the QC broadcast is withheld");
-        assert!(out.gated_events > 0);
-        // A later proposal justified by the withheld QC is suppressed too;
-        // proposals justified by public QCs pass.
-        let hidden = Block::new(0, 1, View::new(5), ProcessId::new(0), 1, qc);
-        let public = Block::new(
-            0,
-            1,
-            View::new(5),
-            ProcessId::new(0),
-            1,
-            QuorumCert::genesis(),
-        );
-        let out = strategy.transform_output(
-            &ctx,
-            NodeOutput {
-                broadcasts: vec![
-                    SimMessage::Consensus(ConsensusMessage::Proposal(hidden)),
-                    SimMessage::Consensus(ConsensusMessage::Proposal(public)),
-                ],
-                ..NodeOutput::default()
-            },
-        );
-        assert_eq!(out.broadcasts.len(), 1, "only the public proposal leaks");
-    }
-}
+//! The strategy machinery ([`AdversaryStrategy`], [`StrategyKind`],
+//! [`AdversarySchedule`] with its per-edge [`DelayRule`]s) used to live in
+//! this module; it moved across the runtime boundary so that a live
+//! `lumiere-node --strategy` process corrupts itself with byte-for-byte the
+//! same code the simulator gates in virtual time (see
+//! `lumiere_runtime::adversary` for the full design notes and
+//! `docs/ADVERSARIES.md` for the mapping from each strategy to the paper's
+//! attack arguments). This module keeps the simulator's historical paths
+//! alive; everything here is the runtime's types.
+
+pub use lumiere_runtime::adversary::{
+    AdversarySchedule, AdversaryStrategy, ByzBehavior, Corruption, DelayRule, EdgeClass, MsgClass,
+    ProtocolObs, StrategyCtx, StrategyKind,
+};

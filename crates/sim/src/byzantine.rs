@@ -1,45 +1,19 @@
-//! Byzantine fault behaviours (legacy shorthand).
+//! Byzantine fault behaviours (legacy shorthand) — re-exported from
+//! `lumiere-runtime`, where the adversary subsystem now lives so live
+//! clusters can be corrupted with the same machinery (see
+//! [`crate::adversary`]).
 //!
-//! Since the adversary subsystem became pluggable, this closed enum is a
-//! convenience layer: each variant maps onto an
+//! Each [`ByzBehavior`] variant maps onto an
 //! [`adversary::StrategyKind`](crate::adversary::StrategyKind) (via `From`),
 //! and [`SimConfig::with_faults`](crate::scenario::SimConfig::with_faults)
 //! translates it into an
 //! [`AdversarySchedule`](crate::adversary::AdversarySchedule) (via
 //! [`AdversarySchedule::uniform`](crate::adversary::AdversarySchedule::uniform))
-//! under the hood. Richer behaviours — equivocation, crash–recovery windows, targeted
-//! partitions — live in [`crate::adversary`]; `docs/ADVERSARIES.md` maps
-//! every strategy to the paper's attack arguments.
+//! under the hood. Richer behaviours — equivocation, crash–recovery windows,
+//! targeted partitions — live in [`crate::adversary`]; `docs/ADVERSARIES.md`
+//! maps every strategy to the paper's attack arguments.
 
-use serde::{Deserialize, Serialize};
-
-/// How a corrupted processor behaves.
-///
-/// The paper's adversary is fully Byzantine; the behaviours implemented here
-/// are the ones its worst-case arguments actually use, plus crash faults for
-/// the benign regime:
-///
-/// * [`ByzBehavior::Crash`] — the processor never sends anything (it does not
-///   even boot). The remaining `n − f_a` processors must synchronize without
-///   its signatures.
-/// * [`ByzBehavior::SilentLeader`] — the processor follows the protocol
-///   (votes, sends view and epoch-view messages, forwards certificates) but
-///   never proposes when it is the leader. Its views therefore never produce
-///   a QC while the adversary pays nothing in detectability — this is the
-///   behaviour behind Figure 1 and the `Ω(nΔ)` latency attack on LP22.
-/// * [`ByzBehavior::SyncSilent`] — the processor votes in the underlying
-///   protocol but never participates in view synchronization (sends no view,
-///   epoch-view or wish messages) and never proposes. This stresses the
-///   `f+1` / `2f+1` thresholds of the synchronizers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum ByzBehavior {
-    /// Sends nothing at all.
-    Crash,
-    /// Participates fully except it never proposes as leader.
-    SilentLeader,
-    /// Votes but does not help view synchronization and never proposes.
-    SyncSilent,
-}
+pub use lumiere_runtime::adversary::ByzBehavior;
 
 #[cfg(test)]
 mod tests {

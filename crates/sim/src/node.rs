@@ -1,28 +1,28 @@
-//! A simulated processor: a [`ProtocolRuntime`] hosted under the simulator,
-//! plus its adversary strategy.
+//! A simulated processor: a [`StrategyHost`] driven in virtual time.
 //!
 //! # The sim-is-a-transport inversion
 //!
-//! The pacemaker/engine stepping logic used to live here; it now lives in
+//! The pacemaker/engine stepping logic used to live here; it moved to
 //! `lumiere-runtime` ([`ProtocolRuntime`]), where the live channel-mesh and
-//! TCP backends drive the very same code. What remains in this module is the
-//! simulator-specific part: the [`AdversaryStrategy`] harness. Per event the
-//! node snapshots a [`StrategyCtx`], asks the strategy which components may
-//! run, folds the answers into a [`Gates`] value for the runtime's gated
-//! entry points, and finally lets the strategy rewrite the runtime's output
-//! (equivocation, selective starvation) before it reaches the network.
+//! TCP backends drive the very same code. The adversary gating flow —
+//! snapshot a `StrategyCtx` per event, ask the strategy which components may
+//! run, fold the answers into `Gates`, let the strategy rewrite the output —
+//! followed it across the boundary as
+//! [`StrategyHost`](lumiere_runtime::StrategyHost), so a live
+//! `lumiere-node --strategy` process is corrupted by byte-for-byte the same
+//! machinery. What remains here is a thin veneer giving the simulator its
+//! historical `Node` API.
 //!
 //! [`NodeOutput`] is the runtime's [`RuntimeOutput`](lumiere_runtime::RuntimeOutput)
 //! re-exported under its historical name, and [`SimMessage`] is likewise the
 //! runtime's wire message — the simulator delivers exactly the frames a TCP
 //! cluster would.
 
-use crate::adversary::{AdversaryStrategy, ProtocolObs, StrategyCtx};
+use crate::adversary::AdversaryStrategy;
 use crate::event::SimMessage;
 use lumiere_consensus::HotStuffEngine;
 use lumiere_core::pacemaker::Pacemaker;
-use lumiere_runtime::runtime::ConsensusRuntime as _;
-use lumiere_runtime::{Gates, ProtocolRuntime};
+use lumiere_runtime::{ConsensusRuntime, ProtocolRuntime, StrategyHost};
 use lumiere_types::{Duration, ProcessId, Time, View};
 
 /// Everything a processor wants the simulator to do after handling an event
@@ -42,13 +42,7 @@ pub use lumiere_runtime::RuntimeOutput as NodeOutput;
 /// selective starvation) before it reaches the network.
 #[derive(Debug)]
 pub struct Node {
-    n: usize,
-    runtime: ProtocolRuntime,
-    strategy: Option<Box<dyn AdversaryStrategy>>,
-    /// Start-of-event [`StrategyCtx`] snapshot, taken once per event for
-    /// corrupted nodes and reused by every gating decision of that event
-    /// (honest nodes never build one).
-    event_ctx: Option<StrategyCtx>,
+    host: StrategyHost,
 }
 
 impl Node {
@@ -63,130 +57,60 @@ impl Node {
         strategy: Option<Box<dyn AdversaryStrategy>>,
     ) -> Self {
         Node {
-            n,
-            runtime: ProtocolRuntime::new(id, pacemaker, engine),
-            strategy,
-            event_ctx: None,
+            host: StrategyHost::new(ProtocolRuntime::new(id, pacemaker, engine), n, strategy),
         }
     }
 
     /// The processor's identifier.
     pub fn id(&self) -> ProcessId {
-        self.runtime.id()
+        self.host.runtime().id()
     }
 
     /// Whether the processor is honest.
     pub fn is_honest(&self) -> bool {
-        self.strategy.is_none()
+        self.host.is_honest()
     }
 
     /// The adversary strategy's name, if the processor is corrupted.
     pub fn strategy_name(&self) -> Option<&'static str> {
-        self.strategy.as_ref().map(|s| s.name())
+        self.host.strategy_name()
     }
 
     /// The processor's current view according to its pacemaker.
     pub fn current_view(&self) -> View {
-        self.runtime.current_view()
+        self.host.runtime().current_view()
     }
 
     /// The pacemaker's local-clock reading (for honest-gap metrics).
     pub fn local_clock_reading(&self, now: Time) -> Duration {
-        self.runtime.local_clock_reading(now)
+        self.host.local_clock_reading(now)
     }
 
     /// Height of the highest block this processor has committed.
     pub fn committed_height(&self) -> u64 {
-        self.runtime.committed_height()
+        self.host.runtime().committed_height()
     }
 
     /// Hashes of the blocks this processor has committed, in chain order.
     pub fn committed_chain(&self) -> Vec<u64> {
-        self.runtime.committed_chain()
+        self.host.runtime().committed_chain()
     }
 
     /// How many equivocations (conflicting proposals for one view and
     /// proposer) this processor's engine has witnessed.
     pub fn equivocations_detected(&self) -> usize {
-        self.runtime.equivocations_detected()
+        self.host.equivocations_detected()
     }
 
     /// How many times this processor's engine lock advanced (coverage
     /// fingerprint event mix).
     pub fn locks_advanced(&self) -> u64 {
-        self.runtime.locks_advanced()
+        self.host.locks_advanced()
     }
 
     /// The protocol name reported by the pacemaker.
     pub fn protocol_name(&self) -> &'static str {
-        self.runtime.protocol_name()
-    }
-
-    /// Snapshots the node's protocol state into a [`StrategyCtx`] for the
-    /// adversary strategy (cheap: a handful of field reads plus one scan of
-    /// the engine's pending-vote pools for the current view).
-    fn strategy_ctx(&self, now: Time) -> StrategyCtx {
-        let engine = self.runtime.engine();
-        StrategyCtx {
-            id: self.runtime.id(),
-            n: self.n,
-            now,
-            obs: ProtocolObs {
-                view: self.runtime.current_view(),
-                engine_view: engine.current_view(),
-                leader: engine.current_leader(),
-                locked_view: engine.locked_view(),
-                last_voted_view: engine.last_voted_view(),
-                high_qc_view: engine.high_qc().view(),
-                pending_qc_votes: engine.pending_votes(engine.current_view()),
-                clock: self.runtime.local_clock_reading(now),
-                booted: self.runtime.booted(),
-            },
-        }
-    }
-
-    /// Snapshots the event context once and lets a stateful strategy react
-    /// to it before the event is processed (adaptive corruption). Every
-    /// later gating decision of this event reuses the snapshot, so a
-    /// corrupted node pays one [`Node::strategy_ctx`] build per event.
-    fn observe_strategy(&mut self, now: Time) {
-        if self.strategy.is_some() {
-            let ctx = self.strategy_ctx(now);
-            if let Some(strategy) = &mut self.strategy {
-                strategy.observe(&ctx);
-            }
-            self.event_ctx = Some(ctx);
-        }
-    }
-
-    /// Folds the strategy's per-event gating decisions into the [`Gates`]
-    /// the runtime's gated entry points take (fully open for honest nodes).
-    /// The decisions read only the strategy and the start-of-event snapshot,
-    /// so they are constant for the duration of the event.
-    fn gates(&self) -> Gates {
-        match (&self.strategy, &self.event_ctx) {
-            (Some(s), Some(ctx)) => Gates {
-                pacemaker: s.runs_pacemaker(ctx),
-                consensus: s.runs_consensus(ctx),
-                proposes: s.proposes(ctx),
-            },
-            _ => Gates::OPEN,
-        }
-    }
-
-    /// Applies the strategy's output rewrite (identity for honest nodes,
-    /// which pay no allocation here). The transform sees a *fresh*
-    /// post-event snapshot — an adaptive strategy rewriting its output must
-    /// react to what the event changed (e.g. the leader of a view entered
-    /// moments ago), not to the state the event started from.
-    fn finish(&mut self, now: Time, out: &mut NodeOutput) {
-        if self.strategy.is_some() {
-            let ctx = self.strategy_ctx(now);
-            if let Some(strategy) = &mut self.strategy {
-                let taken = std::mem::take(out);
-                *out = strategy.transform_output(&ctx, taken);
-            }
-        }
+        self.host.runtime().protocol_name()
     }
 
     /// Boots the processor. Convenience wrapper around
@@ -199,14 +123,7 @@ impl Node {
 
     /// Boots the processor, appending its effects to `out`.
     pub fn boot_into(&mut self, now: Time, out: &mut NodeOutput) {
-        self.observe_strategy(now);
-        if let Some(strategy) = &self.strategy {
-            // Strategy-requested wake-ups (e.g. crash-recovery rejoin) are
-            // scheduled even while the node is dark.
-            out.wakes.extend(strategy.boot_wakes());
-        }
-        self.runtime.boot_gated(now, self.gates(), out);
-        self.finish(now, out);
+        self.host.boot_into(now, out);
     }
 
     /// Fires a wake-up. Convenience wrapper around [`Node::wake_into`].
@@ -218,11 +135,7 @@ impl Node {
 
     /// Fires a wake-up, appending its effects to `out`.
     pub fn wake_into(&mut self, now: Time, out: &mut NodeOutput) {
-        self.observe_strategy(now);
-        if !self.runtime.wake_gated(now, self.gates(), out) && self.strategy.is_some() {
-            out.gated_events += 1;
-        }
-        self.finish(now, out);
+        self.host.wake_into(now, out);
     }
 
     /// Delivers a message. Convenience wrapper around
@@ -241,15 +154,7 @@ impl Node {
         now: Time,
         out: &mut NodeOutput,
     ) {
-        self.observe_strategy(now);
-        if !self
-            .runtime
-            .deliver_gated(from, msg, now, self.gates(), out)
-            && self.strategy.is_some()
-        {
-            out.gated_events += 1;
-        }
-        self.finish(now, out);
+        self.host.deliver_into(from, msg, now, out);
     }
 }
 

@@ -1,0 +1,232 @@
+//! Strategy gating parity: the channel-mesh transport under adversary
+//! strategies must gate *exactly* what the simulator gates.
+//!
+//! The adversary machinery lives above the transport (a
+//! [`StrategyHost`](lumiere_runtime::StrategyHost) wraps the protocol
+//! whether messages arrive over virtual-time calendars, in-process channels
+//! or TCP sockets), so the property to pin is count equality: drive a real
+//! [`ChannelTransport`](lumiere_runtime::ChannelTransport) cluster through a
+//! deterministic tick loop, record every event it processed, replay the
+//! byte-identical event sequence into simulator [`Node`]s built from the
+//! same seed, and require the same outputs and the same gated-event counts,
+//! event for event. A wall-clock TCP run cannot be replayed this way (its
+//! schedule is nondeterministic), but the strategies and the host are the
+//! same object — `crates/runtime/tests/live_cluster.rs` covers that side
+//! against real processes.
+
+use lumiere_consensus::HotStuffEngine;
+use lumiere_crypto::keygen;
+use lumiere_runtime::{
+    channel_mesh, ConsensusRuntime, RuntimeOutput, StrategyHost, Transport, WireMessage,
+};
+use lumiere_sim::node::Node;
+use lumiere_sim::{ProtocolKind, StrategyKind};
+use lumiere_types::{Duration, Params, ProcessId, Time, TimeRange};
+use std::collections::BTreeSet;
+use std::time::Duration as WallDuration;
+
+const N: usize = 4;
+const SEED: u64 = 61;
+const DELTA: Duration = Duration::from_millis(10);
+/// Virtual-time tick granularity and horizon of the deterministic loop.
+const TICK_MS: i64 = 1;
+const HORIZON_MS: i64 = 400;
+
+/// One event a node processed, with everything needed to replay it.
+enum Event {
+    Boot,
+    Wake,
+    Deliver(ProcessId, WireMessage),
+}
+
+struct Logged {
+    node: usize,
+    at: Time,
+    event: Event,
+    /// Debug rendering of the produced [`RuntimeOutput`] (before flushing).
+    output: String,
+    /// Gated-event count of this single event.
+    gated: u64,
+}
+
+fn strategy_host(i: usize, corrupted: usize, kind: StrategyKind) -> StrategyHost {
+    let rt = lumiere_runtime::build_runtime(ProtocolKind::Lumiere, N, i, DELTA, SEED);
+    let strategy = (i == corrupted).then(|| kind.build());
+    StrategyHost::new(rt, N, strategy)
+}
+
+fn sim_node(i: usize, corrupted: usize, kind: StrategyKind) -> Node {
+    let params = Params::new(N, DELTA);
+    let (keys, pki) = keygen(N, SEED);
+    let pacemaker =
+        ProtocolKind::Lumiere.build_pacemaker(params, keys[i].clone(), pki.clone(), SEED);
+    let engine = HotStuffEngine::new(keys[i].id(), keys[i].clone(), pki, params);
+    let strategy = (i == corrupted).then(|| kind.build());
+    Node::new(ProcessId::new(i), N, pacemaker, engine, strategy)
+}
+
+/// Drives a channel-mesh cluster deterministically: single thread, virtual
+/// ticks, immediate (same-mesh) delivery one tick after send. Returns the
+/// full event log plus the finished hosts.
+fn drive_channel_cluster(corrupted: usize, kind: StrategyKind) -> (Vec<Logged>, Vec<StrategyHost>) {
+    let mut transports = channel_mesh(N);
+    let mut hosts: Vec<StrategyHost> = (0..N).map(|i| strategy_host(i, corrupted, kind)).collect();
+    let mut wakes: Vec<BTreeSet<i64>> = vec![BTreeSet::new(); N];
+    let mut log = Vec::new();
+
+    // Processes one event on node `i`, logging output and gated delta, then
+    // flushes sends/broadcasts into the real transports and wakes into the
+    // local timer sets.
+    let process = |i: usize,
+                   at: Time,
+                   event: Event,
+                   hosts: &mut Vec<StrategyHost>,
+                   transports: &mut Vec<lumiere_runtime::ChannelTransport>,
+                   wakes: &mut Vec<BTreeSet<i64>>,
+                   log: &mut Vec<Logged>| {
+        let mut out = RuntimeOutput::default();
+        let before = hosts[i].gated_total();
+        match &event {
+            Event::Boot => hosts[i].boot_into(at, &mut out),
+            Event::Wake => hosts[i].wake_into(at, &mut out),
+            Event::Deliver(from, msg) => hosts[i].deliver_into(*from, msg, at, &mut out),
+        }
+        log.push(Logged {
+            node: i,
+            at,
+            event,
+            output: format!("{out:?}"),
+            gated: hosts[i].gated_total() - before,
+        });
+        for (to, msg) in out.sends.drain(..) {
+            transports[i].send(to, &msg).unwrap();
+        }
+        for msg in out.broadcasts.drain(..) {
+            transports[i].broadcast(&msg).unwrap();
+        }
+        for wake in out.wakes.drain(..) {
+            wakes[i].insert(wake.as_micros());
+        }
+    };
+
+    for tick in 0..=(HORIZON_MS / TICK_MS) {
+        let now = Time::from_millis(tick * TICK_MS);
+        for i in 0..N {
+            if tick == 0 {
+                process(
+                    i,
+                    now,
+                    Event::Boot,
+                    &mut hosts,
+                    &mut transports,
+                    &mut wakes,
+                    &mut log,
+                );
+            }
+            // Fire every due timer, then drain the mailbox.
+            while let Some(&due) = wakes[i].iter().next() {
+                if due > now.as_micros() {
+                    break;
+                }
+                wakes[i].remove(&due);
+                process(
+                    i,
+                    now,
+                    Event::Wake,
+                    &mut hosts,
+                    &mut transports,
+                    &mut wakes,
+                    &mut log,
+                );
+            }
+            while let Some((from, msg)) = transports[i].recv_timeout(WallDuration::ZERO).unwrap() {
+                let event = Event::Deliver(from, msg);
+                process(
+                    i,
+                    now,
+                    event,
+                    &mut hosts,
+                    &mut transports,
+                    &mut wakes,
+                    &mut log,
+                );
+            }
+        }
+    }
+    (log, hosts)
+}
+
+/// Replays a channel-cluster event log into simulator nodes and checks
+/// output and gated-count equality per event, then end-state equality.
+fn assert_sim_parity(corrupted: usize, kind: StrategyKind) {
+    let (log, hosts) = drive_channel_cluster(corrupted, kind);
+    let mut nodes: Vec<Node> = (0..N).map(|i| sim_node(i, corrupted, kind)).collect();
+    let mut gated: Vec<u64> = vec![0; N];
+    for entry in &log {
+        let node = &mut nodes[entry.node];
+        let out = match &entry.event {
+            Event::Boot => node.boot(entry.at),
+            Event::Wake => node.wake(entry.at),
+            Event::Deliver(from, msg) => node.deliver(*from, msg, entry.at),
+        };
+        assert_eq!(
+            format!("{out:?}"),
+            entry.output,
+            "node {} diverged from the channel cluster at t = {:?}",
+            entry.node,
+            entry.at
+        );
+        assert_eq!(
+            out.gated_events as u64, entry.gated,
+            "node {} gated differently at t = {:?}",
+            entry.node, entry.at
+        );
+        gated[entry.node] += out.gated_events as u64;
+    }
+    for i in 0..N {
+        assert_eq!(
+            gated[i],
+            hosts[i].gated_total(),
+            "node {i} gated a different number of events in the simulator \
+             than over the channel transport"
+        );
+        assert_eq!(
+            nodes[i].committed_chain(),
+            hosts[i].runtime().committed_chain(),
+            "node {i} committed a different chain in the replay"
+        );
+    }
+    // The schedule must have been non-trivial: honest nodes commit...
+    let honest_height = (0..N)
+        .filter(|&i| i != corrupted)
+        .map(|i| nodes[i].committed_height())
+        .min()
+        .unwrap();
+    assert!(
+        honest_height > 0,
+        "honest nodes must commit under {} within the horizon",
+        kind.name()
+    );
+}
+
+#[test]
+fn crash_recovery_gates_identically_over_channels_and_in_the_simulator() {
+    // Dark for the first 40 ms: wakes and deliveries during the window are
+    // gated (non-zero counts on both sides), then the node rejoins.
+    let kind = StrategyKind::CrashRecovery {
+        down: TimeRange::new(Time::ZERO, Time::from_millis(40)),
+    };
+    assert_sim_parity(2, kind);
+    let (_, hosts) = drive_channel_cluster(2, kind);
+    assert!(
+        hosts[2].gated_total() > 0,
+        "the dark window must gate at least one event"
+    );
+}
+
+#[test]
+fn every_simple_strategy_gates_identically_over_channels_and_in_the_simulator() {
+    for kind in StrategyKind::SIMPLE {
+        assert_sim_parity(1, kind);
+    }
+}
