@@ -1,0 +1,12 @@
+//! Throughput–latency saturation curves under open-loop client load: every
+//! protocol swept across a geometric grid of offered rates (txs/sec) on a
+//! small fault-free cluster, reporting goodput, shed load and the
+//! submit→commit latency percentiles per rate (`--full` widens the grid).
+
+use lumiere_bench::cli;
+use lumiere_bench::experiments::experiment;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    cli::run_main("load_suite", None, &[experiment("load")])
+}

@@ -16,7 +16,7 @@ use lumiere_core::schedule::LeaderSchedule;
 use lumiere_sim::metrics::SimReport;
 use lumiere_sim::scenario::{ProtocolKind, SimConfig};
 use lumiere_sim::trace::Trace;
-use lumiere_sim::{AdversarySchedule, ByzBehavior};
+use lumiere_sim::{AdversarySchedule, ByzBehavior, WorkloadConfig};
 use lumiere_types::{Duration, Time, View};
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
@@ -85,6 +85,17 @@ impl ExperimentScale {
         match self {
             ExperimentScale::Quick => vec![64, 128],
             ExperimentScale::Full => vec![64, 128, 256, 512],
+        }
+    }
+
+    /// Offered client-load rates (txs/sec) for the saturation sweep. The
+    /// grid is geometric so the throughput–latency curve shows both the
+    /// linear region and the knee: with small batches the commit pipeline
+    /// saturates well inside the quick grid's top rates.
+    fn load_rates(&self) -> Vec<u64> {
+        match self {
+            ExperimentScale::Quick => vec![200, 800, 3_200, 12_800],
+            ExperimentScale::Full => vec![100, 200, 400, 800, 1_600, 3_200, 6_400, 12_800, 25_600],
         }
     }
 }
@@ -156,6 +167,11 @@ pub const ALL_EXPERIMENTS: &[ExperimentDef] = &[
         slug: "scale",
         title: "scale (O(n·f_a + n) vs Θ(n²) separation at large n)",
         run: scale_table,
+    },
+    ExperimentDef {
+        slug: "load",
+        title: "load (throughput–latency saturation under open-loop client traffic)",
+        run: load_table,
     },
 ];
 
@@ -1037,6 +1053,83 @@ pub fn scale_table(scale: ExperimentScale, threads: usize) -> ExperimentRun {
     }
 }
 
+/// Throughput–latency saturation under open-loop client load.
+///
+/// Every protocol is swept across a geometric grid of offered rates at a
+/// small fault-free cluster (n = 4, Δ = 10 ms, δ = 1 ms, constant arrival
+/// profile, small batches so the block pipeline saturates inside the grid).
+/// Below saturation goodput tracks the offered rate and the submit→commit
+/// percentiles stay flat near the commit latency; past the knee goodput
+/// plateaus at the pipeline capacity (batch size × view rate), queueing
+/// delay inflates the percentiles, and once the mempool overflows the
+/// excess is shed.
+pub fn load_table(scale: ExperimentScale, threads: usize) -> ExperimentRun {
+    let n = 4;
+    let delta = Duration::from_millis(10);
+    let actual = Duration::from_millis(1);
+    let horizon = Duration::from_secs(4);
+    let seed = 29;
+    let mut jobs = Vec::new();
+    for protocol in compared_protocols() {
+        for &rate in &scale.load_rates() {
+            jobs.push((protocol, rate));
+        }
+    }
+    let reports = run_grid(jobs.clone(), threads, |(protocol, rate)| {
+        SimConfig::new(protocol, n)
+            .with_delta(delta)
+            .with_actual_delay(actual)
+            .with_horizon(horizon)
+            .with_max_honest_qcs(100_000)
+            .with_workload(WorkloadConfig::constant(rate).with_batch_txs(32))
+            .with_seed(seed)
+            .run()
+    });
+    let mut table = TextTable::new(vec![
+        "protocol",
+        "offered (tx/s)",
+        "submitted",
+        "committed",
+        "shed",
+        "goodput (tx/s)",
+        "p50 (ms)",
+        "p95 (ms)",
+        "p99 (ms)",
+    ]);
+    let mut cells = Vec::with_capacity(reports.len());
+    for ((protocol, rate), report) in jobs.into_iter().zip(reports) {
+        table.push_row(vec![
+            protocol.name().to_string(),
+            rate.to_string(),
+            report.txs_submitted.to_string(),
+            report.txs_committed.to_string(),
+            report.txs_shed.to_string(),
+            format!("{:.0}", report.goodput_tps()),
+            format!("{:.1}", report.tx_latency_p50.as_millis_f64()),
+            format!("{:.1}", report.tx_latency_p95.as_millis_f64()),
+            format!("{:.1}", report.tx_latency_p99.as_millis_f64()),
+        ]);
+        cells.push(make_cell(
+            "load",
+            format!("rate{rate:06}"),
+            scale,
+            seed,
+            report,
+            None,
+        ));
+    }
+    let markdown = format!(
+        "## Load — throughput–latency saturation under open-loop client traffic\n\n\
+         Scenario: n = {n}, Δ = 10 ms, δ = 1 ms, GST = 0, no faults, horizon 4 s; \
+         constant-profile open-loop clients at the offered rate, batches of 32 txs. \
+         Goodput tracks the offered rate until the block pipeline saturates; past \
+         the knee the submit→commit percentiles inflate with queueing delay and, \
+         once the mempool overflows, the excess load is shed.\n\n{}",
+        table.render()
+    );
+    ExperimentRun { markdown, cells }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1073,15 +1166,19 @@ mod tests {
 
     #[test]
     fn experiment_registry_is_complete() {
-        assert_eq!(ALL_EXPERIMENTS.len(), 8);
+        assert_eq!(ALL_EXPERIMENTS.len(), 9);
         let slugs: BTreeSet<_> = ALL_EXPERIMENTS.iter().map(|d| d.slug).collect();
-        assert_eq!(slugs.len(), 8, "experiment slugs must be unique");
+        assert_eq!(slugs.len(), 9, "experiment slugs must be unique");
         assert_eq!(experiment("figure1").title, "figure1 (LP22 stall)");
         assert_eq!(experiment("heavy_syncs").slug, "heavy_syncs");
         assert_eq!(experiment("adversaries").slug, "adversaries");
         assert_eq!(
             experiment("scale").title,
             "scale (O(n·f_a + n) vs Θ(n²) separation at large n)"
+        );
+        assert_eq!(
+            experiment("load").title,
+            "load (throughput–latency saturation under open-loop client traffic)"
         );
     }
 

@@ -21,6 +21,7 @@
 //! | `heavy_syncs` | Section 3.5 / Theorem 1.1(4), heavy-sync suppression |
 //! | `honest_gap` | Lemmas 5.9–5.12, honest-gap dynamics |
 //! | `scale_suite` | the O(n·f_a + n) vs Θ(n²) separation at n up to 512 |
+//! | `load_suite` | throughput–latency saturation under open-loop client load |
 //! | `table1_all` | runs everything above in sequence |
 //!
 //! All experiments accept the environment variable `LUMIERE_FULL=1` (or the
@@ -46,7 +47,7 @@
 //!   ([`report::SweepCell`], format in `docs/REPORT_SCHEMA.md`), loaded back,
 //!   and diffed across runs for regression checks;
 //! * [`cli`] — the shared `--out` / `--threads` / `--check` / `--diff`
-//!   front end of all nine binaries.
+//!   front end of all ten binaries.
 //!
 //! The adversary-fuzzing stack is a fourth pillar: [`fuzz`] (per-seed
 //! sampler, safety/liveness oracles, greedy minimizer), [`mutate`]

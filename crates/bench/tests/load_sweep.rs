@@ -1,0 +1,170 @@
+//! Determinism and shape of the client-load saturation sweep.
+//!
+//! The `load` experiment is schema v5's headline: the same seeded loaded
+//! grid must serialize byte-identically for every worker-thread count, and
+//! its throughput–latency curve must have the saturation shape — goodput
+//! tracks the offered rate in the linear region, then plateaus at the
+//! pipeline capacity while the submit→commit percentiles inflate.
+//!
+//! Both tests run miniature grids (short horizons, few protocols): the full
+//! quick grid is exercised in release mode by CI's `load_suite` runs; in
+//! debug builds it would dominate the whole suite's wall clock.
+
+use lumiere_bench::grid::run_grid;
+use lumiere_bench::report::{write_cells, SweepCell, SCHEMA_VERSION};
+use lumiere_sim::metrics::SimReport;
+use lumiere_sim::scenario::{ProtocolKind, SimConfig};
+use lumiere_sim::WorkloadConfig;
+use lumiere_types::Duration;
+use std::fs;
+use std::path::PathBuf;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("lumiere-load-sweep-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One loaded run: the `load` experiment's scenario at one grid point,
+/// directly via the simulator. Small batches pull the pipeline's capacity
+/// down into the test's rate grid so saturation is reachable with short
+/// horizons.
+fn loaded_report(protocol: ProtocolKind, rate: u64, horizon_ms: i64) -> SimReport {
+    SimConfig::new(protocol, 4)
+        .with_delta(Duration::from_millis(10))
+        .with_actual_delay(Duration::from_millis(1))
+        .with_horizon(Duration::from_millis(horizon_ms))
+        .with_max_honest_qcs(100_000)
+        .with_workload(WorkloadConfig::constant(rate).with_batch_txs(8))
+        .with_seed(29)
+        .run()
+}
+
+fn sweep_cells(threads: usize) -> Vec<SweepCell> {
+    let mut jobs = Vec::new();
+    for protocol in [ProtocolKind::Lumiere, ProtocolKind::Lp22] {
+        for rate in [400u64, 1_600] {
+            jobs.push((protocol, rate));
+        }
+    }
+    let reports = run_grid(jobs.clone(), threads, |(protocol, rate)| {
+        loaded_report(protocol, rate, 1_000)
+    });
+    jobs.into_iter()
+        .zip(reports)
+        .map(|((_, rate), report)| SweepCell {
+            schema_version: SCHEMA_VERSION,
+            experiment: "tiny_load".to_string(),
+            label: format!("rate{rate:06}"),
+            protocol: report.protocol.clone(),
+            n: report.n,
+            f_a: report.f_a,
+            seed: 29,
+            scale: "quick".to_string(),
+            report,
+            trace: None,
+        })
+        .collect()
+}
+
+#[test]
+fn load_sweep_is_byte_identical_across_thread_counts() {
+    let cell_sets: Vec<_> = [1usize, 2, 8].into_iter().map(sweep_cells).collect();
+    for (i, cells) in cell_sets.iter().enumerate() {
+        assert!(
+            cells.iter().all(|c| c.report.txs_committed > 0),
+            "thread count #{i}: a loaded cell committed no transactions"
+        );
+    }
+
+    let dirs: Vec<_> = (0..cell_sets.len())
+        .map(|i| temp_dir(&format!("threads{i}")))
+        .collect();
+    let path_sets: Vec<_> = dirs
+        .iter()
+        .zip(&cell_sets)
+        .map(|(dir, cells)| write_cells(dir, cells).unwrap())
+        .collect();
+    for paths in &path_sets[1..] {
+        assert_eq!(path_sets[0].len(), paths.len());
+        for (a, b) in path_sets[0].iter().zip(paths) {
+            assert_eq!(a.file_name(), b.file_name());
+            assert_eq!(
+                fs::read(a).unwrap(),
+                fs::read(b).unwrap(),
+                "{} differs across thread counts",
+                a.display()
+            );
+        }
+    }
+    for dir in dirs {
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn saturation_curve_is_monotone_with_a_knee() {
+    let rates = [100u64, 400, 1_600, 6_400];
+    let reports: Vec<SimReport> = rates
+        .iter()
+        .map(|&r| loaded_report(ProtocolKind::Lumiere, r, 2_000))
+        .collect();
+
+    for (rate, report) in rates.iter().zip(&reports) {
+        assert!(
+            report.txs_submitted > 0 && report.txs_committed > 0,
+            "rate {rate}: no transactions moved through the pipeline"
+        );
+        assert!(
+            report.txs_committed <= report.txs_submitted,
+            "rate {rate}: committed more than was submitted"
+        );
+        assert!(
+            report.tx_latency_p50 <= report.tx_latency_p95
+                && report.tx_latency_p95 <= report.tx_latency_p99,
+            "rate {rate}: percentile ordering violated"
+        );
+    }
+
+    // Monotone rising edge: goodput must not decrease as the offered rate
+    // grows (a small tolerance absorbs end-of-horizon boundary effects).
+    let goodput: Vec<f64> = reports.iter().map(|r| r.goodput_tps()).collect();
+    for (i, pair) in goodput.windows(2).enumerate() {
+        assert!(
+            pair[1] >= pair[0] * 0.95,
+            "goodput fell from {:.0} to {:.0} tx/s between offered rates {} and {}",
+            pair[0],
+            pair[1],
+            rates[i],
+            rates[i + 1]
+        );
+    }
+
+    // The knee: in the linear region goodput tracks the offered rate, but
+    // the top of the grid must exceed the pipeline's capacity — goodput
+    // stops tracking and queueing delay inflates the tail latency.
+    let first = &reports[0];
+    assert!(
+        first.goodput_tps() >= rates[0] as f64 * 0.8,
+        "rate {}: goodput {:.0} tx/s is far below the offered rate — the \
+         linear region is missing",
+        rates[0],
+        first.goodput_tps()
+    );
+    let last = &reports[reports.len() - 1];
+    let saturated = last.goodput_tps() < rates[rates.len() - 1] as f64 * 0.8;
+    assert!(
+        saturated,
+        "rate {}: goodput {:.0} tx/s still tracks the offered rate — the \
+         grid never reaches saturation",
+        rates[rates.len() - 1],
+        last.goodput_tps()
+    );
+    assert!(
+        last.tx_latency_p99 > first.tx_latency_p99,
+        "saturation did not inflate the p99 latency ({:?} -> {:?})",
+        first.tx_latency_p99,
+        last.tx_latency_p99
+    );
+}

@@ -2,7 +2,7 @@
 
 use crate::qc::QuorumCert;
 use lumiere_crypto::Digest;
-use lumiere_types::{ProcessId, View};
+use lumiere_types::{Batch, ProcessId, View};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -15,8 +15,10 @@ pub const GENESIS_HASH: BlockHash = 0x6765_6e65_7369_7321;
 /// A block proposed by the leader of a view.
 ///
 /// Blocks are *chained*: each block carries a quorum certificate for its
-/// parent (`justify`). The payload is an opaque 64-bit value standing in for
-/// a batch of client commands; the reproduction does not model clients.
+/// parent (`justify`). The payload is a [`Batch`] of client transactions
+/// pulled from the proposer's mempool; the block hash commits to the
+/// batch's 64-bit digest, so hashing stays O(batch) and hash comparisons
+/// stay integer-cheap.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Block {
     hash: BlockHash,
@@ -24,12 +26,13 @@ pub struct Block {
     height: u64,
     view: View,
     proposer: ProcessId,
-    payload: u64,
+    payload: Batch,
     justify: QuorumCert,
 }
 
 impl Block {
-    /// The genesis block: height 0, sentinel view, self-certified.
+    /// The genesis block: height 0, sentinel view, self-certified, empty
+    /// payload.
     pub fn genesis() -> Self {
         Block {
             hash: GENESIS_HASH,
@@ -37,19 +40,20 @@ impl Block {
             height: 0,
             view: View::SENTINEL,
             proposer: ProcessId::new(0),
-            payload: 0,
+            payload: Batch::empty(),
             justify: QuorumCert::genesis(),
         }
     }
 
     /// Creates a new block extending `parent_hash` at `height`, justified by
-    /// `justify` (a QC for the parent), proposed by `proposer` in `view`.
+    /// `justify` (a QC for the parent), proposed by `proposer` in `view`,
+    /// carrying `payload`.
     pub fn new(
         parent_hash: BlockHash,
         height: u64,
         view: View,
         proposer: ProcessId,
-        payload: u64,
+        payload: Batch,
         justify: QuorumCert,
     ) -> Self {
         let hash = Digest::new(b"block")
@@ -57,7 +61,7 @@ impl Block {
             .push_u64(height)
             .push_i64(view.as_i64())
             .push_u64(proposer.as_u32() as u64)
-            .push_u64(payload)
+            .push_u64(payload.digest64())
             .push_u64(justify.block_hash())
             .push_i64(justify.view().as_i64())
             .finish()
@@ -98,9 +102,15 @@ impl Block {
         self.proposer
     }
 
-    /// Opaque payload.
-    pub fn payload(&self) -> u64 {
-        self.payload
+    /// The transaction batch the block carries.
+    pub fn payload(&self) -> &Batch {
+        &self.payload
+    }
+
+    /// The 64-bit digest of the payload batch (the value the block hash
+    /// commits to).
+    pub fn payload_digest(&self) -> u64 {
+        self.payload.digest64()
     }
 
     /// The quorum certificate for the parent carried by this block.
@@ -124,7 +134,7 @@ impl Block {
             self.height,
             self.view,
             self.proposer,
-            self.payload,
+            self.payload.clone(),
             self.justify.clone(),
         );
         recomputed.hash == self.hash && self.justify.block_hash() == self.parent
@@ -135,8 +145,8 @@ impl fmt::Display for Block {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "block[{:016x} h={} {} by {}]",
-            self.hash, self.height, self.view, self.proposer
+            "block[{:016x} h={} {} by {} {}]",
+            self.hash, self.height, self.view, self.proposer, self.payload
         )
     }
 }
@@ -152,6 +162,7 @@ mod tests {
         assert!(g.well_formed());
         assert_eq!(g.parent(), GENESIS_HASH);
         assert_eq!(g.height(), 0);
+        assert!(g.payload().is_empty());
     }
 
     #[test]
@@ -162,7 +173,7 @@ mod tests {
             1,
             View::new(0),
             ProcessId::new(0),
-            7,
+            Batch::tag(7),
             QuorumCert::genesis(),
         );
         let b2 = Block::new(
@@ -170,13 +181,14 @@ mod tests {
             1,
             View::new(0),
             ProcessId::new(0),
-            8,
+            Batch::tag(8),
             QuorumCert::genesis(),
         );
         assert_ne!(b1.hash(), b2.hash());
         assert!(b1.well_formed());
         assert!(b2.well_formed());
         assert_eq!(b1.parent(), g.hash());
+        assert_eq!(b1.payload_digest(), Batch::tag(7).digest64());
     }
 
     #[test]
@@ -187,10 +199,10 @@ mod tests {
             1,
             View::new(0),
             ProcessId::new(1),
-            7,
+            Batch::tag(7),
             QuorumCert::genesis(),
         );
-        b.payload = 9;
+        b.payload = Batch::tag(9);
         assert!(!b.well_formed());
     }
 
@@ -202,7 +214,7 @@ mod tests {
             3,
             View::new(5),
             ProcessId::new(2),
-            0,
+            Batch::empty(),
             QuorumCert::genesis(),
         );
         let s = b.to_string();

@@ -5,7 +5,7 @@ use crate::messages::ConsensusMessage;
 use crate::qc::QuorumCert;
 use crate::store::BlockStore;
 use lumiere_crypto::{KeyPair, Pki, Signature};
-use lumiere_types::{Params, ProcessId, Time, View};
+use lumiere_types::{Batch, Params, ProcessId, Time, View};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Output of the engine in response to an event.
@@ -54,6 +54,10 @@ pub struct HotStuffEngine {
     proposals_seen: HashMap<(i64, usize), HashSet<BlockHash>>,
     equivocations_detected: usize,
     locks_advanced: u64,
+    /// The batch the next proposal will carry, staged by the hosting
+    /// runtime from its mempool just before view entry. Consumed (taken)
+    /// by the proposal; empty when no load is offered.
+    staged: Batch,
     /// Reused aggregation buffer, so forming a QC allocates nothing once
     /// the buffer has grown to quorum size.
     partials: Vec<Signature>,
@@ -88,6 +92,7 @@ impl HotStuffEngine {
             proposals_seen: HashMap::with_capacity(16),
             equivocations_detected: 0,
             locks_advanced: 0,
+            staged: Batch::empty(),
             partials: Vec::with_capacity(quorum),
         }
     }
@@ -171,6 +176,13 @@ impl HotStuffEngine {
         self.proposing_enabled = enabled;
     }
 
+    /// Stages `batch` as the payload of this replica's next proposal and
+    /// returns the batch it displaces (for the host to requeue). The hosting
+    /// runtime calls this just before entering a view this replica leads.
+    pub fn stage_payload(&mut self, batch: Batch) -> Batch {
+        std::mem::replace(&mut self.staged, batch)
+    }
+
     /// Installs the Lumiere leader rule: only form a QC for `view` if it can
     /// be produced no later than `deadline` (Section 4: within `Γ/2 − 2Δ` of
     /// sending the VC / previous QC).
@@ -211,7 +223,7 @@ impl HotStuffEngine {
             parent_height + 1,
             self.current_view,
             self.id,
-            self.current_view.as_i64() as u64,
+            std::mem::take(&mut self.staged),
             self.high_qc.clone(),
         );
         self.proposed_views.insert(self.current_view.as_i64());
@@ -585,7 +597,7 @@ mod tests {
             1,
             View::new(0),
             ProcessId::new(1),
-            7,
+            Batch::tag(7),
             QuorumCert::genesis(),
         );
         let b = Block::new(
@@ -593,7 +605,7 @@ mod tests {
             1,
             View::new(0),
             ProcessId::new(1),
-            8,
+            Batch::tag(8),
             QuorumCert::genesis(),
         );
         let votes_in = |actions: &[ConsensusAction]| {
@@ -626,7 +638,7 @@ mod tests {
             1,
             View::new(0),
             ProcessId::new(1),
-            9,
+            Batch::tag(9),
             QuorumCert::genesis(),
         );
         replica.on_message(ProcessId::new(1), &ConsensusMessage::Proposal(c), now);
@@ -650,14 +662,14 @@ mod tests {
             e.enter_view(View::new(0), ProcessId::new(0), now);
         }
         // p0 is the equivocator: its own engine proposed a third block on
-        // view entry (payload 0); A and B use other payloads so all three
-        // conflict.
+        // view entry (an empty batch — nothing was staged); A and B carry
+        // tagged batches so all three conflict.
         let a = Block::new(
             Block::genesis().hash(),
             1,
             View::new(0),
             ProcessId::new(0),
-            5,
+            Batch::tag(5),
             QuorumCert::genesis(),
         );
         let b = Block::new(
@@ -665,7 +677,7 @@ mod tests {
             1,
             View::new(0),
             ProcessId::new(0),
-            99,
+            Batch::tag(99),
             QuorumCert::genesis(),
         );
         // p1, p2 get A; p3 gets B. Votes flow back to p0.
@@ -693,7 +705,7 @@ mod tests {
             }
         }
         // p0's engine proposed its own block (different hash than both A and
-        // B since its payload is derived from the view), so no vote set
+        // B since its unstaged payload is the empty batch), so no vote set
         // reaches quorum: 2 votes for A, 1 for B, 1 (local) for its own.
         assert_eq!(qcs, 0, "disjoint vote sets must not produce a QC");
     }

@@ -130,7 +130,7 @@ impl BlockStore {
 mod tests {
     use super::*;
     use lumiere_crypto::keygen;
-    use lumiere_types::{Duration, Params, ProcessId, View};
+    use lumiere_types::{Batch, Duration, Params, ProcessId, View};
 
     fn qc_for(block: &Block, params: &Params, keys: &[lumiere_crypto::KeyPair]) -> QuorumCert {
         let digest = QuorumCert::vote_digest(block.view(), block.hash());
@@ -156,7 +156,7 @@ mod tests {
                 parent.height() + 1,
                 View::new(i as i64),
                 ProcessId::new((i % 4) as usize),
-                i,
+                Batch::tag(i),
                 justify,
             );
             store.insert(block.clone());
@@ -216,13 +216,20 @@ mod tests {
             1,
             View::new(0),
             ProcessId::new(0),
-            0,
+            Batch::empty(),
             QuorumCert::genesis(),
         );
         let qc1 = qc_for(&b1, &params, &keys);
         // Child is proposed two views later (view 2), so the 2-chain rule
         // must not commit b1 yet.
-        let b2 = Block::new(b1.hash(), 2, View::new(2), ProcessId::new(1), 0, qc1);
+        let b2 = Block::new(
+            b1.hash(),
+            2,
+            View::new(2),
+            ProcessId::new(1),
+            Batch::empty(),
+            qc1,
+        );
         let qc2 = qc_for(&b2, &params, &keys);
         store.insert(b1);
         store.insert(b2);
@@ -240,7 +247,7 @@ mod tests {
             9,
             View::new(9),
             ProcessId::new(0),
-            0,
+            Batch::empty(),
             QuorumCert::genesis(),
         );
         let qc = qc_for(&foreign, &params, &keys);

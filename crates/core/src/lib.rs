@@ -53,6 +53,7 @@ pub mod basic;
 pub mod certs;
 pub mod clock;
 pub mod lumiere;
+pub mod mempool;
 pub mod messages;
 pub mod pacemaker;
 pub mod planted;
@@ -62,6 +63,7 @@ pub use basic::BasicLumiere;
 pub use certs::{EpochCert, TimeoutCert, ViewCert, WishCert};
 pub use clock::LocalClock;
 pub use lumiere::{Lumiere, LumiereConfig};
+pub use mempool::{Mempool, MempoolConfig};
 pub use messages::PacemakerMessage;
 pub use pacemaker::{Pacemaker, PacemakerAction};
 pub use planted::PlantedBug;

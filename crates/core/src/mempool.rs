@@ -1,0 +1,293 @@
+//! A deterministic bounded mempool feeding block proposals.
+//!
+//! The mempool is a FIFO queue of [`Transaction`]s with dedup by [`TxId`]:
+//! a transaction is admitted at most once over the mempool's lifetime, so
+//! gossip echoes and client retries never inflate a block. When a leader
+//! enters a view it pulls the next [`Batch`] — bounded both by a transaction
+//! count and a byte budget — and stages it as the proposal payload; a batch
+//! displaced by a newer view is requeued at the front so transaction order
+//! (and therefore every downstream report) stays deterministic.
+//!
+//! Everything here is integer arithmetic over explicitly ordered
+//! collections: the same submission sequence yields the same batches on
+//! every host and thread count, which the cross-thread determinism suite
+//! relies on.
+
+use lumiere_types::{Batch, Transaction, TxId};
+use std::collections::{HashSet, VecDeque};
+
+/// Sizing knobs for a [`Mempool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MempoolConfig {
+    /// Maximum transactions queued at once; submissions beyond it are
+    /// rejected (open-loop clients observe this as load shedding).
+    pub capacity: usize,
+    /// Maximum transactions per batch.
+    pub batch_txs: usize,
+    /// Maximum total wire bytes per batch. A batch stops *before* the
+    /// transaction that would cross the budget (a single oversized
+    /// transaction still ships alone, so the queue can never wedge).
+    pub max_block_bytes: u64,
+}
+
+impl Default for MempoolConfig {
+    fn default() -> Self {
+        MempoolConfig {
+            capacity: 100_000,
+            batch_txs: 256,
+            max_block_bytes: 512 * 1024,
+        }
+    }
+}
+
+/// Bounded FIFO transaction pool with lifetime dedup by id.
+#[derive(Debug, Clone)]
+pub struct Mempool {
+    cfg: MempoolConfig,
+    queue: VecDeque<Transaction>,
+    /// Every id ever admitted. Dedup is deliberately *persistent*: a
+    /// transaction pulled into a committed batch must not be re-admittable
+    /// via a late gossip echo.
+    seen: HashSet<TxId>,
+    /// Ids committed by *any* leader (see [`Mempool::mark_committed`]).
+    /// Kept separate from `seen` because a replica learns about commits of
+    /// transactions it never admitted itself.
+    committed: HashSet<TxId>,
+    /// Submissions rejected because the queue was full.
+    shed: u64,
+}
+
+impl Mempool {
+    /// An empty mempool with the given bounds.
+    pub fn new(cfg: MempoolConfig) -> Self {
+        Mempool {
+            cfg,
+            queue: VecDeque::new(),
+            seen: HashSet::new(),
+            committed: HashSet::new(),
+            shed: 0,
+        }
+    }
+
+    /// Admits a transaction. Returns `false` (and ignores it) when the id
+    /// was already seen or committed, or the queue is at capacity.
+    pub fn submit(&mut self, tx: Transaction) -> bool {
+        if self.seen.contains(&tx.id) || self.committed.contains(&tx.id) {
+            return false;
+        }
+        if self.queue.len() >= self.cfg.capacity {
+            self.shed += 1;
+            return false;
+        }
+        self.seen.insert(tx.id);
+        self.queue.push_back(tx);
+        true
+    }
+
+    /// Pulls the next batch, bounded by `batch_txs` and `max_block_bytes`.
+    /// Empty when the pool is drained.
+    pub fn next_batch(&mut self) -> Batch {
+        let mut txs = Vec::new();
+        let mut bytes = 0u64;
+        while txs.len() < self.cfg.batch_txs {
+            let Some(tx) = self.queue.front() else { break };
+            let tx_bytes = tx.size as u64;
+            if !txs.is_empty() && bytes + tx_bytes > self.cfg.max_block_bytes {
+                break;
+            }
+            bytes += tx_bytes;
+            txs.push(self.queue.pop_front().expect("front() was Some"));
+        }
+        Batch { txs }
+    }
+
+    /// Returns a pulled-but-unused batch to the *front* of the queue in its
+    /// original order (a staged proposal displaced by a newer view).
+    /// Transactions committed in the meantime are dropped instead.
+    pub fn requeue(&mut self, batch: Batch) {
+        for tx in batch.txs.into_iter().rev() {
+            if !self.committed.contains(&tx.id) {
+                self.queue.push_front(tx);
+            }
+        }
+    }
+
+    /// Records that `ids` were committed (by this or any other leader):
+    /// they are pruned from the queue and permanently rejected from
+    /// resubmission, so a replica never re-proposes transactions the chain
+    /// already carries.
+    pub fn mark_committed<I: IntoIterator<Item = TxId>>(&mut self, ids: I) {
+        self.committed.extend(ids);
+        let committed = &self.committed;
+        self.queue.retain(|tx| !committed.contains(&tx.id));
+    }
+
+    /// Transactions currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no transactions are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Submissions rejected because the queue was full.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// The configured bounds.
+    pub fn config(&self) -> MempoolConfig {
+        self.cfg
+    }
+}
+
+impl Default for Mempool {
+    fn default() -> Self {
+        Mempool::new(MempoolConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(id: u64) -> Transaction {
+        Transaction::new(TxId::new(id))
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut pool = Mempool::default();
+        for i in 0..5 {
+            assert!(pool.submit(tx(i)));
+        }
+        let batch = pool.next_batch();
+        let ids: Vec<u64> = batch.tx_ids().map(|id| id.as_u64()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected_even_after_batching() {
+        let mut pool = Mempool::default();
+        assert!(pool.submit(tx(1)));
+        assert!(!pool.submit(tx(1)), "queued duplicate");
+        let batch = pool.next_batch();
+        assert_eq!(batch.len(), 1);
+        assert!(
+            !pool.submit(tx(1)),
+            "dedup must persist across next_batch() — a committed tx must not re-enter"
+        );
+        assert_eq!(pool.shed(), 0, "duplicates are not load shedding");
+    }
+
+    #[test]
+    fn capacity_bound_sheds_submissions() {
+        let mut pool = Mempool::new(MempoolConfig {
+            capacity: 3,
+            ..MempoolConfig::default()
+        });
+        for i in 0..3 {
+            assert!(pool.submit(tx(i)));
+        }
+        assert!(!pool.submit(tx(3)));
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool.shed(), 1);
+        // Draining frees capacity; the shed tx may be resubmitted (it was
+        // never admitted, so its id is not in the dedup set).
+        pool.next_batch();
+        assert!(pool.submit(tx(3)));
+    }
+
+    #[test]
+    fn batches_respect_the_tx_count_bound() {
+        let mut pool = Mempool::new(MempoolConfig {
+            batch_txs: 2,
+            ..MempoolConfig::default()
+        });
+        for i in 0..5 {
+            pool.submit(tx(i));
+        }
+        assert_eq!(pool.next_batch().len(), 2);
+        assert_eq!(pool.next_batch().len(), 2);
+        assert_eq!(pool.next_batch().len(), 1);
+        assert!(pool.next_batch().is_empty());
+    }
+
+    #[test]
+    fn batches_respect_the_byte_budget() {
+        let mut pool = Mempool::new(MempoolConfig {
+            max_block_bytes: 600,
+            ..MempoolConfig::default()
+        });
+        // 256 B each: two fit in 600 B, the third must wait.
+        for i in 0..3 {
+            pool.submit(tx(i));
+        }
+        let batch = pool.next_batch();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.bytes(), 512);
+        assert_eq!(pool.next_batch().len(), 1);
+    }
+
+    #[test]
+    fn an_oversized_transaction_ships_alone() {
+        let mut pool = Mempool::new(MempoolConfig {
+            max_block_bytes: 100,
+            ..MempoolConfig::default()
+        });
+        pool.submit(Transaction::sized(TxId::new(0), 5_000));
+        pool.submit(tx(1));
+        let batch = pool.next_batch();
+        assert_eq!(batch.len(), 1, "oversized tx must not wedge the queue");
+        assert_eq!(batch.bytes(), 5_000);
+        assert_eq!(pool.next_batch().len(), 1);
+    }
+
+    #[test]
+    fn committed_ids_are_pruned_and_permanently_rejected() {
+        let mut pool = Mempool::default();
+        for i in 0..4 {
+            pool.submit(tx(i));
+        }
+        // Another leader committed txs 1 and 3 (and tx 9, unknown here).
+        pool.mark_committed([TxId::new(1), TxId::new(3), TxId::new(9)]);
+        assert_eq!(pool.len(), 2, "committed txs leave the queue");
+        let ids: Vec<u64> = pool.next_batch().tx_ids().map(|id| id.as_u64()).collect();
+        assert_eq!(ids, vec![0, 2]);
+        // A late client retry of a committed tx is rejected, even for an id
+        // this pool never admitted itself.
+        assert!(!pool.submit(tx(9)));
+        // A staged batch displaced across a commit drops the committed tx.
+        pool.submit(tx(10));
+        pool.submit(tx(11));
+        let staged = pool.next_batch();
+        pool.mark_committed([TxId::new(10)]);
+        pool.requeue(staged);
+        let ids: Vec<u64> = pool.next_batch().tx_ids().map(|id| id.as_u64()).collect();
+        assert_eq!(ids, vec![11]);
+    }
+
+    #[test]
+    fn requeue_restores_front_of_queue_order() {
+        let mut pool = Mempool::new(MempoolConfig {
+            batch_txs: 3,
+            ..MempoolConfig::default()
+        });
+        for i in 0..6 {
+            pool.submit(tx(i));
+        }
+        let staged = pool.next_batch(); // [0, 1, 2]
+        pool.requeue(staged);
+        let ids: Vec<u64> = pool.next_batch().tx_ids().map(|id| id.as_u64()).collect();
+        assert_eq!(
+            ids,
+            vec![0, 1, 2],
+            "requeued batch comes back first, in order"
+        );
+        let ids: Vec<u64> = pool.next_batch().tx_ids().map(|id| id.as_u64()).collect();
+        assert_eq!(ids, vec![3, 4, 5]);
+    }
+}

@@ -44,7 +44,7 @@ use crate::delay::DelayModel;
 use crate::message::WireMessage;
 use crate::output::RuntimeOutput;
 use lumiere_consensus::{Block, ConsensusMessage};
-use lumiere_types::{Duration, ProcessId, Time, TimeRange, View};
+use lumiere_types::{Batch, Duration, ProcessId, Time, TimeRange, View};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt::Debug;
@@ -617,7 +617,7 @@ impl EquivocateStrategy {
             block.height(),
             block.view(),
             block.proposer(),
-            block.payload() ^ (0x4551_5549_564f_4321 + self.forged),
+            Batch::tag(block.payload_digest() ^ (0x4551_5549_564f_4321 + self.forged)),
             block.justify().clone(),
         )
     }
@@ -1070,7 +1070,7 @@ mod tests {
             1,
             View::new(0),
             ProcessId::new(2),
-            0,
+            Batch::empty(),
             QuorumCert::genesis(),
         );
         let out = RuntimeOutput {
@@ -1201,13 +1201,13 @@ mod tests {
         assert!(out.gated_events > 0);
         // A later proposal justified by the withheld QC is suppressed too;
         // proposals justified by public QCs pass.
-        let hidden = Block::new(0, 1, View::new(5), ProcessId::new(0), 1, qc);
+        let hidden = Block::new(0, 1, View::new(5), ProcessId::new(0), Batch::tag(1), qc);
         let public = Block::new(
             0,
             1,
             View::new(5),
             ProcessId::new(0),
-            1,
+            Batch::tag(1),
             QuorumCert::genesis(),
         );
         let out = strategy.transform_output(

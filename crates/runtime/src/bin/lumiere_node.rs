@@ -1,7 +1,7 @@
 //! `lumiere-node` — one live processor of a Lumiere cluster.
 //!
 //! ```text
-//! lumiere-node --config node0.json [--out summary0.json]
+//! lumiere-node --config node0.json [--out summary0.json] [--load <tps>]
 //!              [--strategy <name|json>] [--fault-plan <json>]
 //!              [--planted-bug <name>]
 //! ```
@@ -27,6 +27,15 @@
 //! * `--planted-bug` runs a known calibration bug (builds with the
 //!   `planted-bugs` feature only; a stock binary refuses, so CI can never
 //!   silently measure stock behaviour).
+//!
+//! `--load <tps>` turns the node into an open-loop client as well: it
+//! generates the given number of transactions per second, feeding its own
+//! mempool and broadcasting each to its peers; the summary then reports
+//! committed-transaction counts and submit→commit latency percentiles.
+//!
+//! Every flag may appear at most once; duplicates are rejected rather than
+//! last-wins, so a typo in a long command line cannot silently discard an
+//! earlier value.
 
 use lumiere_core::planted::{self, PlantedBug};
 use lumiere_runtime::driver::{self, DriverOptions};
@@ -42,9 +51,21 @@ use std::time::Duration as WallDuration;
 struct Args {
     config: String,
     out: Option<String>,
+    load: Option<u64>,
     strategy: Option<StrategyKind>,
     fault_plan: Option<FaultPlan>,
     planted: Option<PlantedBug>,
+}
+
+/// Stores a flag's value, rejecting a second occurrence: silently letting
+/// the last duplicate win would discard an earlier value the operator
+/// believes is in effect.
+fn set_once<T>(slot: &mut Option<T>, value: T, flag: &str) -> Result<(), String> {
+    if slot.is_some() {
+        return Err(format!("duplicate flag {flag}"));
+    }
+    *slot = Some(value);
+    Ok(())
 }
 
 fn main() {
@@ -63,36 +84,48 @@ fn main() {
 
 fn parse_args() -> Result<Args, String> {
     let usage = "usage: lumiere-node --config <node.json> [--out <summary.json>] \
-                 [--strategy <name|json>] [--fault-plan <json>] [--planted-bug <name>]";
+                 [--load <tps>] [--strategy <name|json>] [--fault-plan <json>] \
+                 [--planted-bug <name>]";
     let mut config = None;
     let mut out = None;
+    let mut load = None;
     let mut strategy = None;
     let mut fault_plan = None;
     let mut planted = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--config" => config = Some(args.next().ok_or(usage)?),
-            "--out" => out = Some(args.next().ok_or(usage)?),
+            "--config" => set_once(&mut config, args.next().ok_or(usage)?, "--config")?,
+            "--out" => set_once(&mut out, args.next().ok_or(usage)?, "--out")?,
+            "--load" => {
+                let raw = args.next().ok_or(usage)?;
+                let rate: u64 = raw
+                    .parse()
+                    .map_err(|e| format!("cannot parse --load `{raw}` as txs/sec: {e}"))?;
+                if rate == 0 {
+                    return Err("--load must be at least 1 tx/sec (omit it for no load)".into());
+                }
+                set_once(&mut load, rate, "--load")?;
+            }
             "--strategy" => {
                 let raw = args.next().ok_or(usage)?;
-                strategy = Some(parse_strategy(&raw)?);
+                set_once(&mut strategy, parse_strategy(&raw)?, "--strategy")?;
             }
             "--fault-plan" => {
                 let raw = args.next().ok_or(usage)?;
-                fault_plan = Some(
-                    json::from_str::<FaultPlan>(&raw)
-                        .map_err(|e| format!("cannot parse --fault-plan: {e}"))?,
-                );
+                let plan = json::from_str::<FaultPlan>(&raw)
+                    .map_err(|e| format!("cannot parse --fault-plan: {e}"))?;
+                set_once(&mut fault_plan, plan, "--fault-plan")?;
             }
             "--planted-bug" => {
                 let raw = args.next().ok_or(usage)?;
-                planted = Some(PlantedBug::parse(&raw).ok_or_else(|| {
+                let bug = PlantedBug::parse(&raw).ok_or_else(|| {
                     format!(
                         "unknown planted bug `{raw}` (known: {})",
                         PlantedBug::ALL.map(|b| b.name()).join(", ")
                     )
-                })?);
+                })?;
+                set_once(&mut planted, bug, "--planted-bug")?;
             }
             "--help" | "-h" => return Err(usage.to_string()),
             other => return Err(format!("unknown argument `{other}`\n{usage}")),
@@ -101,6 +134,7 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         config: config.ok_or(usage)?,
         out,
+        load,
         strategy,
         fault_plan,
         planted,
@@ -171,6 +205,7 @@ fn run_node(args: &Args) -> Result<(), String> {
     let opts = DriverOptions {
         target_commits: cfg.target_commits,
         deadline: cfg.run_timeout_ms.map(WallDuration::from_millis),
+        load_tps: args.load,
         ..DriverOptions::default()
     };
     let stop = AtomicBool::new(false);
@@ -190,6 +225,18 @@ fn run_node(args: &Args) -> Result<(), String> {
         transport.dropped(),
         transport.delayed(),
     );
+    if args.load.is_some() {
+        eprintln!(
+            "[node {}] load: submitted {} txs, committed {} | latency ms \
+             p50 {:.1} / p95 {:.1} / p99 {:.1}",
+            summary.node,
+            summary.txs_submitted,
+            summary.txs_committed,
+            summary.tx_latency_p50_ms,
+            summary.tx_latency_p95_ms,
+            summary.tx_latency_p99_ms,
+        );
+    }
     let text = json::to_string(&summary);
     match args.out.as_deref() {
         Some(path) => std::fs::write(path, text)

@@ -87,7 +87,11 @@ impl NodeConfig {
             .map_err(|e| ConfigError(format!("cannot read {path}: {e}")))?;
         let cfg: NodeConfig =
             json::from_str(&text).map_err(|e| ConfigError(format!("cannot parse {path}: {e}")))?;
-        cfg.validate()?;
+        // Name the offending file here too: validation failures otherwise
+        // read as abstract consistency errors with no hint of which of a
+        // cluster's n config files to fix.
+        cfg.validate()
+            .map_err(|e| ConfigError(format!("{path}: {}", e.0)))?;
         Ok(cfg)
     }
 
@@ -209,6 +213,27 @@ mod tests {
         let mut bad = sample();
         bad.peers[0].id = 0;
         assert!(bad.validate().is_err(), "duplicate id");
+    }
+
+    #[test]
+    fn load_errors_name_the_config_file() {
+        let err = NodeConfig::load("/nonexistent/node.json").unwrap_err();
+        assert!(err.0.contains("/nonexistent/node.json"), "got: {}", err.0);
+
+        // A parseable but inconsistent config must also name its file.
+        let dir = std::env::temp_dir().join("lumiere-config-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad-node.json");
+        let mut bad = sample();
+        bad.node_id = 9; // out of range for n = 3
+        std::fs::write(&path, json::to_string(&bad)).unwrap();
+        let err = NodeConfig::load(path.to_str().unwrap()).unwrap_err();
+        assert!(
+            err.0.contains("bad-node.json") && err.0.contains("out of range"),
+            "validation errors must name the file: {}",
+            err.0
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

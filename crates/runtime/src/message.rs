@@ -9,12 +9,13 @@
 
 use lumiere_consensus::ConsensusMessage;
 use lumiere_core::messages::PacemakerMessage;
-use lumiere_types::View;
+use lumiere_types::{Transaction, View};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// A message travelling between processors: either a pacemaker
-/// (view-synchronization) message or an underlying-protocol message.
+/// A message travelling between processors: a pacemaker
+/// (view-synchronization) message, an underlying-protocol message, or a
+/// client transaction submission being forwarded into a mempool.
 ///
 /// Serializes through the workspace's deterministic JSON, which is also the
 /// TCP wire codec (see [`crate::codec`]).
@@ -24,6 +25,8 @@ pub enum WireMessage {
     Pacemaker(PacemakerMessage),
     /// An underlying-protocol (HotStuff) message.
     Consensus(ConsensusMessage),
+    /// A client transaction submitted into the recipient's mempool.
+    Submit(Transaction),
 }
 
 impl WireMessage {
@@ -32,14 +35,17 @@ impl WireMessage {
         match self {
             WireMessage::Pacemaker(m) => m.kind(),
             WireMessage::Consensus(m) => m.kind(),
+            WireMessage::Submit(_) => "submit",
         }
     }
 
-    /// The view the message pertains to.
+    /// The view the message pertains to (`View::SENTINEL` for client
+    /// traffic, which is view-agnostic).
     pub fn view(&self) -> View {
         match self {
             WireMessage::Pacemaker(m) => m.view(),
             WireMessage::Consensus(m) => m.view(),
+            WireMessage::Submit(_) => View::SENTINEL,
         }
     }
 
@@ -54,6 +60,7 @@ impl fmt::Display for WireMessage {
         match self {
             WireMessage::Pacemaker(m) => write!(f, "pm:{m}"),
             WireMessage::Consensus(m) => write!(f, "cons:{m}"),
+            WireMessage::Submit(tx) => write!(f, "tx:{}", tx.id),
         }
     }
 }
@@ -82,5 +89,11 @@ mod tests {
         assert!(!cons.is_heavy_sync());
         assert_eq!(cons.kind(), "new-qc");
         assert!(cons.to_string().starts_with("cons:"));
+        let submit =
+            WireMessage::Submit(lumiere_types::Transaction::new(lumiere_types::TxId::new(9)));
+        assert_eq!(submit.kind(), "submit");
+        assert_eq!(submit.view(), View::SENTINEL);
+        assert!(!submit.is_heavy_sync());
+        assert!(submit.to_string().starts_with("tx:"));
     }
 }

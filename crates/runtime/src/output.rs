@@ -3,7 +3,7 @@
 
 use crate::message::WireMessage;
 use lumiere_consensus::QuorumCert;
-use lumiere_types::{ProcessId, Time, View};
+use lumiere_types::{ProcessId, Time, TxId, View};
 
 /// Everything a processor wants its host (simulator event loop, live node
 /// driver) to do after handling an event.
@@ -23,6 +23,9 @@ pub struct RuntimeOutput {
     pub qcs_formed: Vec<QuorumCert>,
     /// Heights of blocks newly committed by this processor.
     pub commits: Vec<u64>,
+    /// Ids of the transactions carried by newly committed blocks, in commit
+    /// order (hosts turn these into end-to-end latency samples).
+    pub committed_txs: Vec<TxId>,
     /// Views entered by this processor.
     pub entered_views: Vec<View>,
     /// Epoch views for which this processor started heavy synchronization.
@@ -44,6 +47,7 @@ impl RuntimeOutput {
         self.wakes.clear();
         self.qcs_formed.clear();
         self.commits.clear();
+        self.committed_txs.clear();
         self.entered_views.clear();
         self.heavy_syncs.clear();
         self.gated_events = 0;
@@ -56,6 +60,7 @@ impl RuntimeOutput {
             && self.wakes.is_empty()
             && self.qcs_formed.is_empty()
             && self.commits.is_empty()
+            && self.committed_txs.is_empty()
             && self.entered_views.is_empty()
             && self.heavy_syncs.is_empty()
             && self.gated_events == 0

@@ -17,7 +17,8 @@ use crate::message::WireMessage;
 use crate::output::RuntimeOutput;
 use lumiere_consensus::{ConsensusAction, HotStuffEngine};
 use lumiere_core::pacemaker::{Pacemaker, PacemakerAction};
-use lumiere_types::{Duration, ProcessId, Time, View};
+use lumiere_core::{Mempool, MempoolConfig};
+use lumiere_types::{Batch, Duration, ProcessId, Time, Transaction, View};
 use std::collections::VecDeque;
 use std::fmt::Debug;
 
@@ -101,6 +102,13 @@ pub trait ConsensusRuntime: Debug + Send {
     fn resume_floor(&self) -> Time {
         Time::ZERO
     }
+
+    /// Submits a client transaction into this processor's mempool. Returns
+    /// `false` when the runtime has no mempool (the default), or when the
+    /// mempool rejected the transaction (duplicate id or at capacity).
+    fn submit_tx(&mut self, _tx: Transaction) -> bool {
+        false
+    }
 }
 
 /// The workspace's [`ConsensusRuntime`] implementation: a [`Pacemaker`]
@@ -115,6 +123,9 @@ pub struct ProtocolRuntime {
     id: ProcessId,
     pacemaker: Box<dyn Pacemaker>,
     engine: HotStuffEngine,
+    /// Client transactions waiting to be proposed. On every view entry this
+    /// node leads, the next batch is staged as the proposal payload.
+    mempool: Mempool,
     booted: bool,
     /// Latest `now` any event carried — the restart floor (see
     /// [`ConsensusRuntime::resume_floor`]).
@@ -132,6 +143,7 @@ impl ProtocolRuntime {
             id,
             pacemaker,
             engine,
+            mempool: Mempool::default(),
             booted: false,
             last_event_time: Time::ZERO,
             pm_queue: VecDeque::new(),
@@ -139,10 +151,21 @@ impl ProtocolRuntime {
         }
     }
 
+    /// Replaces the mempool's sizing knobs (batch size, byte budget,
+    /// capacity). Call before any transactions are submitted.
+    pub fn set_mempool_config(&mut self, cfg: MempoolConfig) {
+        self.mempool = Mempool::new(cfg);
+    }
+
     /// Read access to the consensus engine (introspection: locks, votes,
     /// equivocation counters).
     pub fn engine(&self) -> &HotStuffEngine {
         &self.engine
+    }
+
+    /// Read access to the mempool (introspection: queue depth, shed count).
+    pub fn mempool(&self) -> &Mempool {
+        &self.mempool
     }
 
     /// Whether the pacemaker has booted (run its first event).
@@ -227,6 +250,12 @@ impl ProtocolRuntime {
                 let actions = self.engine.on_message(from, m, now);
                 self.drain_consensus(actions, now, gates, out);
             }
+            WireMessage::Submit(tx) => {
+                if !gates.consensus {
+                    return false;
+                }
+                self.mempool.submit(*tx);
+            }
         }
         true
     }
@@ -260,6 +289,15 @@ impl ProtocolRuntime {
                     PacemakerAction::EnterView { view, leader } => {
                         out.entered_views.push(view);
                         if gates.consensus {
+                            if leader == self.id {
+                                // Return any batch staged for an earlier view
+                                // that never shipped, then stage the next one
+                                // — requeue-first keeps FIFO order.
+                                let displaced = self.engine.stage_payload(Batch::empty());
+                                self.mempool.requeue(displaced);
+                                let batch = self.mempool.next_batch();
+                                self.engine.stage_payload(batch);
+                            }
                             let actions = self.engine.enter_view(view, leader, now);
                             self.cons_queue.extend(actions);
                         }
@@ -275,7 +313,11 @@ impl ProtocolRuntime {
                     ConsensusAction::Send(to, m) => {
                         out.sends.push((to, WireMessage::Consensus(m)));
                     }
-                    ConsensusAction::Committed(block) => out.commits.push(block.height()),
+                    ConsensusAction::Committed(block) => {
+                        out.commits.push(block.height());
+                        out.committed_txs.extend(block.payload().tx_ids());
+                        self.mempool.mark_committed(block.payload().tx_ids());
+                    }
                     ConsensusAction::QcFormed(qc) => {
                         out.qcs_formed.push(qc.clone());
                         if gates.pacemaker {
@@ -313,7 +355,11 @@ impl ProtocolRuntime {
             match action {
                 ConsensusAction::Broadcast(m) => out.broadcasts.push(WireMessage::Consensus(m)),
                 ConsensusAction::Send(to, m) => out.sends.push((to, WireMessage::Consensus(m))),
-                ConsensusAction::Committed(block) => out.commits.push(block.height()),
+                ConsensusAction::Committed(block) => {
+                    out.commits.push(block.height());
+                    out.committed_txs.extend(block.payload().tx_ids());
+                    self.mempool.mark_committed(block.payload().tx_ids());
+                }
                 ConsensusAction::QcFormed(qc) => {
                     out.qcs_formed.push(qc.clone());
                     if gates.pacemaker {
@@ -368,6 +414,10 @@ impl ConsensusRuntime for ProtocolRuntime {
 
     fn resume_floor(&self) -> Time {
         self.last_event_time
+    }
+
+    fn submit_tx(&mut self, tx: Transaction) -> bool {
+        self.mempool.submit(tx)
     }
 }
 
@@ -460,6 +510,78 @@ mod tests {
             let chain = node.committed_chain();
             let len = chain.len().min(chain0.len());
             assert_eq!(chain[..len], chain0[..len], "committed chains diverged");
+        }
+    }
+
+    #[test]
+    fn submitted_transactions_flow_into_committed_blocks() {
+        use lumiere_types::{Transaction, TxId};
+        let n = 4;
+        let mut nodes: Vec<ProtocolRuntime> = (0..n).map(|i| build(n, i)).collect();
+        let mut now = Time::ZERO;
+        let mut pending: Vec<(usize, usize, WireMessage)> = Vec::new();
+        let mut timers: Vec<Vec<Time>> = vec![Vec::new(); n];
+        let mut committed: Vec<Vec<TxId>> = vec![Vec::new(); n];
+        let mut out = RuntimeOutput::default();
+        for (i, node) in nodes.iter_mut().enumerate() {
+            out.clear();
+            node.boot(now, &mut out);
+            collect(i, n, &out, &mut pending, &mut timers[i]);
+            // The same two transactions reach every node: one submitted
+            // locally, one arriving over the wire.
+            assert!(node.submit_tx(Transaction::new(TxId::new(1))));
+            out.clear();
+            node.deliver(
+                ProcessId::new((i + 1) % n),
+                &WireMessage::Submit(Transaction::new(TxId::new(2))),
+                now,
+                &mut out,
+            );
+            assert!(out.is_empty(), "a submission has no immediate effects");
+            assert!(
+                !node.submit_tx(Transaction::new(TxId::new(2))),
+                "gossip echo must be rejected"
+            );
+            assert_eq!(node.mempool().len(), 2);
+        }
+        for _round in 0..400 {
+            if committed.iter().all(|c| c.len() >= 2) {
+                break;
+            }
+            let batch = std::mem::take(&mut pending);
+            for (from, to, msg) in batch {
+                out.clear();
+                nodes[to].deliver(ProcessId::new(from), &msg, now, &mut out);
+                committed[to].extend(out.committed_txs.iter().copied());
+                collect(to, n, &out, &mut pending, &mut timers[to]);
+            }
+            now += Duration::from_millis(1);
+            for i in 0..n {
+                let due: Vec<Time> = {
+                    let (fire, keep): (Vec<Time>, Vec<Time>) =
+                        timers[i].drain(..).partition(|t| *t <= now);
+                    timers[i] = keep;
+                    fire
+                };
+                if !due.is_empty() {
+                    out.clear();
+                    nodes[i].wake(now, &mut out);
+                    committed[i].extend(out.committed_txs.iter().copied());
+                    collect(i, n, &out, &mut pending, &mut timers[i]);
+                }
+            }
+        }
+        for (i, ids) in committed.iter().enumerate() {
+            assert_eq!(
+                ids.len(),
+                2,
+                "node {i} must commit each tx exactly once, got {ids:?}"
+            );
+            assert!(ids.contains(&TxId::new(1)) && ids.contains(&TxId::new(2)));
+            assert!(
+                nodes[i].mempool().is_empty(),
+                "committed txs must be pruned from node {i}'s mempool"
+            );
         }
     }
 

@@ -19,7 +19,7 @@ use crate::adversary::{AdversaryStrategy, ProtocolObs, StrategyCtx};
 use crate::message::WireMessage;
 use crate::output::RuntimeOutput;
 use crate::runtime::{ConsensusRuntime, Gates, ProtocolRuntime};
-use lumiere_types::{Duration, ProcessId, Time, View};
+use lumiere_types::{Duration, ProcessId, Time, Transaction, View};
 
 /// A [`ProtocolRuntime`] plus its (optional) adversary strategy.
 ///
@@ -81,6 +81,12 @@ impl StrategyHost {
     /// Read access to the wrapped runtime (introspection).
     pub fn runtime(&self) -> &ProtocolRuntime {
         &self.runtime
+    }
+
+    /// Replaces the runtime's mempool bounds (hosts configure this before
+    /// booting the node).
+    pub fn set_mempool_config(&mut self, cfg: lumiere_core::MempoolConfig) {
+        self.runtime.set_mempool_config(cfg);
     }
 
     /// The pacemaker's local-clock reading (for honest-gap metrics).
@@ -249,6 +255,13 @@ impl ConsensusRuntime for StrategyHost {
 
     fn resume_floor(&self) -> Time {
         ConsensusRuntime::resume_floor(&self.runtime)
+    }
+
+    fn submit_tx(&mut self, tx: Transaction) -> bool {
+        // Client traffic is not strategy-gated: a corrupted node accepting a
+        // transaction and then sitting on it is indistinguishable from one
+        // that rejected it, so gating here would add nothing.
+        self.runtime.submit_tx(tx)
     }
 }
 

@@ -30,6 +30,7 @@ fn open_ended() -> DriverOptions {
         deadline: Some(WallDuration::from_secs(60)),
         linger: WallDuration::from_millis(100),
         poll: WallDuration::from_millis(2),
+        load_tps: None,
     }
 }
 

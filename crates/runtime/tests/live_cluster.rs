@@ -285,6 +285,7 @@ fn planted_timeout_bug_is_flagged_by_the_envelope_oracle_and_stock_passes() {
                         deadline: Some(WallDuration::from_secs(5)),
                         linger: WallDuration::from_millis(200),
                         poll: WallDuration::from_millis(2),
+                        load_tps: None,
                     },
                 )
             })

@@ -57,6 +57,7 @@ fn four_tcp_nodes_commit_and_agree() {
                     deadline: Some(WallDuration::from_secs(60)),
                     linger: WallDuration::from_millis(400),
                     poll: WallDuration::from_millis(2),
+                    load_tps: None,
                 },
             )
         })

@@ -6,7 +6,7 @@
 //! The TCP mesh relies on the codec being the identity — a single
 //! mis-encoded field desynchronizes a live cluster in ways the
 //! discrete-event simulator can never exhibit — so the round trip is checked
-//! for each of the eleven `WireMessage` variants separately, with valid
+//! for each of the twelve `WireMessage` variants separately, with valid
 //! signatures and certificates built from the deterministic PKI.
 
 use lumiere_consensus::{Block, ConsensusMessage, QuorumCert};
@@ -18,12 +18,13 @@ use lumiere_core::messages::PacemakerMessage;
 use lumiere_crypto::{keygen, KeyPair, Signature};
 use lumiere_runtime::codec::{decode_frame, encode_frame, read_frame, write_frame};
 use lumiere_runtime::WireMessage;
-use lumiere_types::{Duration, Params, ProcessId, View};
+use lumiere_types::{Batch, Duration, Params, ProcessId, Transaction, TxId, View};
 use proptest::prelude::*;
 
 /// Builds every `WireMessage` variant from one randomized parameter set:
-/// raw-signature pacemaker messages, all four aggregated certificates, and
-/// the three HotStuff messages (proposal, vote, QC announcement).
+/// raw-signature pacemaker messages, all four aggregated certificates, the
+/// three HotStuff messages (proposal, vote, QC announcement) and a client
+/// transaction submission.
 fn all_variants(
     keys: &[KeyPair],
     params: &Params,
@@ -45,12 +46,20 @@ fn all_variants(
         params,
     )
     .expect("n signatures always satisfy the quorum threshold");
+    // A small multi-transaction batch derived from the randomized payload,
+    // mixing a sized transaction with a default-sized one.
+    let batch = Batch {
+        txs: vec![
+            Transaction::sized(TxId::new(payload), (payload % 4096) as u32),
+            Transaction::new(TxId::new(payload.wrapping_add(1))),
+        ],
+    };
     let block = Block::new(
         parent,
         height,
         View::new(view_raw.saturating_add(1)),
         ProcessId::new(proposer % n),
-        payload,
+        batch,
         qc.clone(),
     );
 
@@ -94,6 +103,10 @@ fn all_variants(
             signature: signer.sign(QuorumCert::vote_digest(view, block.hash())),
         }),
         WireMessage::Consensus(ConsensusMessage::NewQc(qc)),
+        WireMessage::Submit(Transaction::sized(
+            TxId::new(payload.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            (payload % 65_536) as u32,
+        )),
     ]
 }
 
@@ -116,7 +129,7 @@ proptest! {
         let (keys, _) = keygen(n, seed);
         let params = Params::new(n, Duration::from_millis(10));
         let variants = all_variants(&keys, &params, view_raw, height, payload, parent, proposer);
-        prop_assert_eq!(variants.len(), 11, "one entry per WireMessage variant");
+        prop_assert_eq!(variants.len(), 12, "one entry per WireMessage variant");
         for msg in &variants {
             let frame = encode_frame(msg);
             let (back, consumed) = decode_frame(&frame)

@@ -9,7 +9,7 @@
 //! property test that pins the calendar queue to identical delivery order
 //! (`same order as the old BinaryHeap on random schedules`).
 
-use lumiere_types::{ProcessId, Time};
+use lumiere_types::{ProcessId, Time, Transaction};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -45,6 +45,13 @@ pub enum Event {
     Wake {
         /// The processor to wake.
         node: ProcessId,
+    },
+    /// An open-loop client transaction arriving at the cluster (see
+    /// [`WorkloadConfig`](crate::workload::WorkloadConfig)); the runner
+    /// offers it to every processor's mempool.
+    Arrival {
+        /// The arriving transaction.
+        tx: Transaction,
     },
     /// Periodic metrics sampling (honest clock gap).
     Sample,

@@ -78,6 +78,7 @@ pub mod node;
 pub mod runner;
 pub mod scenario;
 pub mod trace;
+pub mod workload;
 
 pub use adversary::{
     AdversarySchedule, AdversaryStrategy, Corruption, DelayRule, EdgeClass, MsgClass, ProtocolObs,
@@ -88,3 +89,4 @@ pub use lumiere_core::planted::PlantedBug;
 pub use metrics::{CoverageFingerprint, SimReport};
 pub use network::DelayModel;
 pub use scenario::{ProtocolKind, SimConfig};
+pub use workload::{ArrivalProfile, WorkloadConfig};

@@ -20,9 +20,10 @@
 //! less than one grid step (< Δ/4, against measurement windows that are at
 //! least Δ wide). See `docs/PERFORMANCE.md` for the policy.
 
-use lumiere_types::{Duration, ProcessId, Time, View};
+use crate::workload::WorkloadConfig;
+use lumiere_types::{Duration, ProcessId, Time, TxId, View};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Number of histogram bins in [`CoverageFingerprint::qc_gap_bins`].
 pub const QC_GAP_BINS: usize = 8;
@@ -190,6 +191,26 @@ pub struct SimReport {
     /// The behavioural coverage fingerprint of this execution (schema v4) —
     /// the novelty signal of the coverage-guided fuzzer.
     pub coverage: CoverageFingerprint,
+    /// The client workload that drove the run, `None` for workload-free
+    /// runs (schema v5).
+    pub workload: Option<WorkloadConfig>,
+    /// Client transactions injected by the workload generator (schema v5).
+    pub txs_submitted: u64,
+    /// Distinct transactions committed by at least one honest processor
+    /// (schema v5).
+    pub txs_committed: u64,
+    /// Submissions honest mempools rejected because they were full,
+    /// summed over processors (schema v5) — non-zero means the offered
+    /// rate exceeded what the cluster absorbed.
+    pub txs_shed: u64,
+    /// Median submit→first-honest-commit latency (nearest-rank over all
+    /// committed transactions; [`Duration::ZERO`] when none committed;
+    /// schema v5).
+    pub tx_latency_p50: Duration,
+    /// 95th-percentile commit latency (schema v5).
+    pub tx_latency_p95: Duration,
+    /// 99th-percentile commit latency (schema v5).
+    pub tx_latency_p99: Duration,
 }
 
 impl SimReport {
@@ -315,6 +336,28 @@ impl SimReport {
     pub fn default_warmup(&self) -> Time {
         self.gst + self.delta_cap * (4 * self.n as i64)
     }
+
+    /// Goodput: distinct committed transactions per simulated second.
+    pub fn goodput_tps(&self) -> f64 {
+        let micros = self.end_time.as_micros();
+        if micros <= 0 {
+            return 0.0;
+        }
+        self.txs_committed as f64 * 1_000_000.0 / micros as f64
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample vector:
+/// `percentile(s, 50)` is the median, `percentile(s, 100)` the maximum.
+/// [`Duration::ZERO`] on an empty sample.
+fn percentile(sorted: &[Duration], p: u64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = (sorted.len() as u64 * p)
+        .div_ceil(100)
+        .clamp(1, sorted.len() as u64);
+    sorted[rank as usize - 1]
 }
 
 /// Appends `count` sends at `at` to a run-length-encoded series. Collector
@@ -360,6 +403,15 @@ pub struct MetricsCollector {
     lock_advances: u64,
     equivocations: usize,
     strategy_windows: BTreeMap<String, u64>,
+    workload: Option<WorkloadConfig>,
+    /// Submit instant of every injected transaction, for latency samples.
+    tx_submit_times: HashMap<TxId, Time>,
+    /// Transactions whose first honest commit was already recorded.
+    committed_tx_ids: HashSet<TxId>,
+    /// Submit→first-honest-commit latencies, in commit order.
+    tx_latencies: Vec<Duration>,
+    txs_submitted: u64,
+    txs_shed: u64,
 }
 
 impl MetricsCollector {
@@ -391,6 +443,12 @@ impl MetricsCollector {
             lock_advances: 0,
             equivocations: 0,
             strategy_windows: BTreeMap::new(),
+            workload: None,
+            tx_submit_times: HashMap::new(),
+            committed_tx_ids: HashSet::new(),
+            tx_latencies: Vec::new(),
+            txs_submitted: 0,
+            txs_shed: 0,
         }
     }
 
@@ -399,6 +457,39 @@ impl MetricsCollector {
     pub fn with_time_grid(mut self, grid: Duration) -> Self {
         self.time_grid = grid;
         self
+    }
+
+    /// Echoes the driving workload into the report (schema v5).
+    pub fn with_workload(mut self, workload: Option<WorkloadConfig>) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Records a client transaction injected at `now`. A resubmission of a
+    /// known id keeps the *original* instant — latency is measured from the
+    /// first time the cluster saw the transaction.
+    pub fn record_submission(&mut self, now: Time, id: TxId) {
+        if let std::collections::hash_map::Entry::Vacant(e) = self.tx_submit_times.entry(id) {
+            e.insert(now);
+            self.txs_submitted += 1;
+        }
+    }
+
+    /// Records that an honest processor committed transaction `id` at
+    /// `now`. Only the first commit of each id yields a latency sample.
+    pub fn record_tx_commit(&mut self, now: Time, id: TxId) {
+        if !self.committed_tx_ids.insert(id) {
+            return;
+        }
+        if let Some(submitted) = self.tx_submit_times.get(&id) {
+            self.tx_latencies.push(now - *submitted);
+        }
+    }
+
+    /// Sets the total number of workload submissions shed by honest
+    /// mempools (summed at the end of the run).
+    pub fn record_shed(&mut self, total: u64) {
+        self.txs_shed = total;
     }
 
     /// Records `count` honest point-to-point sends at `now` (`heavy` marks
@@ -530,6 +621,8 @@ impl MetricsCollector {
     /// Finalises the report.
     pub fn finish(self, end_time: Time) -> SimReport {
         let coverage = self.fingerprint();
+        let mut latencies = self.tx_latencies;
+        latencies.sort_unstable();
         SimReport {
             protocol: self.protocol,
             n: self.n,
@@ -549,6 +642,13 @@ impl MetricsCollector {
             truncated: false,
             equivocations_observed: self.equivocations,
             coverage,
+            workload: self.workload,
+            txs_submitted: self.txs_submitted,
+            txs_committed: self.committed_tx_ids.len() as u64,
+            txs_shed: self.txs_shed,
+            tx_latency_p50: percentile(&latencies, 50),
+            tx_latency_p95: percentile(&latencies, 95),
+            tx_latency_p99: percentile(&latencies, 99),
         }
     }
 }
@@ -727,6 +827,52 @@ mod tests {
         // No honest QC after GST at all.
         assert_eq!(fp.first_qc_bin, -1);
         assert!(fp.key().contains("crash@3"));
+    }
+
+    #[test]
+    fn tx_latency_accounting_dedups_and_ranks() {
+        let mut c = MetricsCollector::new(
+            "test".into(),
+            4,
+            1,
+            0,
+            Duration::from_millis(10),
+            Time::ZERO,
+        );
+        for (id, at) in [(1u64, 10i64), (2, 20), (3, 30), (4, 40)] {
+            c.record_submission(Time::from_millis(at), TxId::new(id));
+        }
+        // Duplicate submission of an id is not counted twice.
+        c.record_submission(Time::from_millis(99), TxId::new(1));
+        // tx1 commits at 30 (20 ms), again at 35 (ignored); tx2 at 120
+        // (100 ms); tx3 at 40 (10 ms); tx4 never commits.
+        c.record_tx_commit(Time::from_millis(30), TxId::new(1));
+        c.record_tx_commit(Time::from_millis(35), TxId::new(1));
+        c.record_tx_commit(Time::from_millis(120), TxId::new(2));
+        c.record_tx_commit(Time::from_millis(40), TxId::new(3));
+        c.record_shed(7);
+        let r = c.finish(Time::from_millis(500));
+        assert_eq!(r.txs_submitted, 4);
+        assert_eq!(r.txs_committed, 3);
+        assert_eq!(r.txs_shed, 7);
+        // Sorted latencies: [10, 20, 100] ms → p50 = 20, p95 = p99 = 100.
+        assert_eq!(r.tx_latency_p50, Duration::from_millis(20));
+        assert_eq!(r.tx_latency_p95, Duration::from_millis(100));
+        assert_eq!(r.tx_latency_p99, Duration::from_millis(100));
+        assert!((r.goodput_tps() - 6.0).abs() < 1e-9, "3 txs / 0.5 s");
+        assert_eq!(r.workload, None);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank_on_sorted_samples() {
+        assert_eq!(percentile(&[], 50), Duration::ZERO);
+        let one = [Duration::from_millis(5)];
+        assert_eq!(percentile(&one, 1), Duration::from_millis(5));
+        assert_eq!(percentile(&one, 100), Duration::from_millis(5));
+        let ms: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&ms, 50), Duration::from_millis(50));
+        assert_eq!(percentile(&ms, 95), Duration::from_millis(95));
+        assert_eq!(percentile(&ms, 99), Duration::from_millis(99));
     }
 
     #[test]

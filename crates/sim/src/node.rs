@@ -22,8 +22,9 @@ use crate::adversary::AdversaryStrategy;
 use crate::event::SimMessage;
 use lumiere_consensus::HotStuffEngine;
 use lumiere_core::pacemaker::Pacemaker;
+use lumiere_core::MempoolConfig;
 use lumiere_runtime::{ConsensusRuntime, ProtocolRuntime, StrategyHost};
-use lumiere_types::{Duration, ProcessId, Time, View};
+use lumiere_types::{Duration, ProcessId, Time, Transaction, View};
 
 /// Everything a processor wants the simulator to do after handling an event
 /// (re-exported from `lumiere-runtime`; the simulator's historical name for
@@ -111,6 +112,23 @@ impl Node {
     /// The protocol name reported by the pacemaker.
     pub fn protocol_name(&self) -> &'static str {
         self.host.runtime().protocol_name()
+    }
+
+    /// Replaces the processor's mempool bounds (called before boot when the
+    /// scenario carries a workload).
+    pub fn set_mempool_config(&mut self, cfg: MempoolConfig) {
+        self.host.set_mempool_config(cfg);
+    }
+
+    /// Offers a client transaction to the processor's mempool. Returns
+    /// `false` when it was deduplicated, already committed, or shed.
+    pub fn submit_tx(&mut self, tx: Transaction) -> bool {
+        self.host.submit_tx(tx)
+    }
+
+    /// Submissions the processor's mempool rejected because it was full.
+    pub fn mempool_shed(&self) -> u64 {
+        self.host.runtime().mempool().shed()
     }
 
     /// Boots the processor. Convenience wrapper around

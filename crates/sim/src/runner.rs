@@ -64,7 +64,7 @@ impl Simulation {
     /// Builds a simulation from a configuration (see [`SimConfig::run`] for
     /// the usual entry point).
     pub fn new(cfg: SimConfig) -> Self {
-        let nodes = cfg.build_nodes();
+        let mut nodes = cfg.build_nodes();
         let params = cfg.params();
         let collector = MetricsCollector::new(
             cfg.protocol.name().to_string(),
@@ -74,10 +74,23 @@ impl Simulation {
             cfg.delta_cap,
             cfg.gst,
         )
-        .with_time_grid(cfg.metrics_grid());
+        .with_time_grid(cfg.metrics_grid())
+        .with_workload(cfg.workload);
         let mut queue = EventQueue::new();
         for node in &nodes {
             queue.push(Time::ZERO, Event::Boot { node: node.id() });
+        }
+        // Client traffic is precomputed (deterministically) before the run:
+        // arrivals interleave with protocol events purely by timestamp, so
+        // the schedule is independent of how the run unfolds — the open-loop
+        // model.
+        if let Some(workload) = &cfg.workload {
+            for node in &mut nodes {
+                node.set_mempool_config(workload.mempool_config());
+            }
+            for (at, tx) in workload.arrivals(cfg.seed, cfg.horizon) {
+                queue.push(at, Event::Arrival { tx });
+            }
         }
         let seed = cfg.seed;
         let schedule = cfg.effective_adversary();
@@ -118,6 +131,13 @@ impl Simulation {
         let lock_advances = honest.map(|n| n.locks_advanced()).sum();
         self.collector.record_equivocations(equivocations);
         self.collector.record_lock_advances(lock_advances);
+        let shed = self
+            .nodes
+            .iter()
+            .filter(|n| n.is_honest())
+            .map(|n| n.mempool_shed())
+            .sum();
+        self.collector.record_shed(shed);
         let trace = std::mem::take(&mut self.trace);
         let mut report = self.collector.finish(self.now);
         report.safety_ok = safety_ok;
@@ -184,6 +204,15 @@ impl Simulation {
                         n.deliver_into(from, &message, now, out)
                     });
                     self.apply_output(to, &mut out);
+                }
+                Event::Arrival { tx } => {
+                    // Every processor ingests the transaction (clients
+                    // broadcast submissions so any future leader can carry
+                    // them); dedup-by-id keeps the copies from multiplying.
+                    self.collector.record_submission(at, tx.id);
+                    for node in &mut self.nodes {
+                        node.submit_tx(tx);
+                    }
                 }
                 Event::Sample => {}
             }
@@ -266,6 +295,13 @@ impl Simulation {
             }
             if self.cfg.record_trace {
                 self.trace.push(now, from, TraceKind::Committed(height));
+            }
+        }
+        for id in out.committed_txs.drain(..) {
+            // Only the *first* honest commit of a transaction defines its
+            // end-to-end latency; the collector deduplicates by id.
+            if honest {
+                self.collector.record_tx_commit(now, id);
             }
         }
         for view in out.heavy_syncs.drain(..) {

@@ -8,6 +8,7 @@ use crate::network::DelayModel;
 use crate::node::Node;
 use crate::runner::Simulation;
 use crate::trace::Trace;
+use crate::workload::WorkloadConfig;
 use lumiere_consensus::HotStuffEngine;
 use lumiere_core::planted::PlantedBug;
 use lumiere_crypto::keygen;
@@ -60,6 +61,10 @@ pub struct SimConfig {
     /// (or a test profile) is rejected by [`SimConfig::build_nodes`] so no
     /// run can silently measure stock code while claiming to be planted.
     pub planted_bug: Option<PlantedBug>,
+    /// The open-loop client workload driving the run, plus the mempool
+    /// bounds absorbing it (schema v5). `None` — the default — proposes
+    /// empty blocks, exactly the pre-v5 behaviour.
+    pub workload: Option<WorkloadConfig>,
 }
 
 impl SimConfig {
@@ -82,7 +87,15 @@ impl SimConfig {
             sample_metrics_above: Self::DEFAULT_SAMPLE_METRICS_ABOVE,
             adversary: None,
             planted_bug: None,
+            workload: None,
         }
+    }
+
+    /// Drives the run with an open-loop client workload (and the mempool
+    /// bounds it carries).
+    pub fn with_workload(mut self, workload: WorkloadConfig) -> Self {
+        self.workload = Some(workload);
+        self
     }
 
     /// Plants a calibration bug into the protocol under test (see
@@ -455,6 +468,68 @@ mod tests {
         let _ = SimConfig::new(ProtocolKind::Lumiere, 4)
             .with_adversary(schedule)
             .build_nodes();
+    }
+
+    #[test]
+    fn client_load_commits_transactions_end_to_end() {
+        use crate::workload::WorkloadConfig;
+        let cfg = SimConfig::new(ProtocolKind::Lumiere, 4)
+            .with_delta(Duration::from_millis(10))
+            .with_actual_delay(Duration::from_millis(1))
+            .with_horizon(Duration::from_secs(4))
+            .with_workload(WorkloadConfig::constant(200).with_batch_txs(16));
+        let report = cfg.clone().run();
+        assert!(report.safety_ok && !report.truncated);
+        assert!(
+            report.txs_submitted > 0,
+            "the generator must inject traffic"
+        );
+        assert!(
+            report.txs_committed > 0,
+            "committed batches must carry transactions"
+        );
+        assert!(
+            report.txs_committed <= report.txs_submitted,
+            "goodput cannot exceed offered load"
+        );
+        assert!(
+            report.tx_latency_p50 > Duration::ZERO,
+            "commit latency must be positive"
+        );
+        assert!(report.tx_latency_p50 <= report.tx_latency_p95);
+        assert!(report.tx_latency_p95 <= report.tx_latency_p99);
+        assert!(report.goodput_tps() > 0.0);
+        assert_eq!(report.workload, cfg.workload);
+        // Same seed ⇒ identical report, including the new load metrics.
+        assert_eq!(cfg.clone().run(), report);
+    }
+
+    #[test]
+    fn a_workload_free_run_reports_empty_load_metrics() {
+        let report = quick(ProtocolKind::Lumiere).run();
+        assert_eq!(report.workload, None);
+        assert_eq!(report.txs_submitted, 0);
+        assert_eq!(report.txs_committed, 0);
+        assert_eq!(report.txs_shed, 0);
+        assert_eq!(report.tx_latency_p50, Duration::ZERO);
+        assert_eq!(report.goodput_tps(), 0.0);
+    }
+
+    #[test]
+    fn an_undersized_mempool_sheds_excess_load() {
+        use crate::workload::WorkloadConfig;
+        let report = SimConfig::new(ProtocolKind::Lumiere, 4)
+            .with_delta(Duration::from_millis(10))
+            .with_actual_delay(Duration::from_millis(1))
+            .with_horizon(Duration::from_secs(2))
+            .with_workload(
+                WorkloadConfig::constant(2_000)
+                    .with_capacity(50)
+                    .with_batch_txs(4),
+            )
+            .run();
+        assert!(report.txs_shed > 0, "a 50-deep mempool at 2k tps must shed");
+        assert!(report.txs_committed > 0, "shedding must not stop commits");
     }
 
     #[test]

@@ -37,10 +37,12 @@ pub mod error;
 pub mod id;
 pub mod params;
 pub mod time;
+pub mod tx;
 pub mod view;
 
 pub use error::{Error, Result};
 pub use id::ProcessId;
 pub use params::{Params, DEFAULT_VIEW_ROUNDS};
 pub use time::{Duration, Time, TimeRange};
+pub use tx::{Batch, Transaction, TxId};
 pub use view::{Epoch, View};

@@ -1,0 +1,228 @@
+//! Client transactions and the batches that carry them through consensus.
+//!
+//! The paper's complexity claims are about *views*, not payloads, so the
+//! reproduction historically committed empty blocks. This module models the
+//! load that "millions of users" implies: opaque fixed-identity
+//! [`Transaction`]s, deduplicated by [`TxId`], pulled from a mempool into a
+//! [`Batch`] when a leader proposes. A batch folds into a single `u64`
+//! digest ([`Batch::digest64`]) so block hashing stays O(batch) and the
+//! existing integer-payload plumbing (equivocation forging, coverage
+//! fingerprints) keeps working unchanged.
+//!
+//! The types live here — not in the consensus crate — because the mempool
+//! (in `lumiere-core`) and the consensus engine sit on opposite sides of the
+//! workspace dependency DAG and both need them.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Globally unique transaction identifier.
+///
+/// Producers encode their origin in the high bits (the live driver packs the
+/// node id there; the simulator's workload generator uses a single counter),
+/// so ids never collide across submitters without coordination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TxId(u64);
+
+impl TxId {
+    /// Creates an id from its raw 64-bit value.
+    pub const fn new(raw: u64) -> Self {
+        TxId(raw)
+    }
+
+    /// The raw 64-bit value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tx{:016x}", self.0)
+    }
+}
+
+/// One client transaction: an identity plus its wire size in bytes.
+///
+/// The reproduction never executes transactions, so the payload itself is
+/// not modelled — only the two properties that drive throughput–latency
+/// behaviour: *which* transaction this is (dedup, commit accounting) and
+/// *how big* it is (batch byte budgets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Transaction {
+    /// Unique identifier, assigned by the submitter.
+    pub id: TxId,
+    /// Size of the transaction on the wire, in bytes.
+    pub size: u32,
+}
+
+impl Transaction {
+    /// A transaction with the given id and a default 256-byte size.
+    pub const fn new(id: TxId) -> Self {
+        Transaction { id, size: 256 }
+    }
+
+    /// A transaction with an explicit size.
+    pub const fn sized(id: TxId, size: u32) -> Self {
+        Transaction { id, size }
+    }
+}
+
+/// An ordered batch of transactions — the payload of a block proposal.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Batch {
+    /// The transactions, in mempool (FIFO) order.
+    pub txs: Vec<Transaction>,
+}
+
+impl Batch {
+    /// The empty batch (genesis payload, and what non-leaders stage).
+    pub fn empty() -> Self {
+        Batch { txs: Vec::new() }
+    }
+
+    /// A single-marker-transaction batch whose digest is distinct per tag.
+    ///
+    /// Stands in for the old `u64` block payloads in tests and in the
+    /// equivocation forger, which only need *hash-distinguishable* payloads.
+    pub fn tag(tag: u64) -> Self {
+        Batch {
+            txs: vec![Transaction::sized(TxId::new(tag), 0)],
+        }
+    }
+
+    /// Number of transactions in the batch.
+    pub fn len(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Whether the batch carries no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.txs.is_empty()
+    }
+
+    /// Total wire size of the batch in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.txs.iter().map(|tx| tx.size as u64).sum()
+    }
+
+    /// The transaction ids, in batch order.
+    pub fn tx_ids(&self) -> impl Iterator<Item = TxId> + '_ {
+        self.txs.iter().map(|tx| tx.id)
+    }
+
+    /// Deterministic 64-bit digest of the batch (an FNV-1a fold over ids
+    /// and sizes). This is what block hashing commits to: two batches with
+    /// different contents collide only with the usual 2⁻⁶⁴-ish probability,
+    /// which is the same standard the workspace's simulated signatures and
+    /// block hashes already accept.
+    pub fn digest64(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.txs.len() as u64);
+        for tx in &self.txs {
+            mix(tx.id.as_u64());
+            mix(tx.size as u64);
+        }
+        h
+    }
+}
+
+impl fmt::Display for Batch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "batch[{} txs, {} B]", self.len(), self.bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_batch_has_no_txs_and_a_stable_digest() {
+        let empty = Batch::empty();
+        assert!(empty.is_empty());
+        assert_eq!(empty.len(), 0);
+        assert_eq!(empty.bytes(), 0);
+        assert_eq!(empty.digest64(), Batch::default().digest64());
+    }
+
+    #[test]
+    fn digests_separate_distinct_batches() {
+        let a = Batch::tag(7);
+        let b = Batch::tag(8);
+        assert_ne!(a.digest64(), b.digest64());
+        assert_ne!(a.digest64(), Batch::empty().digest64());
+        // Same ids, different sizes: still distinct.
+        let small = Batch {
+            txs: vec![Transaction::sized(TxId::new(1), 100)],
+        };
+        let big = Batch {
+            txs: vec![Transaction::sized(TxId::new(1), 200)],
+        };
+        assert_ne!(small.digest64(), big.digest64());
+        // Order matters (batches are ordered).
+        let ab = Batch {
+            txs: vec![
+                Transaction::new(TxId::new(1)),
+                Transaction::new(TxId::new(2)),
+            ],
+        };
+        let ba = Batch {
+            txs: vec![
+                Transaction::new(TxId::new(2)),
+                Transaction::new(TxId::new(1)),
+            ],
+        };
+        assert_ne!(ab.digest64(), ba.digest64());
+    }
+
+    #[test]
+    fn digest_is_content_deterministic() {
+        let batch = Batch {
+            txs: (0..50).map(|i| Transaction::new(TxId::new(i))).collect(),
+        };
+        assert_eq!(batch.digest64(), batch.clone().digest64());
+    }
+
+    #[test]
+    fn byte_accounting_sums_sizes() {
+        let batch = Batch {
+            txs: vec![
+                Transaction::sized(TxId::new(0), 100),
+                Transaction::sized(TxId::new(1), 156),
+            ],
+        };
+        assert_eq!(batch.bytes(), 256);
+        assert_eq!(
+            batch.tx_ids().collect::<Vec<_>>(),
+            vec![TxId::new(0), TxId::new(1)]
+        );
+        assert_eq!(batch.to_string(), "batch[2 txs, 256 B]");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let batch = Batch {
+            txs: vec![
+                Transaction::sized(TxId::new(42), 512),
+                Transaction::new(TxId::new(7)),
+            ],
+        };
+        let text = serde::json::to_string(&batch);
+        let back: Batch = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, batch);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TxId::new(0xdead).to_string(), "tx000000000000dead");
+    }
+}

@@ -15,6 +15,9 @@
 #   SEED          deterministic cluster keygen seed    (default: 42)
 #   TIMEOUT_S     hard wall-clock cap on the whole run (default: 180)
 #   OUT_DIR       logs/configs/summaries directory     (default: cluster-out)
+#   LOAD_RATE     open-loop client load per node, txs/sec passed to every
+#                 node as --load; the verifier then also asserts that the
+#                 honest nodes committed client transactions (default: off)
 #
 # Adversarial switches (all optional; ';'-separated lists because strategy
 # and fault-plan JSON contains commas):
@@ -53,6 +56,7 @@ PLANTED_BUG="${PLANTED_BUG:-}"
 KILL_SCHEDULE="${KILL_SCHEDULE:-}"
 RUN_FOR_S="${RUN_FOR_S:-}"
 EXPECT_STALL="${EXPECT_STALL:-0}"
+LOAD_RATE="${LOAD_RATE:-}"
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$REPO_ROOT"
@@ -153,6 +157,7 @@ boot_node() { # $1 = node id; appends to the node log, refreshes the pid file
     [[ -n "${STRATEGY_OF[$i]:-}" ]] && args+=(--strategy "${STRATEGY_OF[$i]}")
     [[ -n "${FAULT_OF[$i]:-}" ]] && args+=(--fault-plan "${FAULT_OF[$i]}")
     [[ -n "$PLANTED_BUG" ]] && args+=(--planted-bug "$PLANTED_BUG")
+    [[ -n "$LOAD_RATE" ]] && args+=(--load "$LOAD_RATE")
     "$NODE_BIN" "${args[@]}" >> "$OUT_DIR/node$i.log" 2>&1 &
     echo $! > "$OUT_DIR/node$i.pid"
     # Keep the shell's job control from reporting scheduled SIGKILLs.
@@ -214,7 +219,7 @@ wait 2>/dev/null || true
 
 echo "== verifying commit logs =="
 N="$N" TARGET="$TARGET" OUT_DIR="$OUT_DIR" DELTA_MS="$DELTA_MS" \
-    EXPECT_STALL="$EXPECT_STALL" \
+    EXPECT_STALL="$EXPECT_STALL" LOAD_RATE="$LOAD_RATE" \
     STRATEGY_IDS="$(join_keys STRATEGY_OF)" \
     KILLED_IDS="$(join_keys KILL_AT)" \
     python3 - <<'PY'
@@ -225,6 +230,7 @@ target = int(os.environ["TARGET"])
 out_dir = os.environ["OUT_DIR"]
 delta_ms = int(os.environ["DELTA_MS"])
 expect_stall = os.environ.get("EXPECT_STALL", "0") == "1"
+load_rate = os.environ.get("LOAD_RATE", "")
 corrupted = {int(i) for i in os.environ.get("STRATEGY_IDS", "").split(",") if i}
 killed = {int(i) for i in os.environ.get("KILLED_IDS", "").split(",") if i}
 
@@ -295,6 +301,19 @@ if stalls:
     for s in stalls:
         print(f"ERROR: {s}", file=sys.stderr)
     sys.exit(1)
+
+# Load oracle: under open-loop client load every honest node must have
+# driven client transactions through to commit — an empty count means the
+# batching path is broken even though empty blocks kept the chain growing.
+if load_rate:
+    for i in honest:
+        s = summaries[i]
+        if s["txs_committed"] <= 0:
+            sys.exit(f"ERROR: node {i} committed no client transactions "
+                     f"under --load {load_rate} ({s['txs_submitted']} submitted)")
+        print(f"node {i} load: {s['txs_committed']}/{s['txs_submitted']} txs "
+              f"committed, p50 {s['tx_latency_p50_ms']:.1f} ms, "
+              f"p99 {s['tx_latency_p99_ms']:.1f} ms")
 
 # Killed-and-restarted nodes must have recovered *participation*: the
 # post-restart summary shows the node re-synchronized views with the
