@@ -31,7 +31,14 @@ use std::path::{Path, PathBuf};
 pub const DEFAULT_THRESHOLD_PCT: f64 = 25.0;
 
 /// Version stamp of both the per-harness files and the merged baseline.
-pub const BENCH_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: results gained `elements` — logical items (simulator events,
+/// transactions) processed per iteration, `0` when the benchmark declared
+/// no throughput. `elements / min` is the events/sec figure the gate
+/// renders; the gated metric is still the calibration-normalized minimum,
+/// which for a fixed element count gates events/sec exactly (they are each
+/// other's reciprocal up to the constant `elements`).
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
 
 /// One benchmark's statistics, as written by the criterion shim.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -48,6 +55,8 @@ pub struct BenchEntry {
     pub sigma_ns: u64,
     /// Fastest sample, nanoseconds (the gated metric, after normalization).
     pub min_ns: u64,
+    /// Elements processed per iteration (`0` = no declared throughput).
+    pub elements: u64,
 }
 
 /// One `BENCH_<harness>.json` file.
@@ -82,6 +91,9 @@ pub struct BaselineEntry {
     pub sigma_ns: u64,
     /// Baseline minimum, nanoseconds (the gated metric).
     pub min_ns: u64,
+    /// Elements processed per iteration (`0` = no declared throughput);
+    /// `elements / min` is the baseline's events-per-second figure.
+    pub elements: u64,
 }
 
 /// The committed perf baseline (`BENCH_baseline.json`).
@@ -149,6 +161,7 @@ pub fn merge_to_baseline(files: &[BenchFile]) -> Baseline {
                 mean_ns: r.mean_ns,
                 sigma_ns: r.sigma_ns,
                 min_ns: r.min_ns,
+                elements: r.elements,
             })
         })
         .collect();
@@ -194,6 +207,10 @@ pub struct GateLine {
     pub current: f64,
     /// `current / baseline` (1.0 = unchanged, 1.30 = 30 % slower).
     pub ratio: f64,
+    /// This run's throughput, `elements / min` in elements per second
+    /// (`None` when the benchmark declared no throughput). Reporting only —
+    /// the gated metric above already tracks it up to a constant.
+    pub events_per_sec: Option<f64>,
 }
 
 /// Outcome of gating a set of bench files against the baseline.
@@ -219,16 +236,25 @@ impl GateReport {
 
     /// Renders a human-readable summary.
     pub fn render(&self, threshold_pct: f64) -> String {
+        // Throughput-declaring benchmarks get their current events/sec
+        // appended — the figure humans compare across machines at a glance.
+        let rate = |line: &GateLine| match line.events_per_sec {
+            Some(r) if r >= 1e6 => format!(" [{:.2} Mevents/s]", r / 1e6),
+            Some(r) if r >= 1e3 => format!(" [{:.1} Kevents/s]", r / 1e3),
+            Some(r) => format!(" [{r:.0} events/s]"),
+            None => String::new(),
+        };
         let mut out = String::new();
         for line in &self.regressions {
             let _ = writeln!(
                 out,
-                "REGRESSION {:-60} {:+.1}% (normalized min {:.4} -> {:.4}, threshold {:.0}%)",
+                "REGRESSION {:-60} {:+.1}% (normalized min {:.4} -> {:.4}, threshold {:.0}%){}",
                 line.name,
                 (line.ratio - 1.0) * 100.0,
                 line.baseline,
                 line.current,
-                threshold_pct
+                threshold_pct,
+                rate(line)
             );
         }
         for name in &self.missing {
@@ -243,9 +269,10 @@ impl GateReport {
         for line in &self.passed {
             let _ = writeln!(
                 out,
-                "ok         {:-60} {:+.1}%",
+                "ok         {:-60} {:+.1}%{}",
                 line.name,
-                (line.ratio - 1.0) * 100.0
+                (line.ratio - 1.0) * 100.0,
+                rate(line)
             );
         }
         let _ = writeln!(
@@ -265,27 +292,42 @@ pub fn gate(baseline: &Baseline, files: &[BenchFile], threshold_pct: f64) -> Gat
     let mut report = GateReport::default();
     // Keyed by (harness, name) — the same identity merge_to_baseline sorts
     // by — so two harnesses may legally use the same benchmark label.
-    let mut current: std::collections::BTreeMap<(&str, &str), (f64, bool)> = Default::default();
+    struct Current {
+        normalized: f64,
+        events_per_sec: Option<f64>,
+        seen: bool,
+    }
+    let mut current: std::collections::BTreeMap<(&str, &str), Current> = Default::default();
     for file in files {
         for r in &file.results {
-            let normalized = r.min_ns as f64 / file.calibration_ns as f64;
+            let events_per_sec = (r.elements > 0 && r.min_ns > 0)
+                .then(|| r.elements as f64 / (r.min_ns as f64 / 1e9));
             current.insert(
                 (file.harness.as_str(), r.name.as_str()),
-                (normalized, false),
+                Current {
+                    normalized: r.min_ns as f64 / file.calibration_ns as f64,
+                    events_per_sec,
+                    seen: false,
+                },
             );
         }
     }
     for entry in &baseline.entries {
         match current.get_mut(&(entry.harness.as_str(), entry.name.as_str())) {
             None => report.missing.push(entry.name.clone()),
-            Some((normalized, seen)) => {
-                *seen = true;
+            Some(run) => {
+                run.seen = true;
                 let base = entry.min_ns as f64 / entry.calibration_ns as f64;
                 let line = GateLine {
                     name: entry.name.clone(),
                     baseline: base,
-                    current: *normalized,
-                    ratio: if base > 0.0 { *normalized / base } else { 1.0 },
+                    current: run.normalized,
+                    ratio: if base > 0.0 {
+                        run.normalized / base
+                    } else {
+                        1.0
+                    },
+                    events_per_sec: run.events_per_sec,
                 };
                 if line.ratio > 1.0 + threshold_pct / 100.0 {
                     report.regressions.push(line);
@@ -295,8 +337,8 @@ pub fn gate(baseline: &Baseline, files: &[BenchFile], threshold_pct: f64) -> Gat
             }
         }
     }
-    for ((_, name), (_, seen)) in current {
-        if !seen {
+    for ((_, name), run) in current {
+        if !run.seen {
             report.untracked.push(name.to_string());
         }
     }
@@ -322,6 +364,7 @@ mod tests {
                     mean_ns: min_ns + 5,
                     sigma_ns: 2,
                     min_ns: *min_ns,
+                    elements: 0,
                 })
                 .collect(),
         }
@@ -399,18 +442,34 @@ mod tests {
         // The criterion shim hand-writes its JSON; pin the exact shape it
         // emits to the parser used by the gate.
         let text = r#"{
-  "schema_version": 1,
-  "harness": "crypto",
+  "schema_version": 2,
+  "harness": "events",
   "calibration_ns": 1913043,
   "budget_ms": 500,
   "results": [
-    {"name": "crypto/sign", "samples": 50, "batch": 4, "mean_ns": 120, "sigma_ns": 3, "min_ns": 117},
-    {"name": "crypto/verify", "samples": 50, "batch": 2, "mean_ns": 240, "sigma_ns": 9, "min_ns": 230}
+    {"name": "events/steady/256", "samples": 50, "batch": 4, "mean_ns": 120, "sigma_ns": 3, "min_ns": 117, "elements": 52000},
+    {"name": "events/worst/256", "samples": 50, "batch": 2, "mean_ns": 240, "sigma_ns": 9, "min_ns": 230, "elements": 0}
   ]
 }"#;
         let parsed: BenchFile = json::from_str(text).unwrap();
-        assert_eq!(parsed.harness, "crypto");
+        assert_eq!(parsed.harness, "events");
         assert_eq!(parsed.results.len(), 2);
         assert_eq!(parsed.results[1].min_ns, 230);
+        assert_eq!(parsed.results[0].elements, 52_000);
+        assert_eq!(parsed.results[1].elements, 0);
+    }
+
+    #[test]
+    fn gate_renders_events_per_second_for_throughput_benchmarks() {
+        // 1e9 ns min with 5e6 elements ⇒ 5 Mevents/s on the current run.
+        let mut base_file = file("events", 1000, &[("run", 1_000_000_000)]);
+        base_file.results[0].elements = 5_000_000;
+        let baseline = merge_to_baseline(&[base_file.clone()]);
+        assert_eq!(baseline.entries[0].elements, 5_000_000);
+        let report = gate(&baseline, &[base_file], 25.0);
+        assert!(report.pass(), "{report:?}");
+        assert_eq!(report.passed[0].events_per_sec, Some(5_000_000.0));
+        let rendered = report.render(25.0);
+        assert!(rendered.contains("5.00 Mevents/s"), "{rendered}");
     }
 }

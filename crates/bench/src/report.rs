@@ -22,6 +22,11 @@ use std::path::{Path, PathBuf};
 /// Version stamp written into every report file; bump when the cell layout
 /// changes incompatibly (see `docs/REPORT_SCHEMA.md` for the history).
 ///
+/// v6: `SimReport` gained `events_processed`, the total number of simulator
+/// events the run consumed — deterministic across broadcast representation
+/// and shard count (part of the byte-identical report guarantee), and the
+/// denominator behind the events/sec benchmark gate.
+///
 /// v5: `SimReport` gained the client-load block — the echoed `workload`
 /// config plus `txs_submitted` / `txs_committed` / `txs_shed` and the
 /// submit→commit latency percentiles (`tx_latency_p50/p95/p99`); new
@@ -37,7 +42,7 @@ use std::path::{Path, PathBuf};
 ///
 /// v2: `SimReport` gained `truncated` (event-cap overflow surfaced instead
 /// of silently breaking the run loop) and `equivocations_observed`.
-pub const SCHEMA_VERSION: u32 = 5;
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// One grid cell of one experiment: the sweep coordinates plus the complete
 /// simulation outcome measured there.

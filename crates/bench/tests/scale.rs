@@ -13,7 +13,7 @@
 
 use lumiere_bench::experiments::worst_case_byzantine_ids;
 use lumiere_bench::run_grid;
-use lumiere_sim::runner::event_cap;
+use lumiere_sim::runner::{event_cap, BroadcastMode, ExecOptions};
 use lumiere_sim::scenario::{ProtocolKind, SimConfig};
 use lumiere_sim::ByzBehavior;
 use lumiere_types::{Duration, Time};
@@ -136,6 +136,51 @@ fn n256_runs_are_deterministic_across_thread_counts() {
         four.iter().all(|r| *r == two[0]),
         "thread count changed an n=256 report"
     );
+}
+
+/// Same seed ⇒ byte-identical reports at n = 1024 across the scale PR's
+/// execution options: broadcast representation (eager vs symbolic) and
+/// shard count (1 vs 8 scoped workers), with the surrounding grid itself
+/// running on multiple worker threads. This is the large-`n` companion to
+/// `n256_runs_are_deterministic_across_thread_counts` — at n = 1024 the
+/// boot and broadcast batches comfortably exceed the minimum parallel
+/// batch size, so the sharded path really runs. Bounded tightly (short
+/// horizon, small QC cap) so it stays debug-mode friendly.
+#[test]
+fn n1024_runs_are_deterministic_across_shards_and_broadcast_modes() {
+    let run_one = |exec: ExecOptions| -> String {
+        let report = SimConfig::new(ProtocolKind::Lumiere, 1024)
+            .with_delta(DELTA)
+            .with_actual_delay(Duration::from_millis(1))
+            .with_horizon(Duration::from_millis(400))
+            .with_max_honest_qcs(6)
+            .with_seed(7)
+            .run_with(exec);
+        assert!(!report.truncated);
+        assert!(report.decisions() > 0, "n=1024 run must make progress");
+        format!("{report:#?}")
+    };
+    let combos = vec![
+        ExecOptions::default()
+            .with_shards(1)
+            .with_broadcast(BroadcastMode::Eager),
+        ExecOptions::default()
+            .with_shards(1)
+            .with_broadcast(BroadcastMode::Symbolic),
+        ExecOptions::default()
+            .with_shards(8)
+            .with_broadcast(BroadcastMode::Symbolic),
+        ExecOptions::default()
+            .with_shards(8)
+            .with_broadcast(BroadcastMode::Eager),
+    ];
+    let reports = run_grid(combos, 4, run_one);
+    for (i, report) in reports.iter().enumerate() {
+        assert_eq!(
+            *report, reports[0],
+            "execution-option combo #{i} changed an n=1024 report"
+        );
+    }
 }
 
 #[test]

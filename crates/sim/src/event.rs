@@ -8,6 +8,30 @@
 //! as documentation of the reference semantics and as the oracle for the
 //! property test that pins the calendar queue to identical delivery order
 //! (`same order as the old BinaryHeap on random schedules`).
+//!
+//! # Symbolic broadcasts
+//!
+//! A broadcast to `n − 1` recipients used to cost `n − 1` queue entries; at
+//! `n = 4096` a single proposal put four thousand entries on the wheel. The
+//! queue now stores a broadcast **symbolically**
+//! ([`EventQueue::push_broadcast`]): one group entry per honesty class
+//! carrying the shared [`Arc<SimMessage>`], lazily expanded into
+//! per-recipient [`Event::Deliver`]s as it pops. The trick that keeps this
+//! exact is that adversary delay rules key on *honesty class*, message class
+//! and send-time window — never on an individual recipient id — so a
+//! broadcast has at most two distinct delay models (honest recipients,
+//! corrupted recipients). RNG-free models (`Fixed`, `AdversarialMax`) give
+//! every class member the same delivery instant ([`ClassDelay::At`]) and
+//! stay symbolic; jittery models draw per-recipient randomness and are
+//! expanded eagerly at push time ([`ClassDelay::Jittered`]) so the RNG
+//! stream matches eager delivery exactly.
+//!
+//! A broadcast reserves one contiguous block of sequence numbers (recipient
+//! id `r` gets `base + 1 + rank(r)`, ranks skipping the sender), exactly the
+//! sequence numbers eager per-recipient pushes would have consumed — so the
+//! global `(time, seq)` delivery order is *identical* to eager expansion,
+//! byte for byte. The property tests in this module hold symbolic pops
+//! against an eagerly-expanded [`HeapQueue`] on random schedules.
 
 use lumiere_types::{ProcessId, Time, Transaction};
 use std::cmp::Ordering;
@@ -57,11 +81,68 @@ pub enum Event {
     Sample,
 }
 
+/// The delivery rule for one honesty class of a broadcast's recipients.
+///
+/// Adversary delay rules match on honesty class, message class and send
+/// window — never on individual recipient ids — so one broadcast resolves to
+/// at most two of these (honest recipients, corrupted recipients).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassDelay {
+    /// Every recipient of the class is delivered at exactly this instant
+    /// (RNG-free delay models: `Fixed`, `AdversarialMax`). The class stays
+    /// symbolic: one queue entry, expanded lazily at pop time.
+    At(Time),
+    /// Each recipient of the class draws its own delay (`Uniform` jitter).
+    /// The class is expanded eagerly at push time, in ascending recipient-id
+    /// order, so the RNG stream matches eager per-recipient delivery.
+    Jittered,
+}
+
+/// The symbolic remainder of a broadcast to one honesty class: the shared
+/// message plus a cursor over the class members still awaiting delivery.
+#[derive(Debug)]
+struct BroadcastGroup {
+    from: ProcessId,
+    message: Arc<SimMessage>,
+    /// Per-processor honesty, shared with the runner (index = id).
+    honesty: Arc<Vec<bool>>,
+    /// Which honesty class this group delivers to.
+    to_honest: bool,
+    /// Sequence-number base: recipient id `r` owns `base + 1 + rank(r)`.
+    base: u64,
+    /// The next class member to deliver (always valid while queued).
+    next: usize,
+}
+
+impl BroadcastGroup {
+    /// The sequence number reserved for recipient `r`: the position eager
+    /// expansion (ascending id order, skipping the sender) would have given
+    /// it.
+    fn seq_of(&self, r: usize) -> u64 {
+        let rank = if r < self.from.as_usize() { r } else { r - 1 };
+        self.base + 1 + rank as u64
+    }
+
+    /// The first class member with id strictly greater than `r`.
+    fn member_after(&self, r: usize) -> Option<usize> {
+        ((r + 1)..self.honesty.len())
+            .find(|&id| id != self.from.as_usize() && self.honesty[id] == self.to_honest)
+    }
+}
+
+/// What a queue slot holds: a single event, or the symbolic remainder of a
+/// broadcast (expanded one [`Event::Deliver`] per pop).
+#[derive(Debug)]
+enum Payload {
+    One(Event),
+    Group(BroadcastGroup),
+}
+
 #[derive(Debug)]
 struct Scheduled {
     at: Time,
     seq: u64,
-    event: Event,
+    payload: Payload,
 }
 
 impl Scheduled {
@@ -89,11 +170,28 @@ impl Ord for Scheduled {
     }
 }
 
+/// Finds the first recipient of `to_honest` class (ascending id, skipping
+/// `from`), shared by both queues' broadcast paths.
+fn first_member(honesty: &[bool], from: ProcessId, to_honest: bool) -> Option<usize> {
+    (0..honesty.len()).find(|&id| id != from.as_usize() && honesty[id] == to_honest)
+}
+
+/// The sequence number eager expansion would give recipient `r` of a
+/// broadcast whose first reserved seq is `base + 1`.
+fn broadcast_seq(base: u64, from: ProcessId, r: usize) -> u64 {
+    let rank = if r < from.as_usize() { r } else { r - 1 };
+    base + 1 + rank as u64
+}
+
 /// The original `BinaryHeap` event queue, kept as the reference
 /// implementation: a deterministic time-ordered queue (ties broken by
 /// insertion order). [`EventQueue`] must deliver in exactly this order; the
 /// property test in this module holds the two against each other on random
 /// schedules.
+///
+/// `push_broadcast` here expands **eagerly** (one entry per recipient),
+/// making the heap the oracle for the calendar queue's symbolic broadcast
+/// representation too.
 #[derive(Debug, Default)]
 pub struct HeapQueue {
     heap: BinaryHeap<Scheduled>,
@@ -112,13 +210,53 @@ impl HeapQueue {
         self.heap.push(Scheduled {
             at,
             seq: self.seq,
-            event,
+            payload: Payload::One(event),
         });
+    }
+
+    /// Schedules a broadcast from `from` to every other processor, expanded
+    /// eagerly: recipients in ascending id order, each delivered per its
+    /// honesty class (`jitter` is invoked, in id order, only for recipients
+    /// of a [`ClassDelay::Jittered`] class). Reference semantics for
+    /// [`EventQueue::push_broadcast`].
+    pub fn push_broadcast<F>(
+        &mut self,
+        from: ProcessId,
+        message: Arc<SimMessage>,
+        honesty: &Arc<Vec<bool>>,
+        honest: ClassDelay,
+        corrupt: ClassDelay,
+        mut jitter: F,
+    ) where
+        F: FnMut(ProcessId) -> Time,
+    {
+        for id in 0..honesty.len() {
+            if id == from.as_usize() {
+                continue;
+            }
+            let class = if honesty[id] { honest } else { corrupt };
+            let to = ProcessId::new(id);
+            let at = match class {
+                ClassDelay::At(t) => t,
+                ClassDelay::Jittered => jitter(to),
+            };
+            self.push(
+                at,
+                Event::Deliver {
+                    to,
+                    from,
+                    message: Arc::clone(&message),
+                },
+            );
+        }
     }
 
     /// Pops the earliest event, if any.
     pub fn pop(&mut self) -> Option<(Time, Event)> {
-        self.heap.pop().map(|s| (s.at, s.event))
+        self.heap.pop().map(|s| match s.payload {
+            Payload::One(event) => (s.at, event),
+            Payload::Group(_) => unreachable!("HeapQueue expands broadcasts eagerly"),
+        })
     }
 
     /// Number of pending events.
@@ -160,6 +298,11 @@ const NUM_BUCKETS: usize = 256;
 /// `now` frequently) are insertion-sorted into `current`, which preserves
 /// the global `(time, seq)` delivery order for arbitrary push/pop
 /// interleavings — see `wheel_matches_heap_on_random_schedules`.
+///
+/// Broadcasts are stored symbolically (see the module docs and
+/// [`EventQueue::push_broadcast`]): [`len`](EventQueue::len) counts
+/// *logical* pending events, which exceeds the number of physical queue
+/// slots whenever a broadcast group is pending.
 #[derive(Debug)]
 pub struct EventQueue {
     current: Vec<Scheduled>,
@@ -171,6 +314,9 @@ pub struct EventQueue {
     wheel_len: usize,
     overflow: BinaryHeap<Scheduled>,
     seq: u64,
+    /// Logical pending-event count (a broadcast group counts its remaining
+    /// recipients, not its single physical slot).
+    len: usize,
 }
 
 impl Default for EventQueue {
@@ -182,6 +328,7 @@ impl Default for EventQueue {
             wheel_len: 0,
             overflow: BinaryHeap::new(),
             seq: 0,
+            len: 0,
         }
     }
 }
@@ -199,12 +346,87 @@ impl EventQueue {
     /// Schedules `event` at time `at`.
     pub fn push(&mut self, at: Time, event: Event) {
         self.seq += 1;
+        self.len += 1;
         let entry = Scheduled {
             at,
             seq: self.seq,
-            event,
+            payload: Payload::One(event),
         };
         self.route(entry);
+    }
+
+    /// Schedules a broadcast from `from` to every other processor in O(1)
+    /// queue space per RNG-free honesty class.
+    ///
+    /// Recipients are the ids of `honesty` other than `from`; each belongs
+    /// to the honest or corrupted class and is delivered per that class's
+    /// [`ClassDelay`]. Constant-time classes become one symbolic group entry
+    /// each, lazily expanded at pop time; jittered classes are expanded
+    /// eagerly here, invoking `jitter` in ascending id order (exactly the
+    /// order eager delivery draws its RNG). The broadcast reserves the same
+    /// contiguous sequence-number block eager expansion would consume, so
+    /// delivery order is identical to [`HeapQueue::push_broadcast`].
+    pub fn push_broadcast<F>(
+        &mut self,
+        from: ProcessId,
+        message: Arc<SimMessage>,
+        honesty: &Arc<Vec<bool>>,
+        honest: ClassDelay,
+        corrupt: ClassDelay,
+        mut jitter: F,
+    ) where
+        F: FnMut(ProcessId) -> Time,
+    {
+        let n = honesty.len();
+        if n <= 1 {
+            return;
+        }
+        let base = self.seq;
+        self.seq += (n - 1) as u64;
+        self.len += n - 1;
+        // Jittered recipients expand eagerly, in one ascending-id pass so a
+        // run with two jittered classes draws RNG in global id order.
+        for id in 0..n {
+            if id == from.as_usize() {
+                continue;
+            }
+            let class = if honesty[id] { honest } else { corrupt };
+            if let ClassDelay::Jittered = class {
+                let to = ProcessId::new(id);
+                let entry = Scheduled {
+                    at: jitter(to),
+                    seq: broadcast_seq(base, from, id),
+                    payload: Payload::One(Event::Deliver {
+                        to,
+                        from,
+                        message: Arc::clone(&message),
+                    }),
+                };
+                self.route(entry);
+            }
+        }
+        // Constant-delay classes stay symbolic: one group entry per class,
+        // keyed to its first member's reserved seq.
+        for (to_honest, class) in [(true, honest), (false, corrupt)] {
+            if let ClassDelay::At(at) = class {
+                if let Some(first) = first_member(honesty, from, to_honest) {
+                    let group = BroadcastGroup {
+                        from,
+                        message: Arc::clone(&message),
+                        honesty: Arc::clone(honesty),
+                        to_honest,
+                        base,
+                        next: first,
+                    };
+                    let entry = Scheduled {
+                        at,
+                        seq: group.seq_of(first),
+                        payload: Payload::Group(group),
+                    };
+                    self.route(entry);
+                }
+            }
+        }
     }
 
     /// Places an entry into the tier matching its distance from the cursor.
@@ -212,7 +434,9 @@ impl EventQueue {
         let bucket = bucket_of(entry.at);
         if bucket <= self.base {
             // At (or before) the bucket being drained: insertion-sort into
-            // the descending `current` buffer so it pops in order.
+            // the descending `current` buffer so it pops in order. (A
+            // re-queued broadcast group that is still the queue minimum
+            // lands at the very end — an O(1) append.)
             let pos = self.current.partition_point(|e| e.key() > entry.key());
             self.current.insert(pos, entry);
         } else if bucket < self.base + NUM_BUCKETS as i64 {
@@ -223,11 +447,12 @@ impl EventQueue {
         }
     }
 
-    /// Pops the earliest event, if any.
-    pub fn pop(&mut self) -> Option<(Time, Event)> {
+    /// The timestamp of the next event without popping it. Used by the
+    /// runner to form same-timestamp batches for sharded execution.
+    pub fn peek_time(&mut self) -> Option<Time> {
         loop {
-            if let Some(entry) = self.current.pop() {
-                return Some((entry.at, entry.event));
+            if let Some(entry) = self.current.last() {
+                return Some(entry.at);
             }
             if self.wheel_len == 0 && self.overflow.is_empty() {
                 return None;
@@ -240,6 +465,36 @@ impl EventQueue {
                 self.base = self.base.max(min_bucket - 1);
             }
             self.advance();
+        }
+    }
+
+    /// Pops the earliest event, if any. A pending broadcast group yields its
+    /// next recipient's [`Event::Deliver`] and re-queues itself at the
+    /// following member's reserved sequence number.
+    pub fn pop(&mut self) -> Option<(Time, Event)> {
+        self.peek_time()?;
+        let entry = self.current.pop().expect("peek_time filled `current`");
+        self.len -= 1;
+        match entry.payload {
+            Payload::One(event) => Some((entry.at, event)),
+            Payload::Group(mut group) => {
+                let to = ProcessId::new(group.next);
+                let event = Event::Deliver {
+                    to,
+                    from: group.from,
+                    message: Arc::clone(&group.message),
+                };
+                if let Some(next) = group.member_after(group.next) {
+                    let seq = group.seq_of(next);
+                    group.next = next;
+                    self.route(Scheduled {
+                        at: entry.at,
+                        seq,
+                        payload: Payload::Group(group),
+                    });
+                }
+                Some((entry.at, event))
+            }
         }
     }
 
@@ -266,14 +521,22 @@ impl EventQueue {
         }
     }
 
-    /// Number of pending events.
+    /// Number of pending **logical** events (broadcast groups count their
+    /// remaining recipients).
     pub fn len(&self) -> usize {
-        self.current.len() + self.wheel_len + self.overflow.len()
+        self.len
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.len == 0
+    }
+
+    /// Number of physical queue slots currently allocated (a symbolic
+    /// broadcast group occupies one regardless of remaining recipients).
+    /// Exposed for the space-bound tests.
+    pub fn physical_len(&self) -> usize {
+        self.current.len() + self.wheel_len + self.overflow.len()
     }
 }
 
@@ -391,6 +654,141 @@ mod tests {
         assert_eq!(q.pop().unwrap().0, Time::from_millis(20));
     }
 
+    fn msg() -> Arc<SimMessage> {
+        use lumiere_types::TxId;
+        Arc::new(SimMessage::Submit(Transaction::new(TxId::new(7))))
+    }
+
+    /// honesty[i] = (i % 3 != 2): nodes 2, 5, 8, … corrupted.
+    fn mixed_honesty(n: usize) -> Arc<Vec<bool>> {
+        Arc::new((0..n).map(|i| i % 3 != 2).collect())
+    }
+
+    #[test]
+    fn symbolic_broadcast_costs_one_slot_per_class() {
+        let n = 1000;
+        let honesty = mixed_honesty(n);
+        let mut q = EventQueue::new();
+        q.push_broadcast(
+            ProcessId::new(0),
+            msg(),
+            &honesty,
+            ClassDelay::At(Time::from_millis(5)),
+            ClassDelay::At(Time::from_millis(10)),
+            |_| unreachable!("no jittered class"),
+        );
+        assert_eq!(q.len(), n - 1, "logical length counts every recipient");
+        assert!(
+            q.physical_len() <= 2,
+            "constant-delay broadcast must stay symbolic, found {} slots",
+            q.physical_len()
+        );
+    }
+
+    #[test]
+    fn symbolic_broadcast_expands_in_id_order_with_class_delays() {
+        let n = 7;
+        let honesty = mixed_honesty(n); // 2 and 5 corrupted
+        let mut q = EventQueue::new();
+        q.push_broadcast(
+            ProcessId::new(3),
+            msg(),
+            &honesty,
+            ClassDelay::At(Time::from_millis(1)),
+            ClassDelay::At(Time::from_millis(2)),
+            |_| unreachable!(),
+        );
+        let order: Vec<(i64, usize)> = std::iter::from_fn(|| q.pop())
+            .map(|(t, e)| match e {
+                Event::Deliver { to, from, .. } => {
+                    assert_eq!(from, ProcessId::new(3));
+                    (t.as_micros() / 1000, to.as_usize())
+                }
+                _ => unreachable!(),
+            })
+            .collect();
+        // Honest recipients (0, 1, 4, 6) at 1 ms in id order, then the
+        // corrupted ones (2, 5) at 2 ms.
+        assert_eq!(order, vec![(1, 0), (1, 1), (1, 4), (1, 6), (2, 2), (2, 5)]);
+    }
+
+    #[test]
+    fn jittered_class_expands_eagerly_in_id_order() {
+        let n = 6;
+        let honesty = mixed_honesty(n); // 2 and 5 corrupted
+        let mut drawn = Vec::new();
+        let mut q = EventQueue::new();
+        q.push_broadcast(
+            ProcessId::new(0),
+            msg(),
+            &honesty,
+            ClassDelay::Jittered,
+            ClassDelay::At(Time::from_millis(9)),
+            |to| {
+                drawn.push(to.as_usize());
+                Time::from_millis(1 + to.as_usize() as i64)
+            },
+        );
+        assert_eq!(drawn, vec![1, 3, 4], "jitter drawn in ascending id order");
+        assert_eq!(q.len(), n - 1);
+    }
+
+    /// Interleaves unicast pushes, symbolic broadcasts and pops on both
+    /// queues and asserts identical event sequences — the oracle for the
+    /// "symbolic == eager, byte for byte" claim at the queue level.
+    fn drain_with_broadcasts(
+        n: usize,
+        ops: &[(i64, usize, bool)], // (time µs, node, is_broadcast)
+        honesty: &Arc<Vec<bool>>,
+        honest: ClassDelay,
+        corrupt: ClassDelay,
+    ) {
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapQueue::new();
+        for &(at_micros, node, is_broadcast) in ops {
+            let at = Time::from_micros(at_micros);
+            let from = ProcessId::new(node % n);
+            if is_broadcast {
+                // Deterministic per-recipient jitter (stands in for the
+                // runner's RNG draw; both queues must invoke it on the same
+                // recipients in the same order).
+                let jitter =
+                    |to: ProcessId| Time::from_micros(at_micros + 1 + (to.as_usize() as i64 * 7));
+                wheel.push_broadcast(from, msg(), honesty, honest, corrupt, jitter);
+                heap.push_broadcast(from, msg(), honesty, honest, corrupt, jitter);
+            } else {
+                let event = Event::Boot { node: from };
+                wheel.push(at, event.clone());
+                heap.push(at, event);
+            }
+        }
+        loop {
+            assert_eq!(wheel.len(), heap.len(), "logical lengths diverged");
+            let a = wheel.pop();
+            let b = heap.pop();
+            assert_eq!(a, b, "wheel and heap disagreed");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn broadcasts_interleave_with_unicasts_like_the_eager_heap() {
+        let n = 9;
+        let honesty = mixed_honesty(n);
+        let ops: Vec<(i64, usize, bool)> = (0..40)
+            .map(|i| ((i as i64) * 311 % 5000, i, i % 3 == 0))
+            .collect();
+        drain_with_broadcasts(
+            n,
+            &ops,
+            &honesty,
+            ClassDelay::At(Time::from_millis(3)),
+            ClassDelay::At(Time::from_millis(4)),
+        );
+    }
+
     /// Drains both queues fully and compares the exact event sequence.
     fn drain_both(schedule: &[(i64, usize)]) {
         let mut wheel = EventQueue::new();
@@ -463,6 +861,34 @@ mod tests {
                 }
                 assert_eq!(wheel.len(), heap.len());
             }
+        }
+
+        /// Symbolic broadcast groups pop in exactly the order of eager
+        /// per-recipient expansion: random mixes of unicasts and broadcasts
+        /// across random honesty maps and class delays (including jittered
+        /// classes, whose deterministic stand-in "RNG" both queues must
+        /// consume identically).
+        #[test]
+        fn symbolic_broadcasts_match_eager_expansion(
+            n in 2usize..24,
+            corrupt_stride in 2usize..6,
+            ops in proptest::collection::vec(
+                (0i64..300_000, 0usize..24, any::<bool>()),
+                1..30,
+            ),
+            honest_ms in 1i64..40,
+            corrupt_ms in 1i64..40,
+            honest_jitters in any::<bool>(),
+        ) {
+            let honesty: Arc<Vec<bool>> =
+                Arc::new((0..n).map(|i| i % corrupt_stride != corrupt_stride - 1).collect());
+            let honest = if honest_jitters {
+                ClassDelay::Jittered
+            } else {
+                ClassDelay::At(Time::from_millis(honest_ms))
+            };
+            let corrupt = ClassDelay::At(Time::from_millis(corrupt_ms));
+            drain_with_broadcasts(n, &ops, &honesty, honest, corrupt);
         }
     }
 }

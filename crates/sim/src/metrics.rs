@@ -211,6 +211,12 @@ pub struct SimReport {
     pub tx_latency_p95: Duration,
     /// 99th-percentile commit latency (schema v5).
     pub tx_latency_p99: Duration,
+    /// Total simulator events processed by the run — boots, deliveries,
+    /// wakes, arrivals, samples (schema v6). Deterministic for a given
+    /// configuration and seed (identical across broadcast representations
+    /// and shard counts); benches divide it by wall-clock for the
+    /// events/sec throughput the perf gate tracks.
+    pub events_processed: u64,
 }
 
 impl SimReport {
@@ -412,6 +418,7 @@ pub struct MetricsCollector {
     tx_latencies: Vec<Duration>,
     txs_submitted: u64,
     txs_shed: u64,
+    events_processed: u64,
 }
 
 impl MetricsCollector {
@@ -449,6 +456,7 @@ impl MetricsCollector {
             tx_latencies: Vec::new(),
             txs_submitted: 0,
             txs_shed: 0,
+            events_processed: 0,
         }
     }
 
@@ -490,6 +498,12 @@ impl MetricsCollector {
     /// mempools (summed at the end of the run).
     pub fn record_shed(&mut self, total: u64) {
         self.txs_shed = total;
+    }
+
+    /// Sets the total number of simulator events the run processed (schema
+    /// v6; recorded once, at the end of the run).
+    pub fn record_events_processed(&mut self, total: u64) {
+        self.events_processed = total;
     }
 
     /// Records `count` honest point-to-point sends at `now` (`heavy` marks
@@ -649,6 +663,7 @@ impl MetricsCollector {
             tx_latency_p50: percentile(&latencies, 50),
             tx_latency_p95: percentile(&latencies, 95),
             tx_latency_p99: percentile(&latencies, 99),
+            events_processed: self.events_processed,
         }
     }
 }

@@ -1,15 +1,38 @@
 //! The simulation event loop.
 //!
-//! The hot path is allocation-light so sweeps scale to `n` in the hundreds
-//! (see `docs/PERFORMANCE.md`): broadcasts share one [`Arc`] across all
-//! `n − 1` deliveries, node outputs are drained into a scratch buffer that
-//! is reused across events, and the event queue is a calendar queue
-//! ([`EventQueue`](crate::event::EventQueue)) instead of one global binary
-//! heap.
+//! The hot path is allocation-light so sweeps scale to `n` in the thousands
+//! (see `docs/PERFORMANCE.md`): broadcasts are queued **symbolically** (one
+//! entry per honesty class sharing a single [`Arc`], lazily expanded at pop
+//! time — [`EventQueue::push_broadcast`]), node outputs are drained into
+//! scratch buffers that are reused across events, and the event queue is a
+//! calendar queue instead of one global binary heap.
+//!
+//! # Sharded execution
+//!
+//! A single run can use multiple cores ([`ExecOptions::shards`]): the loop
+//! pops all events sharing the next timestamp into a batch, hands each
+//! event's *node handler* to a worker owning a contiguous shard of the node
+//! array (`std::thread::scope`), then applies every handler's output
+//! **sequentially, in pop order**. This is exact, not approximate:
+//!
+//! * node handlers touch only their own node's state plus a private output
+//!   buffer, and two same-timestamp events targeting the same node land in
+//!   the same shard, where they run in pop order;
+//! * everything order-sensitive — RNG draws, queue sequence numbers, metric
+//!   records, trace entries — happens in the sequential apply phase, in
+//!   exactly the order the one-threaded loop would produce;
+//! * batch boundaries are pure functions of the event stream (timestamps
+//!   plus fixed constants), so run-stopping checks performed at batch
+//!   granularity cut the run at the same point for every shard count.
+//!
+//! Same-seed reports are therefore byte-identical across shard counts and
+//! between eager and symbolic broadcast modes; `sim_equivalence.rs` and the
+//! scale suite's determinism tests pin this.
 
 use crate::adversary::AdversarySchedule;
-use crate::event::{Event, EventQueue, SimMessage};
+use crate::event::{ClassDelay, Event, EventQueue, SimMessage};
 use crate::metrics::{MetricsCollector, SimReport};
+use crate::network::DelayModel;
 use crate::node::{Node, NodeOutput};
 use crate::scenario::SimConfig;
 use crate::trace::{Trace, TraceKind};
@@ -40,12 +63,133 @@ pub fn event_cap(n: usize) -> u64 {
 /// O(all wakes ever) on long large-`n` runs.
 const WAKE_SWEEP_INTERVAL: u64 = 1 << 16;
 
+/// Upper bound on one batch's length. A same-timestamp burst larger than
+/// this (n broadcasts landing on one tick) is split into consecutive
+/// sub-batches, bounding the scratch buffers; the bound is a constant, so
+/// batch boundaries — and the batch-granular stop checks — stay identical
+/// across shard counts and broadcast modes.
+const MAX_BATCH: usize = 1 << 20;
+
+/// Below this batch size the loop stays on one thread even when sharding is
+/// enabled: spawning scoped workers costs more than a handful of handler
+/// calls. Processing is identical either way; only wall-clock changes.
+const MIN_PARALLEL_BATCH: usize = 64;
+
+/// Auto sharding switches on at this node count; smaller runs are dominated
+/// by per-batch overhead and stay sequential.
+const AUTO_SHARD_MIN_N: usize = 512;
+
+/// Cap on the auto-selected shard count (steady-state batches target few
+/// distinct nodes, so returns diminish quickly past this).
+const AUTO_SHARD_MAX: usize = 8;
+
+/// How a run schedules broadcast deliveries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BroadcastMode {
+    /// One queue entry per recipient (the historical representation, kept
+    /// as the reference semantics for the equivalence tests).
+    Eager,
+    /// One symbolic group entry per honesty class, lazily expanded at pop
+    /// time (the default; O(1) queue space per broadcast).
+    Symbolic,
+}
+
+/// Execution knobs that change how fast a run executes but never what it
+/// computes: same-seed reports are byte-identical for every combination.
+///
+/// Deliberately **not** part of [`SimConfig`] (which is serialized into
+/// sweep cells and fuzzer corpus entries); set them per-process via
+/// [`ExecOptions::from_env`] or per-run via [`SimConfig::run_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Worker count for same-timestamp batches. `0` (the default) picks
+    /// automatically: sequential below [`AUTO_SHARD_MIN_N`] nodes, up to
+    /// [`AUTO_SHARD_MAX`] cores beyond it.
+    pub shards: usize,
+    /// Broadcast representation (symbolic by default).
+    pub broadcast: BroadcastMode,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            shards: 0,
+            broadcast: BroadcastMode::Symbolic,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Reads overrides from the environment: `LUMIERE_SIM_SHARDS` (a worker
+    /// count, `0` = auto) and `LUMIERE_SIM_BROADCAST` (`eager` or
+    /// `symbolic`). CI's cross-shard determinism smoke drives runs through
+    /// these.
+    pub fn from_env() -> Self {
+        let shards = std::env::var("LUMIERE_SIM_SHARDS")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(0);
+        let broadcast = match std::env::var("LUMIERE_SIM_BROADCAST")
+            .as_deref()
+            .map(str::trim)
+        {
+            Ok("eager") => BroadcastMode::Eager,
+            _ => BroadcastMode::Symbolic,
+        };
+        ExecOptions { shards, broadcast }
+    }
+
+    /// Fixes the worker count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Fixes the broadcast representation.
+    pub fn with_broadcast(mut self, broadcast: BroadcastMode) -> Self {
+        self.broadcast = broadcast;
+        self
+    }
+
+    /// The effective worker count for a run over `n` nodes.
+    fn resolved_shards(&self, n: usize) -> usize {
+        let shards = if self.shards == 0 {
+            if n >= AUTO_SHARD_MIN_N {
+                std::thread::available_parallelism()
+                    .map(|c| c.get())
+                    .unwrap_or(1)
+                    .min(AUTO_SHARD_MAX)
+            } else {
+                1
+            }
+        } else {
+            self.shards
+        };
+        shards.clamp(1, n.max(1))
+    }
+}
+
+/// The node a batched event is handled by (`None` for cluster-wide events,
+/// which force the batch onto the sequential path).
+fn event_target(event: &Event) -> Option<usize> {
+    match event {
+        Event::Deliver { to, .. } => Some(to.as_usize()),
+        Event::Wake { node } | Event::Boot { node } => Some(node.as_usize()),
+        Event::Arrival { .. } | Event::Sample => None,
+    }
+}
+
 /// A single simulated execution.
 #[derive(Debug)]
 pub struct Simulation {
     cfg: SimConfig,
+    exec: ExecOptions,
+    /// Resolved worker count (≥ 1).
+    shards: usize,
     schedule: AdversarySchedule,
     nodes: Vec<Node>,
+    /// Per-processor honesty, shared with symbolic broadcast groups.
+    honesty: Arc<Vec<bool>>,
     queue: EventQueue,
     rng: StdRng,
     collector: MetricsCollector,
@@ -54,16 +198,29 @@ pub struct Simulation {
     last_gap_sample: Time,
     now: Time,
     truncated: bool,
+    events_processed: u64,
+    events_since_sweep: u64,
     /// Scratch output buffer, reused across events (capacity persists).
     scratch: NodeOutput,
     /// Scratch clock-reading buffer for gap sampling.
     readings: Vec<Duration>,
+    /// Same-timestamp batch buffer, reused across batches.
+    batch: Vec<Event>,
+    /// Per-batched-event output pool for the parallel path.
+    batch_outputs: Vec<NodeOutput>,
 }
 
 impl Simulation {
     /// Builds a simulation from a configuration (see [`SimConfig::run`] for
-    /// the usual entry point).
+    /// the usual entry point), honouring the process-wide execution
+    /// overrides ([`ExecOptions::from_env`]).
     pub fn new(cfg: SimConfig) -> Self {
+        Self::with_exec(cfg, ExecOptions::from_env())
+    }
+
+    /// Builds a simulation with explicit execution options (the determinism
+    /// tests pin reports across these).
+    pub fn with_exec(cfg: SimConfig, exec: ExecOptions) -> Self {
         let mut nodes = cfg.build_nodes();
         let params = cfg.params();
         let collector = MetricsCollector::new(
@@ -94,10 +251,15 @@ impl Simulation {
         }
         let seed = cfg.seed;
         let schedule = cfg.effective_adversary();
+        let honesty = Arc::new(nodes.iter().map(|n| n.is_honest()).collect::<Vec<_>>());
+        let shards = exec.resolved_shards(cfg.n);
         Simulation {
             cfg,
+            exec,
+            shards,
             schedule,
             nodes,
+            honesty,
             queue,
             rng: StdRng::seed_from_u64(seed ^ 0x5349_4d55_4c41_5445),
             collector,
@@ -106,8 +268,12 @@ impl Simulation {
             last_gap_sample: Time::ZERO,
             now: Time::ZERO,
             truncated: false,
+            events_processed: 0,
+            events_since_sweep: 0,
             scratch: NodeOutput::default(),
             readings: Vec::new(),
+            batch: Vec::new(),
+            batch_outputs: Vec::new(),
         }
     }
 
@@ -138,6 +304,8 @@ impl Simulation {
             .map(|n| n.mempool_shed())
             .sum();
         self.collector.record_shed(shed);
+        self.collector
+            .record_events_processed(self.events_processed);
         let trace = std::mem::take(&mut self.trace);
         let mut report = self.collector.finish(self.now);
         report.safety_ok = safety_ok;
@@ -168,61 +336,165 @@ impl Simulation {
     fn run_loop(&mut self) {
         let horizon = Time::ZERO + self.cfg.horizon;
         let cap = event_cap(self.cfg.n);
-        let mut processed: u64 = 0;
-        while let Some((at, event)) = self.queue.pop() {
+        while let Some(at) = self.queue.peek_time() {
             if at > horizon {
                 self.now = horizon;
                 break;
             }
-            processed += 1;
-            if processed > cap {
+            if self.events_processed >= cap {
                 // Surfaced on the report so callers (and the fuzzer's
                 // oracles) can tell a truncated run from a quiescent one.
                 self.truncated = true;
                 break;
             }
-            if processed.is_multiple_of(WAKE_SWEEP_INTERVAL) {
+            self.now = at;
+            self.maybe_sample_gap();
+
+            // Pop everything sharing this timestamp (bounded by the event
+            // cap and the constant batch cap, so boundaries are identical
+            // for every shard count and broadcast mode).
+            let mut batch = std::mem::take(&mut self.batch);
+            let budget = (cap - self.events_processed).min(MAX_BATCH as u64) as usize;
+            let mut parallel_ok = self.shards > 1;
+            while batch.len() < budget && self.queue.peek_time() == Some(at) {
+                let (_, event) = self.queue.pop().expect("peeked event exists");
+                if event_target(&event).is_none() {
+                    // Cluster-wide events (arrivals, samples) touch every
+                    // node; the whole batch runs sequentially.
+                    parallel_ok = false;
+                }
+                batch.push(event);
+            }
+            self.events_processed += batch.len() as u64;
+            self.events_since_sweep += batch.len() as u64;
+            if self.events_since_sweep >= WAKE_SWEEP_INTERVAL {
+                self.events_since_sweep = 0;
                 let now_micros = at.as_micros();
                 self.scheduled_wakes.retain(|&(_, t)| t >= now_micros);
             }
-            self.now = at;
-            self.maybe_sample_gap();
-            let mut out = std::mem::take(&mut self.scratch);
-            out.clear();
-            match event {
-                Event::Boot { node } => {
-                    self.with_node(node, &mut out, |n, now, out| n.boot_into(now, out));
-                    self.apply_output(node, &mut out);
+
+            if parallel_ok && batch.len() >= MIN_PARALLEL_BATCH {
+                self.process_batch_parallel(&batch);
+                batch.clear();
+            } else {
+                for event in batch.drain(..) {
+                    self.dispatch_event(event);
                 }
-                Event::Wake { node } => {
-                    self.collector.record_wake();
-                    self.with_node(node, &mut out, |n, now, out| n.wake_into(now, out));
-                    self.apply_output(node, &mut out);
-                }
-                Event::Deliver { to, from, message } => {
-                    self.with_node(to, &mut out, |n, now, out| {
-                        n.deliver_into(from, &message, now, out)
-                    });
-                    self.apply_output(to, &mut out);
-                }
-                Event::Arrival { tx } => {
-                    // Every processor ingests the transaction (clients
-                    // broadcast submissions so any future leader can carry
-                    // them); dedup-by-id keeps the copies from multiplying.
-                    self.collector.record_submission(at, tx.id);
-                    for node in &mut self.nodes {
-                        node.submit_tx(tx);
-                    }
-                }
-                Event::Sample => {}
             }
-            self.scratch = out;
+            self.batch = batch;
+
+            // Run-stopping checks happen at batch granularity (after every
+            // same-timestamp batch), never mid-batch — the point where a
+            // limit cuts the run is then a pure function of the event
+            // stream, identical across shard counts and broadcast modes.
             if let Some(limit) = self.cfg.max_honest_qcs {
                 if self.collector.honest_qc_count() >= limit {
                     break;
                 }
             }
         }
+    }
+
+    /// Handles one event on the sequential path: node handler (or
+    /// cluster-wide effect) immediately followed by output application.
+    fn dispatch_event(&mut self, event: Event) {
+        let mut out = std::mem::take(&mut self.scratch);
+        out.clear();
+        match event {
+            Event::Boot { node } => {
+                self.with_node(node, &mut out, |n, now, out| n.boot_into(now, out));
+                self.apply_output(node, &mut out);
+            }
+            Event::Wake { node } => {
+                self.collector.record_wake();
+                self.with_node(node, &mut out, |n, now, out| n.wake_into(now, out));
+                self.apply_output(node, &mut out);
+            }
+            Event::Deliver { to, from, message } => {
+                self.with_node(to, &mut out, |n, now, out| {
+                    n.deliver_into(from, &message, now, out)
+                });
+                self.apply_output(to, &mut out);
+            }
+            Event::Arrival { tx } => {
+                // Every processor ingests the transaction (clients
+                // broadcast submissions so any future leader can carry
+                // them); dedup-by-id keeps the copies from multiplying.
+                self.collector.record_submission(self.now, tx.id);
+                for node in &mut self.nodes {
+                    node.submit_tx(tx);
+                }
+            }
+            Event::Sample => {}
+        }
+        self.scratch = out;
+    }
+
+    /// Handles one same-timestamp batch on the sharded path: node handlers
+    /// run on scoped workers over contiguous node shards, then every output
+    /// is applied sequentially in pop order (the deterministic merge).
+    fn process_batch_parallel(&mut self, batch: &[Event]) {
+        let len = batch.len();
+        if self.batch_outputs.len() < len {
+            self.batch_outputs.resize_with(len, NodeOutput::default);
+        }
+        let mut outputs = std::mem::take(&mut self.batch_outputs);
+        for out in &mut outputs[..len] {
+            out.clear();
+        }
+        let chunk = self.cfg.n.div_ceil(self.shards);
+        let now = self.now;
+        {
+            // Bucket (event, output-slot) pairs by owning shard; within a
+            // shard, pop order is preserved, so same-node events still run
+            // in sequence.
+            let mut per_shard: Vec<Vec<(&Event, &mut NodeOutput)>> =
+                (0..self.shards).map(|_| Vec::new()).collect();
+            for (event, out) in batch.iter().zip(outputs.iter_mut()) {
+                let target = event_target(event).expect("parallel batches hold node events only");
+                per_shard[target / chunk].push((event, out));
+            }
+            let nodes = &mut self.nodes[..];
+            std::thread::scope(|scope| {
+                let mut rest = nodes;
+                let mut shard_base = 0usize;
+                for work in per_shard {
+                    let take = chunk.min(rest.len());
+                    let (head, tail) = rest.split_at_mut(take);
+                    rest = tail;
+                    let base = shard_base;
+                    shard_base += take;
+                    if work.is_empty() {
+                        continue;
+                    }
+                    scope.spawn(move || {
+                        for (event, out) in work {
+                            match event {
+                                Event::Deliver { to, from, message } => head[to.as_usize() - base]
+                                    .deliver_into(*from, message, now, out),
+                                Event::Wake { node } => {
+                                    head[node.as_usize() - base].wake_into(now, out)
+                                }
+                                Event::Boot { node } => {
+                                    head[node.as_usize() - base].boot_into(now, out)
+                                }
+                                _ => unreachable!("filtered at batch formation"),
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        // The merge: everything order-sensitive (RNG, queue seqs, metrics,
+        // trace) replays in exactly the sequential loop's order.
+        for (event, out) in batch.iter().zip(outputs.iter_mut()) {
+            let target = event_target(event).expect("parallel batches hold node events only");
+            if matches!(event, Event::Wake { .. }) {
+                self.collector.record_wake();
+            }
+            self.apply_output(ProcessId::new(target), out);
+        }
+        self.batch_outputs = outputs;
     }
 
     fn with_node<F>(&mut self, id: ProcessId, out: &mut NodeOutput, f: F)
@@ -235,7 +507,7 @@ impl Simulation {
     }
 
     fn apply_output(&mut self, from: ProcessId, out: &mut NodeOutput) {
-        let honest = self.nodes[from.as_usize()].is_honest();
+        let honest = self.honesty[from.as_usize()];
         let now = self.now;
 
         // Adversary activation marks feed the coverage fingerprint's
@@ -264,10 +536,15 @@ impl Simulation {
             }
             // One allocation per broadcast: every recipient shares the Arc.
             let msg = Arc::new(msg);
-            for to in ProcessId::all(self.cfg.n) {
-                if to != from {
-                    self.schedule_delivery(from, to, Arc::clone(&msg));
+            match self.exec.broadcast {
+                BroadcastMode::Eager => {
+                    for to in ProcessId::all(self.cfg.n) {
+                        if to != from {
+                            self.schedule_delivery(from, to, Arc::clone(&msg));
+                        }
+                    }
                 }
+                BroadcastMode::Symbolic => self.schedule_broadcast(from, msg),
             }
         }
 
@@ -328,14 +605,56 @@ impl Simulation {
     /// for this particular message. Every model keeps the delivery within
     /// the `max(GST, send) + Δ` envelope.
     fn schedule_delivery(&mut self, from: ProcessId, to: ProcessId, message: Arc<SimMessage>) {
-        let from_honest = self.nodes[from.as_usize()].is_honest();
-        let to_honest = self.nodes[to.as_usize()].is_honest();
+        let from_honest = self.honesty[from.as_usize()];
+        let to_honest = self.honesty[to.as_usize()];
         let model = self
             .schedule
             .delay_for(from_honest, to_honest, &message, self.now)
             .unwrap_or(self.cfg.delay);
         let at = model.delivery_time(self.now, self.cfg.gst, self.cfg.delta_cap, &mut self.rng);
         self.queue.push(at, Event::Deliver { to, from, message });
+    }
+
+    /// Schedules a broadcast symbolically. Delay rules key on honesty
+    /// class, message class and send window — never on an individual
+    /// recipient — so the broadcast resolves to at most two delay models
+    /// (honest and corrupted recipients). RNG-free models yield a constant
+    /// per-class delivery instant and stay symbolic; jittery models draw
+    /// per-recipient inside `push_broadcast`, in ascending id order —
+    /// exactly the RNG stream eager delivery consumes.
+    fn schedule_broadcast(&mut self, from: ProcessId, message: Arc<SimMessage>) {
+        let from_honest = self.honesty[from.as_usize()];
+        let now = self.now;
+        let gst = self.cfg.gst;
+        let delta_cap = self.cfg.delta_cap;
+        let base = self.cfg.delay;
+        let model_honest = self
+            .schedule
+            .delay_for(from_honest, true, &message, now)
+            .unwrap_or(base);
+        let model_corrupt = self
+            .schedule
+            .delay_for(from_honest, false, &message, now)
+            .unwrap_or(base);
+        let class_of = |model: DelayModel, rng: &mut StdRng| match model {
+            DelayModel::Uniform { .. } => ClassDelay::Jittered,
+            // Fixed / AdversarialMax never touch the RNG.
+            m => ClassDelay::At(m.delivery_time(now, gst, delta_cap, rng)),
+        };
+        let honest_delay = class_of(model_honest, &mut self.rng);
+        let corrupt_delay = class_of(model_corrupt, &mut self.rng);
+        let queue = &mut self.queue;
+        let rng = &mut self.rng;
+        let honesty = &self.honesty;
+        let jitter = |to: ProcessId| {
+            let model = if honesty[to.as_usize()] {
+                model_honest
+            } else {
+                model_corrupt
+            };
+            model.delivery_time(now, gst, delta_cap, rng)
+        };
+        queue.push_broadcast(from, message, honesty, honest_delay, corrupt_delay, jitter);
     }
 
     /// Samples the `(f+1)`-st honest clock gap roughly twice per Δ.

@@ -1,0 +1,52 @@
+//! Pins the legacy [`ByzBehavior`] shorthand to the strategy objects each
+//! variant maps onto, so the enum can never drift from what the simulator
+//! actually executes. (These checks lived in the `byzantine` module while it
+//! was a delegating file; the scale PR folded the module into a direct
+//! re-export and moved them here.)
+
+use lumiere_sim::adversary::{ProtocolObs, StrategyCtx, StrategyKind};
+use lumiere_sim::byzantine::ByzBehavior;
+use lumiere_types::{Duration, ProcessId, Time, View};
+
+fn ctx() -> StrategyCtx {
+    StrategyCtx {
+        id: ProcessId::new(0),
+        n: 4,
+        now: Time::ZERO,
+        obs: ProtocolObs {
+            view: View::SENTINEL,
+            engine_view: View::SENTINEL,
+            leader: None,
+            locked_view: View::SENTINEL,
+            last_voted_view: View::SENTINEL,
+            high_qc_view: View::SENTINEL,
+            pending_qc_votes: 0,
+            clock: Duration::ZERO,
+            booted: false,
+        },
+    }
+}
+
+#[test]
+fn crash_does_nothing() {
+    let s = StrategyKind::from(ByzBehavior::Crash).build();
+    assert!(!s.runs_consensus(&ctx()));
+    assert!(!s.runs_pacemaker(&ctx()));
+    assert!(!s.proposes(&ctx()));
+}
+
+#[test]
+fn silent_leader_participates_but_never_proposes() {
+    let s = StrategyKind::from(ByzBehavior::SilentLeader).build();
+    assert!(s.runs_consensus(&ctx()));
+    assert!(s.runs_pacemaker(&ctx()));
+    assert!(!s.proposes(&ctx()));
+}
+
+#[test]
+fn sync_silent_votes_but_does_not_synchronize() {
+    let s = StrategyKind::from(ByzBehavior::SyncSilent).build();
+    assert!(s.runs_consensus(&ctx()));
+    assert!(!s.runs_pacemaker(&ctx()));
+    assert!(!s.proposes(&ctx()));
+}

@@ -24,6 +24,15 @@
 //! overridden globally with the `LUMIERE_BENCH_BUDGET_MS` environment
 //! variable (CI uses a small budget for its perf smoke).
 //!
+//! # Throughput
+//!
+//! A group can declare [`Throughput::Elements`] — how many logical items
+//! one iteration processes (simulator events, transactions, ...). The
+//! element count rides along with every subsequent result: the console line
+//! gains an `elem/s` column (computed from the fastest sample) and the JSON
+//! output records `elements` per result, which is how the events/sec gate
+//! in `bench_gate` tracks simulator throughput.
+//!
 //! # Machine-readable output
 //!
 //! When `LUMIERE_BENCH_OUT=DIR` is set, [`criterion_main!`] writes every
@@ -84,6 +93,29 @@ impl BenchmarkId {
 impl Display for BenchmarkId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(&self.id)
+    }
+}
+
+/// How much work one iteration of a benchmark performs, mirroring
+/// `criterion::Throughput`. Declared on a group via
+/// [`BenchmarkGroup::throughput`]; applies to every benchmark registered
+/// after the call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// One iteration processes this many logical elements (events,
+    /// transactions, ...). Results gain an elements-per-second rendering
+    /// and an `elements` field in the JSON output.
+    Elements(u64),
+    /// One iteration processes this many bytes.
+    Bytes(u64),
+}
+
+impl Throughput {
+    /// The per-iteration unit count, whatever the unit.
+    fn count(self) -> u64 {
+        match self {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n,
+        }
     }
 }
 
@@ -212,6 +244,9 @@ pub struct BenchResult {
     pub name: String,
     /// The measured statistics.
     pub stats: Stats,
+    /// Elements processed per iteration (`0` when the benchmark declared no
+    /// throughput).
+    pub elements: u64,
 }
 
 /// Process-global result sink, drained by [`criterion_main!`] through
@@ -270,7 +305,23 @@ impl Bencher<'_> {
     }
 }
 
-fn run_one(label: &str, config: &SamplingConfig, f: &mut dyn FnMut(&mut Bencher)) {
+/// Renders an elements-per-second rate with a binary-free SI suffix.
+fn render_rate(elements: u64, per_iter: Duration) -> String {
+    let secs = per_iter.as_secs_f64();
+    if secs <= 0.0 {
+        return "-".to_string();
+    }
+    let rate = elements as f64 / secs;
+    if rate >= 1e6 {
+        format!("{:.2} Melem/s", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} Kelem/s", rate / 1e3)
+    } else {
+        format!("{rate:.1} elem/s")
+    }
+}
+
+fn run_one(label: &str, config: &SamplingConfig, elements: u64, f: &mut dyn FnMut(&mut Bencher)) {
     let mut b = Bencher {
         config,
         stats: None,
@@ -280,8 +331,15 @@ fn run_one(label: &str, config: &SamplingConfig, f: &mut dyn FnMut(&mut Bencher)
         println!("bench {label:<50} (no measurement)");
         return;
     };
+    // Throughput is computed from the fastest sample — the same statistic
+    // the regression gate tracks.
+    let thrpt = if elements > 0 {
+        format!(" thrpt {:>14}", render_rate(elements, stats.min))
+    } else {
+        String::new()
+    };
     println!(
-        "bench {label:<50} mean {:>11.2?} σ {:>9.2?} min {:>11.2?} ({} samples x {} iters)",
+        "bench {label:<50} mean {:>11.2?} σ {:>9.2?} min {:>11.2?}{thrpt} ({} samples x {} iters)",
         stats.mean, stats.sigma, stats.min, stats.samples, stats.batch
     );
     results()
@@ -290,6 +348,7 @@ fn run_one(label: &str, config: &SamplingConfig, f: &mut dyn FnMut(&mut Bencher)
         .push(BenchResult {
             name: label.to_string(),
             stats,
+            elements,
         });
 }
 
@@ -305,7 +364,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(name, &SamplingConfig::default(), &mut f);
+        run_one(name, &SamplingConfig::default(), 0, &mut f);
         self
     }
 
@@ -315,6 +374,7 @@ impl Criterion {
             _criterion: self,
             name: name.into(),
             config: SamplingConfig::default(),
+            elements: 0,
         }
     }
 }
@@ -324,12 +384,24 @@ pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
     name: String,
     config: SamplingConfig,
+    /// Per-iteration element count for subsequent benchmarks (0 = unset).
+    elements: u64,
 }
 
 impl BenchmarkGroup<'_> {
     /// Sets the minimum number of timed samples per benchmark.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.config.min_samples = n.max(1);
+        self
+    }
+
+    /// Declares how much work one iteration of the following benchmarks
+    /// performs; their results gain an elements-per-second rendering and an
+    /// `elements` field in the machine-readable output. Call again before
+    /// each benchmark whose per-iteration workload differs (mirroring how
+    /// criterion applies `Throughput` to subsequent registrations).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.elements = throughput.count();
         self
     }
 
@@ -357,7 +429,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let label = format!("{}/{}", self.name, id);
-        run_one(&label, &self.config, &mut |b| f(b, input));
+        run_one(&label, &self.config, self.elements, &mut |b| f(b, input));
         self
     }
 
@@ -367,7 +439,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let label = format!("{}/{}", self.name, id);
-        run_one(&label, &self.config, &mut f);
+        run_one(&label, &self.config, self.elements, &mut f);
         self
     }
 
@@ -410,7 +482,7 @@ pub fn write_results(harness: &str, results: &[BenchResult]) {
     let calibration = calibration().max(measure_calibration());
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str("  \"schema_version\": 2,\n");
     out.push_str(&format!("  \"harness\": \"{}\",\n", escape_json(harness)));
     out.push_str(&format!(
         "  \"calibration_ns\": {},\n",
@@ -423,13 +495,14 @@ pub fn write_results(harness: &str, results: &[BenchResult]) {
             out.push(',');
         }
         out.push_str(&format!(
-            "\n    {{\"name\": \"{}\", \"samples\": {}, \"batch\": {}, \"mean_ns\": {}, \"sigma_ns\": {}, \"min_ns\": {}}}",
+            "\n    {{\"name\": \"{}\", \"samples\": {}, \"batch\": {}, \"mean_ns\": {}, \"sigma_ns\": {}, \"min_ns\": {}, \"elements\": {}}}",
             escape_json(&r.name),
             r.stats.samples,
             r.stats.batch,
             r.stats.mean.as_nanos(),
             r.stats.sigma.as_nanos(),
             r.stats.min.as_nanos(),
+            r.elements,
         ));
     }
     out.push_str("\n  ]\n}\n");
@@ -491,8 +564,18 @@ mod tests {
 
     criterion_group!(shim_benches, sample_bench);
 
+    /// Serializes tests that record into / drain the process-global result
+    /// sink, so concurrent test threads cannot steal each other's results.
+    fn sink_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     #[test]
     fn harness_runs_and_records_results() {
+        let _guard = sink_lock();
         shim_benches();
         let recorded = take_results();
         assert!(recorded
@@ -504,6 +587,44 @@ mod tests {
     fn benchmark_ids_render() {
         assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
         assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn throughput_rides_along_with_results() {
+        let _guard = sink_lock();
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim/thrpt");
+        group.sample_size(2);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(3));
+        group.throughput(Throughput::Elements(1_000));
+        group.bench_function("with", |b| b.iter(|| black_box(2u64).wrapping_mul(3)));
+        group.throughput(Throughput::Elements(500));
+        group.bench_function("rescoped", |b| b.iter(|| black_box(2u64).wrapping_add(3)));
+        group.finish();
+        // An ungrouped benchmark never carries a count.
+        c.bench_function("shim/no-thrpt", |b| b.iter(|| black_box(1u64)));
+        let recorded = take_results();
+        let by_name = |n: &str| {
+            recorded
+                .iter()
+                .find(|r| r.name == n)
+                .unwrap_or_else(|| panic!("{n} missing"))
+        };
+        assert_eq!(by_name("shim/thrpt/with").elements, 1_000);
+        assert_eq!(by_name("shim/thrpt/rescoped").elements, 500);
+        assert_eq!(by_name("shim/no-thrpt").elements, 0);
+    }
+
+    #[test]
+    fn rates_render_with_si_suffixes() {
+        assert_eq!(
+            render_rate(2_000_000, Duration::from_secs(1)),
+            "2.00 Melem/s"
+        );
+        assert_eq!(render_rate(5_000, Duration::from_secs(1)), "5.00 Kelem/s");
+        assert_eq!(render_rate(12, Duration::from_secs(1)), "12.0 elem/s");
+        assert_eq!(render_rate(10, Duration::ZERO), "-");
     }
 
     #[test]
