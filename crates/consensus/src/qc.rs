@@ -106,6 +106,12 @@ impl QuorumCert {
     pub fn signer_count(&self) -> usize {
         self.tsig.as_ref().map_or(0, |t| t.signer_count())
     }
+
+    /// Nominal serialized size in bytes: view, block hash, and the threshold
+    /// signature (1 byte for the genesis certificate's absent-signature tag).
+    pub fn wire_size(&self) -> usize {
+        8 + 8 + self.tsig.as_ref().map_or(1, |t| t.wire_size())
+    }
 }
 
 impl fmt::Display for QuorumCert {

@@ -70,6 +70,14 @@ macro_rules! certificate {
                 self.tsig.signer_count()
             }
 
+            /// Nominal serialized size in bytes: the view number plus the
+            /// threshold signature (whose size is dictated by its signer
+            /// representation; see
+            /// [`ThresholdSignature::wire_size`](lumiere_crypto::ThresholdSignature::wire_size)).
+            pub fn wire_size(&self) -> usize {
+                8 + self.tsig.wire_size()
+            }
+
             /// Verifies the certificate against the PKI and its threshold.
             ///
             /// # Errors

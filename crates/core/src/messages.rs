@@ -11,7 +11,16 @@ use std::fmt;
 /// One enum covers every protocol in the workspace (Lumiere, Basic Lumiere,
 /// LP22, Fever, Cogsworth/NK20, naive quadratic) so the simulator can route
 /// them uniformly; each protocol only sends and reacts to the variants its
-/// specification defines. All variants are `O(κ)` in size.
+/// specification defines.
+///
+/// Per-variant size: the bare-signature variants (`ViewMsg`, `EpochViewMsg`,
+/// `Wish`, `Timeout`) are `O(κ)` — one view number and one signature. The
+/// certificate-carrying variants (`ViewCert`, `EpochCert`, `TimeoutCert`,
+/// `SyncCert`) embed a [`ThresholdSignature`](lumiere_crypto::ThresholdSignature)
+/// whose size depends on its signer representation: `Θ(signers)` while the
+/// signer set is explicit, `O(κ + n/8)` once aggregation carries a
+/// fixed-width signer bitmap. [`PacemakerMessage::wire_size`] reports the
+/// actual per-variant cost.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PacemakerMessage {
     /// "I have entered initial view `v`" — sent to `lead(v)` (Fever, Basic
@@ -96,10 +105,21 @@ impl PacemakerMessage {
         )
     }
 
-    /// Nominal wire size in bytes; every variant is a constant number of
-    /// signatures/hashes/integers (`O(κ)`).
+    /// Nominal wire size in bytes, computed per variant from the actual
+    /// authenticator content: bare-signature variants carry a view number
+    /// and one signature; certificate variants carry their full threshold
+    /// signature, whose size is dictated by the signer representation.
     pub fn wire_size(&self) -> usize {
-        8 + SIGNATURE_SIZE_BYTES
+        match self {
+            PacemakerMessage::ViewMsg { .. }
+            | PacemakerMessage::EpochViewMsg { .. }
+            | PacemakerMessage::Wish { .. }
+            | PacemakerMessage::Timeout { .. } => 8 + SIGNATURE_SIZE_BYTES,
+            PacemakerMessage::ViewCert(c) => c.wire_size(),
+            PacemakerMessage::EpochCert(c) => c.wire_size(),
+            PacemakerMessage::TimeoutCert(c) => c.wire_size(),
+            PacemakerMessage::SyncCert(c) => c.wire_size(),
+        }
     }
 }
 
@@ -144,7 +164,13 @@ mod tests {
         ];
         for m in msgs {
             assert_eq!(m.view(), v);
-            assert!(m.wire_size() > 0 && m.wire_size() < 256);
+            match m {
+                PacemakerMessage::ViewCert(ref c) => {
+                    // view + (digest + proof + 8 bytes per signer)
+                    assert_eq!(m.wire_size(), 8 + 32 + 8 + 8 * c.signer_count());
+                }
+                _ => assert_eq!(m.wire_size(), 8 + SIGNATURE_SIZE_BYTES),
+            }
             assert!(!m.kind().is_empty());
             assert!(m.to_string().contains("v6"));
         }

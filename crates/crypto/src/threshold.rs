@@ -77,6 +77,15 @@ impl ThresholdSignature {
     pub fn proof(&self) -> u64 {
         self.proof
     }
+
+    /// Nominal serialized size in bytes: the covered digest, the aggregate
+    /// proof, and the signer identification. With the signer *set*
+    /// representation this is `Θ(signers)` — 8 bytes per contributing
+    /// signer — which is exactly the cost the wire accounting must charge
+    /// until aggregation over a fixed-width bitmap lands.
+    pub fn wire_size(&self) -> usize {
+        crate::DIGEST_SIZE_BYTES + 8 + 8 * self.signers.len()
+    }
 }
 
 impl fmt::Display for ThresholdSignature {
