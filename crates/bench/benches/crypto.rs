@@ -2,8 +2,9 @@
 //! verification and threshold aggregation for the certificate sizes the
 //! protocols actually use (`f+1` and `2f+1` of `n`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use lumiere_crypto::{keygen, Digest, ThresholdSignature};
+use lumiere_types::StakeTable;
 
 fn bench_sign_verify(c: &mut Criterion) {
     let (keys, pki) = keygen(64, 1);
@@ -19,14 +20,15 @@ fn bench_aggregate(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(1));
     for n in [4usize, 16, 64, 128] {
         let (keys, pki) = keygen(n, 2);
+        let stakes = StakeTable::uniform(n);
         let f = (n - 1) / 3;
         let quorum = 2 * f + 1;
         let digest = Digest::new(b"bench").push_u64(n as u64).finish();
         let partials: Vec<_> = keys.iter().take(quorum).map(|k| k.sign(digest)).collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| ThresholdSignature::aggregate(digest, &partials, quorum).unwrap())
+            b.iter(|| ThresholdSignature::aggregate(digest, &partials, &stakes, quorum).unwrap())
         });
-        let tsig = ThresholdSignature::aggregate(digest, &partials, quorum).unwrap();
+        let tsig = ThresholdSignature::aggregate(digest, &partials, &stakes, quorum).unwrap();
         group.bench_with_input(BenchmarkId::new("verify", n), &n, |b, _| {
             b.iter(|| pki.verify_threshold(&tsig, digest, quorum).unwrap())
         });
@@ -34,5 +36,34 @@ fn bench_aggregate(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sign_verify, bench_aggregate);
+/// Sustained aggregate-verification throughput at the protocol's hot-path
+/// size (n = 64, 2f+1 quorum): certificates verified per second, the cost
+/// the `verify_ops` report column counts once per certificate.
+fn bench_verify_throughput(c: &mut Criterion) {
+    let n = 64usize;
+    let (keys, pki) = keygen(n, 3);
+    let stakes = StakeTable::uniform(n);
+    let quorum = 2 * ((n - 1) / 3) + 1;
+    let digest = Digest::new(b"bench-tput").push_u64(n as u64).finish();
+    let partials: Vec<_> = keys.iter().take(quorum).map(|k| k.sign(digest)).collect();
+    let tsig = ThresholdSignature::aggregate(digest, &partials, &stakes, quorum).unwrap();
+    let mut group = c.benchmark_group("crypto/verify_aggregate_throughput");
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Elements(1));
+    group.bench_function(BenchmarkId::from_parameter(n), |b| {
+        b.iter(|| {
+            pki.verify_aggregate(&tsig, digest, &stakes, quorum)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sign_verify,
+    bench_aggregate,
+    bench_verify_throughput
+);
 criterion_main!(benches);

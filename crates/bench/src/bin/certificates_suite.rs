@@ -1,0 +1,13 @@
+//! Certificate-cost sweep: authenticator bytes per message/view and
+//! verifications per commit with constant-size aggregated certificates vs
+//! naive per-signer signature vectors, across `n`, plus the
+//! slashing-evidence pipeline under the equivocation adversary (`--full`
+//! widens the grid). See `docs/CERTIFICATES.md`.
+
+use lumiere_bench::cli;
+use lumiere_bench::experiments::experiment;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    cli::run_main("certificates_suite", None, &[experiment("certificates")])
+}

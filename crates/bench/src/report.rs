@@ -22,6 +22,13 @@ use std::path::{Path, PathBuf};
 /// Version stamp written into every report file; bump when the cell layout
 /// changes incompatibly (see `docs/REPORT_SCHEMA.md` for the history).
 ///
+/// v7: `SimReport` gained the authenticator-cost block — `auth_bytes` /
+/// `auth_bytes_naive` (honest wire bytes spent on signatures and bitmaps,
+/// aggregated vs. naive signature-vector certificates) and `verify_ops` /
+/// `verify_ops_naive` (receiver-side signature checks) — plus the canonical
+/// `slash_evidence` list (capped) with its exact `slash_evidence_total`;
+/// new `certificates` experiment slug.
+///
 /// v6: `SimReport` gained `events_processed`, the total number of simulator
 /// events the run consumed — deterministic across broadcast representation
 /// and shard count (part of the byte-identical report guarantee), and the
@@ -42,7 +49,7 @@ use std::path::{Path, PathBuf};
 ///
 /// v2: `SimReport` gained `truncated` (event-cap overflow surfaced instead
 /// of silently breaking the run loop) and `equivocations_observed`.
-pub const SCHEMA_VERSION: u32 = 6;
+pub const SCHEMA_VERSION: u32 = 7;
 
 /// One grid cell of one experiment: the sweep coordinates plus the complete
 /// simulation outcome measured there.

@@ -5,8 +5,8 @@ use crate::messages::ConsensusMessage;
 use crate::qc::QuorumCert;
 use crate::store::BlockStore;
 use lumiere_crypto::{KeyPair, Pki, Signature};
-use lumiere_types::{Batch, Params, ProcessId, Time, View};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use lumiere_types::{Batch, Params, ProcessId, SlashEvidence, Time, View};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// Output of the engine in response to an event.
 ///
@@ -51,8 +51,9 @@ pub struct HotStuffEngine {
     pending_proposals: HashMap<i64, Block>,
     qc_deadlines: HashMap<i64, Time>,
     proposing_enabled: bool,
-    proposals_seen: HashMap<(i64, usize), HashSet<BlockHash>>,
+    proposals_seen: HashMap<(i64, usize), BTreeSet<BlockHash>>,
     equivocations_detected: usize,
+    slash_evidence: Vec<SlashEvidence>,
     locks_advanced: u64,
     /// The batch the next proposal will carry, staged by the hosting
     /// runtime from its mempool just before view entry. Consumed (taken)
@@ -91,6 +92,7 @@ impl HotStuffEngine {
             proposing_enabled: true,
             proposals_seen: HashMap::with_capacity(16),
             equivocations_detected: 0,
+            slash_evidence: Vec::new(),
             locks_advanced: 0,
             staged: Batch::empty(),
             partials: Vec::with_capacity(quorum),
@@ -139,6 +141,14 @@ impl HotStuffEngine {
     /// never equivocate, so a non-zero count proves adversarial proposing.
     pub fn equivocations_detected(&self) -> usize {
         self.equivocations_detected
+    }
+
+    /// Transferable slashing evidence for every equivocation this replica
+    /// witnessed: one canonical record per conflicting proposal pair, fit
+    /// for a staking layer to act on. Deterministic across replicas — every
+    /// honest observer of the same conflict produces the same record.
+    pub fn slash_evidence(&self) -> &[SlashEvidence] {
+        &self.slash_evidence
     }
 
     /// The leader of the view the engine currently executes, if a view has
@@ -269,6 +279,20 @@ impl HotStuffEngine {
         let seen = self.proposals_seen.entry(slot).or_default();
         if seen.insert(block.hash()) && seen.len() > 1 {
             self.equivocations_detected += 1;
+            // Pair the fresh hash with the smallest previously-seen one: a
+            // canonical witness every honest replica derives identically no
+            // matter the delivery order of the conflicting proposals.
+            let prior = seen
+                .iter()
+                .find(|&&h| h != block.hash())
+                .copied()
+                .expect("seen.len() > 1 guarantees a conflicting hash");
+            self.slash_evidence.push(SlashEvidence::new(
+                block.view(),
+                block.proposer(),
+                prior,
+                block.hash(),
+            ));
         }
         let mut out = self.process_qc(block.justify().clone());
         self.store.insert(block.clone());
@@ -627,6 +651,16 @@ mod tests {
         );
         assert_eq!(votes_in(&out_b), 0, "the conflicting twin must not");
         assert_eq!(replica.equivocations_detected(), 1);
+        // Detection emits a canonical, transferable slashing record.
+        assert_eq!(
+            replica.slash_evidence(),
+            &[lumiere_types::SlashEvidence::new(
+                View::new(0),
+                ProcessId::new(1),
+                a.hash(),
+                b.hash(),
+            )]
+        );
         // Replaying either block adds no further evidence: only *distinct*
         // conflicting proposals count.
         replica.on_message(ProcessId::new(1), &ConsensusMessage::Proposal(a), now);
@@ -643,6 +677,7 @@ mod tests {
         );
         replica.on_message(ProcessId::new(1), &ConsensusMessage::Proposal(c), now);
         assert_eq!(replica.equivocations_detected(), 2);
+        assert_eq!(replica.slash_evidence().len(), 2);
         assert_eq!(replica.last_voted_view(), View::new(0));
     }
 

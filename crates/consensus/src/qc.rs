@@ -36,11 +36,14 @@ impl QuorumCert {
             .finish()
     }
 
-    /// Aggregates `2f+1` vote signatures into a quorum certificate.
+    /// Aggregates `2f+1` vote signatures into a quorum certificate, tallying
+    /// both distinct signers and their stake (uniform under
+    /// [`Params::stakes`], so the count and stake thresholds coincide).
     ///
     /// # Errors
     ///
-    /// Returns an error if fewer than `2f+1` distinct signers contributed.
+    /// Returns an error if fewer than `2f+1` distinct signers contributed or
+    /// their combined stake misses the quorum's stake threshold.
     pub fn aggregate(
         view: View,
         block_hash: BlockHash,
@@ -48,7 +51,7 @@ impl QuorumCert {
         params: &Params,
     ) -> Result<Self> {
         let digest = Self::vote_digest(view, block_hash);
-        let tsig = ThresholdSignature::aggregate(digest, votes, params.quorum())?;
+        let tsig = ThresholdSignature::aggregate(digest, votes, &params.stakes(), params.quorum())?;
         Ok(QuorumCert {
             view,
             block_hash,
@@ -92,12 +95,12 @@ impl QuorumCert {
             Some(tsig) => {
                 let digest = Self::vote_digest(self.view, self.block_hash);
                 if tsig.digest() != digest {
-                    return Err(Error::ViewMismatch {
-                        expected: self.view,
-                        found: self.view,
+                    return Err(Error::DigestMismatch {
+                        claimed: tsig.digest().as_u64(),
+                        computed: digest.as_u64(),
                     });
                 }
-                pki.verify_threshold(tsig, digest, params.quorum())
+                pki.verify_aggregate(tsig, digest, &params.stakes(), params.quorum())
             }
         }
     }
@@ -111,6 +114,18 @@ impl QuorumCert {
     /// signature (1 byte for the genesis certificate's absent-signature tag).
     pub fn wire_size(&self) -> usize {
         8 + 8 + self.tsig.as_ref().map_or(1, |t| t.wire_size())
+    }
+
+    /// Authenticator bytes carried by this certificate with the aggregated
+    /// representation (0 for genesis, which carries no signature).
+    pub fn auth_bytes(&self) -> usize {
+        self.tsig.as_ref().map_or(0, |t| t.wire_size())
+    }
+
+    /// Authenticator bytes the same certificate would carry as a naive
+    /// per-signer signature vector.
+    pub fn naive_auth_bytes(&self) -> usize {
+        self.tsig.as_ref().map_or(0, |t| t.naive_wire_size())
     }
 }
 
@@ -175,13 +190,41 @@ mod tests {
         let votes: Vec<_> = keys.iter().take(3).map(|k| k.sign(digest_other)).collect();
         // Aggregating them while claiming block 0xabc yields a certificate
         // whose threshold signature covers the wrong digest.
-        let tsig = ThresholdSignature::aggregate(digest_other, &votes, 3).unwrap();
+        let tsig =
+            ThresholdSignature::aggregate(digest_other, &votes, &params.stakes(), 3).unwrap();
         let qc = QuorumCert {
             view,
             block_hash: 0xabc,
             tsig: Some(tsig),
         };
         assert!(qc.verify(&pki, &params).is_err());
+    }
+
+    #[test]
+    fn digest_mismatch_names_both_digests() {
+        // Regression: this used to surface as `ViewMismatch` with the same
+        // view in both fields, which named neither the claimed nor the
+        // recomputed digest and pointed at the wrong kind of corruption.
+        let (keys, pki, params) = setup(4);
+        let view = View::new(2);
+        let digest_other = QuorumCert::vote_digest(view, 0xdead);
+        let votes: Vec<_> = keys.iter().take(3).map(|k| k.sign(digest_other)).collect();
+        let tsig =
+            ThresholdSignature::aggregate(digest_other, &votes, &params.stakes(), 3).unwrap();
+        let qc = QuorumCert {
+            view,
+            block_hash: 0xabc,
+            tsig: Some(tsig),
+        };
+        let claimed_digest = QuorumCert::vote_digest(view, 0xdead).as_u64();
+        let computed_digest = QuorumCert::vote_digest(view, 0xabc).as_u64();
+        assert_eq!(
+            qc.verify(&pki, &params),
+            Err(Error::DigestMismatch {
+                claimed: claimed_digest,
+                computed: computed_digest,
+            })
+        );
     }
 
     #[test]

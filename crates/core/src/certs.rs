@@ -48,15 +48,21 @@ macro_rules! certificate {
         }
 
         impl $name {
-            /// Aggregates signatures over the certificate's digest for `view`.
+            /// Aggregates signatures over the certificate's digest for `view`,
+            /// tallying both distinct signers and their stake (uniform under
+            /// [`Params::stakes`], so both thresholds coincide).
             ///
             /// # Errors
             ///
             /// Fails if fewer than the required number of distinct signers
-            /// contributed.
+            /// contributed or their combined stake misses the threshold.
             pub fn aggregate(view: View, sigs: &[Signature], params: &Params) -> Result<Self> {
-                let tsig =
-                    ThresholdSignature::aggregate($digest_fn(view), sigs, params.$threshold())?;
+                let tsig = ThresholdSignature::aggregate(
+                    $digest_fn(view),
+                    sigs,
+                    &params.stakes(),
+                    params.$threshold(),
+                )?;
                 Ok(Self { view, tsig })
             }
 
@@ -78,19 +84,32 @@ macro_rules! certificate {
                 8 + self.tsig.wire_size()
             }
 
+            /// Authenticator bytes carried by the certificate with the
+            /// aggregated representation (constant in the signer count).
+            pub fn auth_bytes(&self) -> usize {
+                self.tsig.wire_size()
+            }
+
+            /// Authenticator bytes the same certificate would carry as a
+            /// naive per-signer signature vector (`Θ(signers)`).
+            pub fn naive_auth_bytes(&self) -> usize {
+                self.tsig.naive_wire_size()
+            }
+
             /// Verifies the certificate against the PKI and its threshold.
             ///
             /// # Errors
             ///
             /// Propagates signature/threshold verification failures.
             pub fn verify(&self, pki: &Pki, params: &Params) -> Result<()> {
-                if self.tsig.digest() != $digest_fn(self.view) {
-                    return Err(lumiere_types::Error::ViewMismatch {
-                        expected: self.view,
-                        found: self.view,
+                let computed = $digest_fn(self.view);
+                if self.tsig.digest() != computed {
+                    return Err(lumiere_types::Error::DigestMismatch {
+                        claimed: self.tsig.digest().as_u64(),
+                        computed: computed.as_u64(),
                     });
                 }
-                pki.verify_threshold(&self.tsig, $digest_fn(self.view), params.$threshold())
+                pki.verify_aggregate(&self.tsig, computed, &params.stakes(), params.$threshold())
             }
         }
     };
@@ -242,8 +261,35 @@ mod tests {
             .collect();
         let forged = ViewCert {
             view: v,
-            tsig: ThresholdSignature::aggregate(wish_digest(v), &sigs, 3).unwrap(),
+            tsig: ThresholdSignature::aggregate(wish_digest(v), &sigs, &params.stakes(), 3)
+                .unwrap(),
         };
         assert!(forged.verify(&pki, &params).is_err());
+    }
+
+    #[test]
+    fn digest_mismatch_names_both_digests() {
+        // Regression: the macro used to report this as `ViewMismatch` with
+        // identical `expected` and `found` views, saying nothing about the
+        // digests that actually disagreed.
+        let (keys, pki, params) = setup();
+        let v = View::new(6);
+        let sigs: Vec<_> = keys
+            .iter()
+            .take(3)
+            .map(|k| k.sign(wish_digest(v)))
+            .collect();
+        let forged = ViewCert {
+            view: v,
+            tsig: ThresholdSignature::aggregate(wish_digest(v), &sigs, &params.stakes(), 3)
+                .unwrap(),
+        };
+        assert_eq!(
+            forged.verify(&pki, &params),
+            Err(lumiere_types::Error::DigestMismatch {
+                claimed: wish_digest(v).as_u64(),
+                computed: view_msg_digest(v).as_u64(),
+            })
+        );
     }
 }

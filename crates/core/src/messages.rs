@@ -14,13 +14,18 @@ use std::fmt;
 /// specification defines.
 ///
 /// Per-variant size: the bare-signature variants (`ViewMsg`, `EpochViewMsg`,
-/// `Wish`, `Timeout`) are `O(κ)` — one view number and one signature. The
-/// certificate-carrying variants (`ViewCert`, `EpochCert`, `TimeoutCert`,
-/// `SyncCert`) embed a [`ThresholdSignature`](lumiere_crypto::ThresholdSignature)
-/// whose size depends on its signer representation: `Θ(signers)` while the
-/// signer set is explicit, `O(κ + n/8)` once aggregation carries a
-/// fixed-width signer bitmap. [`PacemakerMessage::wire_size`] reports the
-/// actual per-variant cost.
+/// `Wish`, `Timeout`) are `O(κ)` — one view number and one 48-byte
+/// signature. The certificate-carrying variants (`ViewCert`, `EpochCert`,
+/// `TimeoutCert`, `SyncCert`) embed a
+/// [`ThresholdSignature`](lumiere_crypto::ThresholdSignature) that is a
+/// constant-size aggregate proof plus a fixed-width signer bitmap:
+/// `O(κ + n/8)` — 32 digest bytes, 48 proof bytes and `8·⌈n/64⌉` bitmap
+/// bytes, independent of the signer count. Before aggregation the same
+/// certificates would cost `Θ(signers)` — one 48-byte signature per
+/// contributing signer, i.e. `f+1` or `2f+1` signatures per certificate
+/// ([`PacemakerMessage::naive_auth_bytes`] still reports that cost for
+/// comparison). [`PacemakerMessage::wire_size`] reports the actual
+/// per-variant cost.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PacemakerMessage {
     /// "I have entered initial view `v`" — sent to `lead(v)` (Fever, Basic
@@ -121,6 +126,62 @@ impl PacemakerMessage {
             PacemakerMessage::SyncCert(c) => c.wire_size(),
         }
     }
+
+    /// Authenticator bytes carried by this message with the aggregated
+    /// certificate representation: one signature for the bare-signature
+    /// variants, digest + aggregate proof + signer bitmap for the
+    /// certificate variants.
+    pub fn auth_bytes(&self) -> usize {
+        match self {
+            PacemakerMessage::ViewMsg { .. }
+            | PacemakerMessage::EpochViewMsg { .. }
+            | PacemakerMessage::Wish { .. }
+            | PacemakerMessage::Timeout { .. } => SIGNATURE_SIZE_BYTES,
+            PacemakerMessage::ViewCert(c) => c.auth_bytes(),
+            PacemakerMessage::EpochCert(c) => c.auth_bytes(),
+            PacemakerMessage::TimeoutCert(c) => c.auth_bytes(),
+            PacemakerMessage::SyncCert(c) => c.auth_bytes(),
+        }
+    }
+
+    /// Authenticator bytes the same message would carry if certificates
+    /// were naive per-signer signature vectors (`Θ(signers)` per
+    /// certificate).
+    pub fn naive_auth_bytes(&self) -> usize {
+        match self {
+            PacemakerMessage::ViewMsg { .. }
+            | PacemakerMessage::EpochViewMsg { .. }
+            | PacemakerMessage::Wish { .. }
+            | PacemakerMessage::Timeout { .. } => SIGNATURE_SIZE_BYTES,
+            PacemakerMessage::ViewCert(c) => c.naive_auth_bytes(),
+            PacemakerMessage::EpochCert(c) => c.naive_auth_bytes(),
+            PacemakerMessage::TimeoutCert(c) => c.naive_auth_bytes(),
+            PacemakerMessage::SyncCert(c) => c.naive_auth_bytes(),
+        }
+    }
+
+    /// Number of signature verifications a receiver performs for this
+    /// message with aggregated certificates: always one — a bare signature
+    /// or a single aggregate proof.
+    pub fn verify_ops(&self) -> u64 {
+        1
+    }
+
+    /// Verifications the same message would require with naive signature
+    /// vectors: one per contributing signer of a certificate, one for a
+    /// bare signature.
+    pub fn naive_verify_ops(&self) -> u64 {
+        match self {
+            PacemakerMessage::ViewMsg { .. }
+            | PacemakerMessage::EpochViewMsg { .. }
+            | PacemakerMessage::Wish { .. }
+            | PacemakerMessage::Timeout { .. } => 1,
+            PacemakerMessage::ViewCert(c) => c.signer_count() as u64,
+            PacemakerMessage::EpochCert(c) => c.signer_count() as u64,
+            PacemakerMessage::TimeoutCert(c) => c.signer_count() as u64,
+            PacemakerMessage::SyncCert(c) => c.signer_count() as u64,
+        }
+    }
 }
 
 impl fmt::Display for PacemakerMessage {
@@ -166,11 +227,21 @@ mod tests {
             assert_eq!(m.view(), v);
             match m {
                 PacemakerMessage::ViewCert(ref c) => {
-                    // view + (digest + proof + 8 bytes per signer)
-                    assert_eq!(m.wire_size(), 8 + 32 + 8 + 8 * c.signer_count());
+                    // view + (digest + aggregate proof + one bitmap word for
+                    // n = 4): constant in the signer count.
+                    assert_eq!(m.wire_size(), 8 + 32 + 48 + 8);
+                    assert_eq!(m.auth_bytes(), 32 + 48 + 8);
+                    assert_eq!(m.naive_auth_bytes(), 32 + 48 * c.signer_count());
+                    assert_eq!(m.naive_verify_ops(), c.signer_count() as u64);
                 }
-                _ => assert_eq!(m.wire_size(), 8 + SIGNATURE_SIZE_BYTES),
+                _ => {
+                    assert_eq!(m.wire_size(), 8 + SIGNATURE_SIZE_BYTES);
+                    assert_eq!(m.auth_bytes(), SIGNATURE_SIZE_BYTES);
+                    assert_eq!(m.naive_auth_bytes(), SIGNATURE_SIZE_BYTES);
+                    assert_eq!(m.naive_verify_ops(), 1);
+                }
             }
+            assert_eq!(m.verify_ops(), 1);
             assert!(!m.kind().is_empty());
             assert!(m.to_string().contains("v6"));
         }

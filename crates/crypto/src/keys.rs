@@ -3,7 +3,7 @@
 use crate::digest::{Digest, DigestValue};
 use crate::signature::Signature;
 use crate::threshold::ThresholdSignature;
-use lumiere_types::{Error, ProcessId, Result};
+use lumiere_types::{Error, ProcessId, Result, StakeTable};
 use serde::{Deserialize, Serialize};
 
 /// Secret signing key held by one processor.
@@ -64,40 +64,83 @@ impl Pki {
         }
     }
 
-    /// Verifies a threshold signature over `digest` with the given signer
-    /// threshold.
+    /// Verifies a threshold signature over `digest` with a processor-count
+    /// threshold (uniform stake). Shorthand for [`Pki::verify_aggregate`]
+    /// with a uniform [`StakeTable`] over the registered processors.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::InsufficientSigners`] if fewer than `threshold`
-    /// distinct signers contributed, or [`Error::InvalidSignature`] if the
-    /// aggregate proof does not match the recomputed value.
+    /// As for [`Pki::verify_aggregate`].
     pub fn verify_threshold(
         &self,
         tsig: &ThresholdSignature,
         digest: DigestValue,
         threshold: usize,
     ) -> Result<()> {
-        if tsig.signers().len() < threshold {
+        self.verify_aggregate(tsig, digest, &StakeTable::uniform(self.n()), threshold)
+    }
+
+    /// Verifies an aggregate against the public keys named by its signer
+    /// bitmap: the aggregate proof is recomputed over exactly the bitmap's
+    /// set bits, and the distinct-signer count and stake tally are
+    /// re-checked against `threshold` and `stakes`.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InsufficientSigners`] if the bitmap carries fewer than
+    ///   `threshold` set bits.
+    /// * [`Error::UnknownProcess`] if a set bit names an unregistered
+    ///   processor.
+    /// * [`Error::InsufficientStake`] if the set bits' combined stake falls
+    ///   short of [`StakeTable::threshold_stake`].
+    /// * [`Error::DigestMismatch`] if the signature covers a different
+    ///   digest than the one being verified.
+    /// * [`Error::InvalidSignature`] if the recomputed aggregate proof does
+    ///   not match (a bitmap bit was flipped or the proof was forged).
+    pub fn verify_aggregate(
+        &self,
+        tsig: &ThresholdSignature,
+        digest: DigestValue,
+        stakes: &StakeTable,
+        threshold: usize,
+    ) -> Result<()> {
+        let count = tsig.signer_count();
+        if count < threshold {
             return Err(Error::InsufficientSigners {
-                got: tsig.signers().len(),
+                got: count,
                 need: threshold,
             });
         }
         let mut proof = 0u64;
-        for &signer in tsig.signers() {
+        let mut stake = 0u128;
+        for signer in tsig.bitmap().iter() {
             let secret = self
                 .secrets
                 .get(signer.as_usize())
                 .copied()
                 .ok_or(Error::UnknownProcess { id: signer })?;
             proof ^= keyed_tag(secret, digest);
+            stake += stakes.stake_of(signer).unwrap_or(0);
         }
-        if proof == tsig.proof() && tsig.digest() == digest {
+        let need = stakes.threshold_stake(threshold);
+        if stake < need {
+            return Err(Error::InsufficientStake { got: stake, need });
+        }
+        if tsig.digest() != digest {
+            return Err(Error::DigestMismatch {
+                claimed: tsig.digest().as_u64(),
+                computed: digest.as_u64(),
+            });
+        }
+        if proof == tsig.proof() {
             Ok(())
         } else {
             Err(Error::InvalidSignature {
-                signer: *tsig.signers().iter().next().expect("non-empty signer set"),
+                signer: tsig
+                    .bitmap()
+                    .iter()
+                    .next()
+                    .expect("non-empty signer bitmap"),
             })
         }
     }
@@ -199,9 +242,12 @@ mod tests {
         let (keys, pki) = keygen(7, 3);
         let d = digest(99);
         let partials: Vec<_> = keys.iter().take(5).map(|k| k.sign(d)).collect();
-        let tsig = ThresholdSignature::aggregate(d, &partials, 5).unwrap();
+        let tsig = ThresholdSignature::aggregate(d, &partials, &StakeTable::uniform(7), 5).unwrap();
         assert!(pki.verify_threshold(&tsig, d, 5).is_ok());
         assert!(pki.verify_threshold(&tsig, d, 6).is_err());
-        assert!(pki.verify_threshold(&tsig, digest(98), 5).is_err());
+        assert!(matches!(
+            pki.verify_threshold(&tsig, digest(98), 5),
+            Err(Error::DigestMismatch { .. })
+        ));
     }
 }

@@ -10,16 +10,22 @@
 //!   (standing in for the public-key verification relation),
 //! * a [`Signature`] over a [`DigestValue`] is a keyed hash of the digest
 //!   under the signer's secret,
-//! * a [`ThresholdSignature`] aggregates the partial signatures of a set of
-//!   distinct signers into a single constant-size proof plus the signer set.
+//! * a [`ThresholdSignature`] aggregates the partial signatures of distinct
+//!   signers into a single constant-size proof plus a fixed-width
+//!   [`SignerBitmap`] (`⌈n/64⌉` words) naming the contributors, and
+//! * quorum tallies are stake-weighted through a
+//!   [`StakeTable`](lumiere_types::StakeTable): uniform stake reproduces
+//!   the paper's processor-count thresholds exactly, weighted stake
+//!   generalizes them.
 //!
 //! The substitution preserves exactly the properties the protocols rely on:
 //! unforgeability *within the simulation* (honest code never signs on behalf
-//! of another processor; the verifier recomputes the keyed hashes), distinct
-//! signer counting, constant-size certificates for message-size accounting,
-//! and the `f+1` / `2f+1` aggregation thresholds. It is **not**
-//! cryptographically secure and must never be used outside the simulator;
-//! see `DESIGN.md` for the substitution rationale.
+//! of another processor; the verifier recomputes the keyed hashes over
+//! exactly the bitmap's set bits), distinct signer counting, constant-size
+//! certificates for message-size accounting, and the `f+1` / `2f+1`
+//! aggregation thresholds. It is **not** cryptographically secure and must
+//! never be used outside the simulator; see `DESIGN.md` for the
+//! substitution rationale.
 //!
 //! # Paper mapping
 //!
@@ -33,14 +39,15 @@
 //!
 //! ```
 //! use lumiere_crypto::{keygen, Digest, ThresholdSignature};
-//! use lumiere_types::ProcessId;
+//! use lumiere_types::{ProcessId, StakeTable};
 //!
 //! let (keys, pki) = keygen(4, 42);
+//! let stakes = StakeTable::uniform(4);
 //! let digest = Digest::new(b"view-msg").push_i64(7).finish();
 //! let partials: Vec<_> = keys.iter().map(|k| k.sign(digest)).collect();
-//! let tsig = ThresholdSignature::aggregate(digest, &partials, 3).unwrap();
-//! assert!(pki.verify_threshold(&tsig, digest, 3).is_ok());
-//! assert!(tsig.signers().contains(&ProcessId::new(0)));
+//! let tsig = ThresholdSignature::aggregate(digest, &partials, &stakes, 3).unwrap();
+//! assert!(pki.verify_aggregate(&tsig, digest, &stakes, 3).is_ok());
+//! assert!(tsig.bitmap().contains(ProcessId::new(0)));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -54,7 +61,7 @@ pub mod threshold;
 pub use digest::{Digest, DigestValue};
 pub use keys::{keygen, KeyPair, Pki};
 pub use signature::Signature;
-pub use threshold::ThresholdSignature;
+pub use threshold::{SignerBitmap, ThresholdSignature};
 
 /// Nominal size in bytes of a single signature or threshold signature
 /// (`O(κ)` with κ = 32 bytes), used by the simulator's wire-size accounting.

@@ -1,55 +1,144 @@
-//! Threshold signatures (simulated aggregation of partial signatures).
+//! Threshold signatures: a constant-size aggregate proof plus a fixed-width
+//! signer bitmap, with stake-weighted quorum tallies.
 
 use crate::digest::DigestValue;
 use crate::signature::Signature;
-use lumiere_types::{Error, ProcessId, Result};
+use lumiere_types::{Error, ProcessId, Result, StakeTable};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
 use std::fmt;
 
-/// A (simulated) threshold signature: a constant-size aggregate proof plus
-/// the set of distinct signers that contributed.
+/// A fixed-width bitmap identifying the distinct signers of an aggregate.
+///
+/// The bitmap always spans the *whole* system: `⌈n/64⌉` 64-bit words for an
+/// `n`-processor system, regardless of how many signers actually
+/// contributed. Its wire footprint is therefore a function of `n` alone
+/// (`n/8` bytes, rounded up to a word), which is what makes aggregated
+/// certificates constant-size in the number of *signers* and only
+/// logarithmically heavier than `O(κ)` in practice.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SignerBitmap {
+    words: Vec<u64>,
+}
+
+impl SignerBitmap {
+    /// An empty bitmap sized for an `n`-processor system.
+    pub fn new(n: usize) -> Self {
+        SignerBitmap {
+            words: vec![0; n.div_ceil(64).max(1)],
+        }
+    }
+
+    /// Number of processor slots the bitmap can represent (`64 ·` words).
+    pub fn capacity(&self) -> usize {
+        64 * self.words.len()
+    }
+
+    /// Marks `id` as a signer. Returns `true` if the bit was newly set,
+    /// `false` if `id` was already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is beyond the bitmap's capacity; callers range-check
+    /// signers against the stake table before setting bits.
+    pub fn set(&mut self, id: ProcessId) -> bool {
+        let (word, bit) = (id.as_usize() / 64, id.as_usize() % 64);
+        let mask = 1u64 << bit;
+        let fresh = self.words[word] & mask == 0;
+        self.words[word] |= mask;
+        fresh
+    }
+
+    /// Whether `id`'s bit is set.
+    pub fn contains(&self, id: ProcessId) -> bool {
+        let (word, bit) = (id.as_usize() / 64, id.as_usize() % 64);
+        self.words.get(word).is_some_and(|w| w & (1u64 << bit) != 0)
+    }
+
+    /// Number of set bits (distinct signers).
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates the set bits as [`ProcessId`]s in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.words.iter().enumerate().flat_map(|(i, &word)| {
+            (0..64)
+                .filter(move |bit| word & (1u64 << bit) != 0)
+                .map(move |bit| ProcessId::new(i * 64 + bit))
+        })
+    }
+
+    /// The raw bitmap words (low processor ids in the low bits of word 0).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Serialized footprint: 8 bytes per word, i.e. `8 · ⌈n/64⌉`.
+    pub fn wire_size(&self) -> usize {
+        8 * self.words.len()
+    }
+}
+
+/// A (simulated) threshold signature: a constant-size aggregate proof plus a
+/// fixed-width [`SignerBitmap`] identifying the contributing signers.
 ///
 /// The protocols use two thresholds: `f+1` (view certificates, TCs) and
-/// `2f+1` (quorum certificates, epoch certificates). The threshold itself is
-/// re-checked at verification time by [`crate::Pki::verify_threshold`], so a
+/// `2f+1` (quorum certificates, epoch certificates), generalized to
+/// stake-weighted tallies by a [`StakeTable`]. The threshold is re-checked
+/// at verification time by [`crate::Pki::verify_aggregate`], so a
 /// certificate built for a lower threshold cannot be passed off as a higher
 /// one.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ThresholdSignature {
     digest: DigestValue,
-    signers: BTreeSet<ProcessId>,
+    signers: SignerBitmap,
     proof: u64,
 }
 
 impl ThresholdSignature {
     /// Aggregates partial signatures over `digest` into a threshold
-    /// signature.
+    /// signature for the system described by `stakes`.
     ///
-    /// Duplicate signers are collapsed; the aggregation succeeds only if at
-    /// least `threshold` *distinct* signers contributed.
+    /// Duplicate signers are collapsed. The aggregation succeeds only if at
+    /// least `threshold` *distinct* signers contributed **and** their
+    /// combined stake meets [`StakeTable::threshold_stake`] for that count
+    /// (the two coincide for uniform stake).
     ///
     /// # Errors
     ///
-    /// Returns [`Error::InsufficientSigners`] if fewer than `threshold`
-    /// distinct signers are present.
+    /// * [`Error::UnknownProcess`] if a partial names a signer outside the
+    ///   stake table.
+    /// * [`Error::InsufficientSigners`] if fewer than `threshold` distinct
+    ///   signers are present.
+    /// * [`Error::InsufficientStake`] if the distinct signers' combined
+    ///   stake falls short of the stake threshold.
     pub fn aggregate(
         digest: DigestValue,
         partials: &[Signature],
+        stakes: &StakeTable,
         threshold: usize,
     ) -> Result<Self> {
-        let mut signers = BTreeSet::new();
+        let mut signers = SignerBitmap::new(stakes.n());
         let mut proof = 0u64;
+        let mut stake = 0u128;
         for sig in partials {
-            if signers.insert(sig.signer()) {
+            let id = sig.signer();
+            let weight = stakes.stake_of(id).ok_or(Error::UnknownProcess { id })?;
+            if signers.set(id) {
                 proof ^= sig.tag();
+                stake += weight;
             }
         }
-        if signers.len() < threshold {
+        let count = signers.count();
+        if count < threshold {
             return Err(Error::InsufficientSigners {
-                got: signers.len(),
+                got: count,
                 need: threshold,
             });
+        }
+        let need = stakes.threshold_stake(threshold);
+        if stake < need {
+            return Err(Error::InsufficientStake { got: stake, need });
         }
         Ok(ThresholdSignature {
             digest,
@@ -63,14 +152,19 @@ impl ThresholdSignature {
         self.digest
     }
 
-    /// The set of distinct contributing signers.
-    pub fn signers(&self) -> &BTreeSet<ProcessId> {
+    /// The fixed-width bitmap of contributing signers.
+    pub fn bitmap(&self) -> &SignerBitmap {
         &self.signers
+    }
+
+    /// The distinct contributing signers, materialized in ascending order.
+    pub fn signers(&self) -> Vec<ProcessId> {
+        self.signers.iter().collect()
     }
 
     /// Number of distinct contributing signers.
     pub fn signer_count(&self) -> usize {
-        self.signers.len()
+        self.signers.count()
     }
 
     /// The aggregate proof value.
@@ -78,13 +172,21 @@ impl ThresholdSignature {
         self.proof
     }
 
-    /// Nominal serialized size in bytes: the covered digest, the aggregate
-    /// proof, and the signer identification. With the signer *set*
-    /// representation this is `Θ(signers)` — 8 bytes per contributing
-    /// signer — which is exactly the cost the wire accounting must charge
-    /// until aggregation over a fixed-width bitmap lands.
+    /// Nominal serialized size in bytes with the aggregated representation:
+    /// the covered digest, one constant-size aggregate proof, and the
+    /// fixed-width signer bitmap (`8 · ⌈n/64⌉` bytes). Constant in the
+    /// number of signers.
     pub fn wire_size(&self) -> usize {
-        crate::DIGEST_SIZE_BYTES + 8 + 8 * self.signers.len()
+        crate::DIGEST_SIZE_BYTES + crate::SIGNATURE_SIZE_BYTES + self.signers.wire_size()
+    }
+
+    /// What the same certificate would cost on the wire as a naive
+    /// signature vector: the covered digest plus one full signature per
+    /// contributing signer — `Θ(signers)`. Used by the simulator's
+    /// authenticator-byte accounting to contrast the two representations in
+    /// a single run.
+    pub fn naive_wire_size(&self) -> usize {
+        crate::DIGEST_SIZE_BYTES + crate::SIGNATURE_SIZE_BYTES * self.signer_count()
     }
 }
 
@@ -93,7 +195,7 @@ impl fmt::Display for ThresholdSignature {
         write!(
             f,
             "tsig({} signers over {})",
-            self.signers.len(),
+            self.signers.count(),
             self.digest
         )
     }
@@ -110,17 +212,79 @@ mod tests {
         Digest::new(b"t").push_i64(x).finish()
     }
 
+    fn uniform(n: usize) -> StakeTable {
+        StakeTable::uniform(n)
+    }
+
     #[test]
     fn aggregation_requires_enough_distinct_signers() {
         let (keys, _) = keygen(4, 1);
         let d = digest(1);
         let one = vec![keys[0].sign(d)];
-        assert!(ThresholdSignature::aggregate(d, &one, 2).is_err());
+        assert!(ThresholdSignature::aggregate(d, &one, &uniform(4), 2).is_err());
         let dup = vec![keys[0].sign(d), keys[0].sign(d)];
-        assert!(ThresholdSignature::aggregate(d, &dup, 2).is_err());
+        assert!(ThresholdSignature::aggregate(d, &dup, &uniform(4), 2).is_err());
         let two = vec![keys[0].sign(d), keys[1].sign(d)];
-        let tsig = ThresholdSignature::aggregate(d, &two, 2).unwrap();
+        let tsig = ThresholdSignature::aggregate(d, &two, &uniform(4), 2).unwrap();
         assert_eq!(tsig.signer_count(), 2);
+    }
+
+    #[test]
+    fn bitmap_aggregate_verifies_against_the_pki() {
+        let (keys, pki) = keygen(7, 1);
+        let d = digest(3);
+        let partials: Vec<_> = keys.iter().take(5).map(|k| k.sign(d)).collect();
+        let tsig = ThresholdSignature::aggregate(d, &partials, &uniform(7), 5).unwrap();
+        assert!(pki.verify_aggregate(&tsig, d, &uniform(7), 5).is_ok());
+        // The bitmap spans the whole system, not just the signers.
+        assert_eq!(tsig.bitmap().capacity(), 64);
+        assert_eq!(tsig.bitmap().words().len(), 1);
+        assert!(tsig.bitmap().contains(ProcessId::new(0)));
+        assert!(!tsig.bitmap().contains(ProcessId::new(5)));
+    }
+
+    #[test]
+    fn flipped_bitmap_bit_fails_verification() {
+        let (keys, pki) = keygen(7, 1);
+        let d = digest(4);
+        let partials: Vec<_> = keys.iter().take(5).map(|k| k.sign(d)).collect();
+        let mut tsig = ThresholdSignature::aggregate(d, &partials, &uniform(7), 5).unwrap();
+        // Claim processor 6 also signed: the recomputed aggregate no longer
+        // matches the proof.
+        tsig.signers.words[0] ^= 1 << 6;
+        assert_eq!(tsig.signer_count(), 6);
+        assert!(pki.verify_aggregate(&tsig, d, &uniform(7), 5).is_err());
+        // Dropping a genuine signer (count still meets the threshold after
+        // flipping one extra on, one off) also breaks the proof.
+        let mut tsig = ThresholdSignature::aggregate(d, &partials, &uniform(7), 4).unwrap();
+        tsig.signers.words[0] ^= 1 << 0;
+        assert!(pki.verify_aggregate(&tsig, d, &uniform(7), 4).is_err());
+    }
+
+    #[test]
+    fn sub_threshold_stake_is_rejected() {
+        let (keys, pki) = keygen(4, 2);
+        let d = digest(9);
+        // One heavy processor, three light ones: 3-of-4 needs
+        // ceil(13 * 3 / 4) = 10 stake, which the three light signers'
+        // combined 3 stake does not reach.
+        let stakes = StakeTable::weighted(vec![10, 1, 1, 1]);
+        let light: Vec<_> = keys[1..].iter().map(|k| k.sign(d)).collect();
+        assert!(matches!(
+            ThresholdSignature::aggregate(d, &light, &stakes, 3),
+            Err(Error::InsufficientStake { got: 3, need: 10 })
+        ));
+        // The heavy processor plus any two lights passes both tallies.
+        let heavy: Vec<_> = keys.iter().take(3).map(|k| k.sign(d)).collect();
+        let tsig = ThresholdSignature::aggregate(d, &heavy, &stakes, 3).unwrap();
+        assert!(pki.verify_aggregate(&tsig, d, &stakes, 3).is_ok());
+        // A verifier running the weighted table rejects the certificate the
+        // light coalition managed to aggregate under uniform stake.
+        let uniform_tsig = ThresholdSignature::aggregate(d, &light, &uniform(4), 3).unwrap();
+        assert!(matches!(
+            pki.verify_aggregate(&uniform_tsig, d, &stakes, 3),
+            Err(Error::InsufficientStake { .. })
+        ));
     }
 
     #[test]
@@ -128,7 +292,7 @@ mod tests {
         let (keys, pki) = keygen(4, 1);
         let d = digest(5);
         let partials: Vec<_> = keys.iter().take(3).map(|k| k.sign(d)).collect();
-        let mut tsig = ThresholdSignature::aggregate(d, &partials, 3).unwrap();
+        let mut tsig = ThresholdSignature::aggregate(d, &partials, &uniform(4), 3).unwrap();
         tsig.proof ^= 1;
         assert!(pki.verify_threshold(&tsig, d, 3).is_err());
     }
@@ -138,10 +302,48 @@ mod tests {
         let (keys, _) = keygen(5, 9);
         let d = digest(2);
         let partials = vec![keys[3].sign(d), keys[0].sign(d), keys[4].sign(d)];
-        let tsig = ThresholdSignature::aggregate(d, &partials, 3).unwrap();
+        let tsig = ThresholdSignature::aggregate(d, &partials, &uniform(5), 3).unwrap();
         let ids: Vec<_> = tsig.signers().iter().map(|p| p.as_usize()).collect();
         assert_eq!(ids, vec![0, 3, 4]);
         assert!(tsig.to_string().contains("3 signers"));
+    }
+
+    #[test]
+    fn unknown_signers_cannot_join_an_aggregate() {
+        let (keys, _) = keygen(8, 3);
+        let d = digest(6);
+        // Sign with keys from a larger system, aggregate against a smaller
+        // stake table: the out-of-range signer is rejected outright.
+        let partials: Vec<_> = keys.iter().skip(2).take(3).map(|k| k.sign(d)).collect();
+        assert!(matches!(
+            ThresholdSignature::aggregate(d, &partials, &uniform(4), 3),
+            Err(Error::UnknownProcess { .. })
+        ));
+    }
+
+    #[test]
+    fn wire_size_is_constant_in_signers_and_steps_with_n() {
+        let d = digest(7);
+        for (n, words) in [(4usize, 1usize), (64, 1), (65, 2), (200, 4)] {
+            let (keys, _) = keygen(n, 1);
+            let f = (n - 1) / 3;
+            let quorum = 2 * f + 1;
+            let partials: Vec<_> = keys.iter().take(quorum).map(|k| k.sign(d)).collect();
+            let tsig = ThresholdSignature::aggregate(d, &partials, &uniform(n), quorum).unwrap();
+            assert_eq!(
+                tsig.wire_size(),
+                crate::DIGEST_SIZE_BYTES + crate::SIGNATURE_SIZE_BYTES + 8 * words
+            );
+            assert_eq!(
+                tsig.naive_wire_size(),
+                crate::DIGEST_SIZE_BYTES + crate::SIGNATURE_SIZE_BYTES * quorum
+            );
+            // The aggregated form wins as soon as the quorum outnumbers the
+            // bitmap words (i.e. everywhere beyond toy systems).
+            if quorum > words + 1 {
+                assert!(tsig.wire_size() < tsig.naive_wire_size());
+            }
+        }
     }
 
     proptest! {
@@ -161,10 +363,15 @@ mod tests {
                 chosen.swap(i, j);
             }
             let partials: Vec<_> = chosen.iter().take(quorum).map(|&i| keys[i].sign(d)).collect();
-            let tsig = ThresholdSignature::aggregate(d, &partials, quorum).unwrap();
+            let tsig = ThresholdSignature::aggregate(d, &partials, &uniform(n), quorum).unwrap();
             prop_assert!(pki.verify_threshold(&tsig, d, quorum).is_ok());
             // and it never verifies against a different digest
             prop_assert!(pki.verify_threshold(&tsig, digest(seed as i64 + 1), quorum).is_err());
+            // the bitmap round-trips the chosen subset exactly
+            let mut expected: Vec<usize> = chosen.iter().take(quorum).copied().collect();
+            expected.sort_unstable();
+            let got: Vec<usize> = tsig.bitmap().iter().map(|p| p.as_usize()).collect();
+            prop_assert_eq!(got, expected);
         }
     }
 }

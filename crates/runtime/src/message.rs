@@ -53,6 +53,59 @@ impl WireMessage {
     pub fn is_heavy_sync(&self) -> bool {
         matches!(self, WireMessage::Pacemaker(m) if m.is_heavy_sync())
     }
+
+    /// Modelled wire size in bytes: the per-variant byte cost the
+    /// complexity accounting charges for this message (see the tables on
+    /// `PacemakerMessage::wire_size` and `ConsensusMessage::wire_size`).
+    /// A client submission costs its 8-byte id, 4-byte size field and the
+    /// declared payload bytes.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            WireMessage::Pacemaker(m) => m.wire_size(),
+            WireMessage::Consensus(m) => m.wire_size(),
+            WireMessage::Submit(tx) => 8 + 4 + tx.size as usize,
+        }
+    }
+
+    /// Authenticator bytes this message carries with the aggregated
+    /// certificate representation (0 for unsigned client traffic).
+    pub fn auth_bytes(&self) -> usize {
+        match self {
+            WireMessage::Pacemaker(m) => m.auth_bytes(),
+            WireMessage::Consensus(m) => m.auth_bytes(),
+            WireMessage::Submit(_) => 0,
+        }
+    }
+
+    /// Authenticator bytes the same message would carry if certificates
+    /// were naive per-signer signature vectors.
+    pub fn naive_auth_bytes(&self) -> usize {
+        match self {
+            WireMessage::Pacemaker(m) => m.naive_auth_bytes(),
+            WireMessage::Consensus(m) => m.naive_auth_bytes(),
+            WireMessage::Submit(_) => 0,
+        }
+    }
+
+    /// Signature verifications the receiver performs with aggregated
+    /// certificates (0 for unsigned client traffic).
+    pub fn verify_ops(&self) -> u64 {
+        match self {
+            WireMessage::Pacemaker(m) => m.verify_ops(),
+            WireMessage::Consensus(m) => m.verify_ops(),
+            WireMessage::Submit(_) => 0,
+        }
+    }
+
+    /// Verifications the receiver would perform with naive signature-vector
+    /// certificates.
+    pub fn naive_verify_ops(&self) -> u64 {
+        match self {
+            WireMessage::Pacemaker(m) => m.naive_verify_ops(),
+            WireMessage::Consensus(m) => m.naive_verify_ops(),
+            WireMessage::Submit(_) => 0,
+        }
+    }
 }
 
 impl fmt::Display for WireMessage {

@@ -189,6 +189,12 @@ impl ProtocolRuntime {
         self.engine.locks_advanced()
     }
 
+    /// Slashing evidence for every equivocation this processor's engine
+    /// witnessed (one canonical record per conflicting proposal pair).
+    pub fn slash_evidence(&self) -> &[lumiere_types::SlashEvidence] {
+        self.engine.slash_evidence()
+    }
+
     /// Runs the pacemaker's boot once, the first time the node is active.
     fn maybe_boot_pacemaker(&mut self, now: Time, gates: Gates, out: &mut RuntimeOutput) {
         if self.booted || !gates.pacemaker {

@@ -105,6 +105,11 @@ impl StrategyHost {
         self.runtime.locks_advanced()
     }
 
+    /// Slashing evidence this host's engine has accumulated.
+    pub fn slash_evidence(&self) -> &[lumiere_types::SlashEvidence] {
+        self.runtime.slash_evidence()
+    }
+
     /// Snapshots the host's protocol state into a [`StrategyCtx`] for the
     /// adversary strategy (cheap: a handful of field reads plus one scan of
     /// the engine's pending-vote pools for the current view).

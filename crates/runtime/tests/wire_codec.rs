@@ -140,6 +140,66 @@ proptest! {
         }
     }
 
+    /// The modelled `wire_size()` of every variant tracks the actual
+    /// length-prefixed deterministic-JSON TCP frame length, at several
+    /// system sizes (including multi-word signer bitmaps at n = 129).
+    ///
+    /// The two measures are intentionally different encodings of the same
+    /// content — the model charges binary field widths (8-byte integers,
+    /// 48-byte signatures, 8-byte bitmap words) while the codec ships JSON
+    /// with field names and decimal digits — so the agreement is a band,
+    /// not an equality:
+    ///
+    /// * **upper**: `frame ≤ 4·model + 128`. Every modelled byte expands
+    ///   to at most a few JSON characters (a 8-byte word is ≤ 20 digits
+    ///   plus punctuation), plus a constant envelope of field names and
+    ///   the 4-byte length prefix.
+    /// * **lower**: `model ≤ 4·frame + payload`. The model can only exceed
+    ///   the frame by the declared client-payload bytes (`Transaction::
+    ///   size`), which the codec ships as a number, not as content.
+    ///
+    /// A certificate layout change that breaks `wire_size()` (e.g. a
+    /// Θ(signers) component the model no longer accounts, or vice versa)
+    /// escapes this band at large n.
+    #[test]
+    fn modelled_wire_sizes_track_frame_lengths(
+        n_pick in 0usize..4,
+        seed in 0u64..1_000,
+        view_raw in 0i64..1_000_000_000,
+        height in 0u64..1_000_000,
+        payload in 0u64..1_000_000_000,
+        parent in 0u64..u64::MAX,
+        proposer in 0usize..9,
+    ) {
+        let n = [4usize, 16, 64, 129][n_pick];
+        let (keys, _) = keygen(n, seed);
+        let params = Params::new(n, Duration::from_millis(10));
+        let variants = all_variants(&keys, &params, view_raw, height, payload, parent, proposer);
+        for msg in &variants {
+            let model = msg.wire_size();
+            let frame = encode_frame(msg).len();
+            // Declared client-payload bytes: modelled as content, shipped
+            // by the JSON codec as a size field.
+            let declared: usize = match msg {
+                WireMessage::Submit(tx) => tx.size as usize,
+                WireMessage::Consensus(ConsensusMessage::Proposal(b)) => {
+                    b.payload().bytes() as usize
+                }
+                _ => 0,
+            };
+            prop_assert!(
+                frame <= 4 * model + 128,
+                "{}: frame {frame} exceeds modelled band of wire_size {model}",
+                msg.kind()
+            );
+            prop_assert!(
+                model <= 4 * frame + declared,
+                "{}: wire_size {model} exceeds frame band of {frame} (+{declared} payload)",
+                msg.kind()
+            );
+        }
+    }
+
     /// A stream of back-to-back frames (as the TCP reader sees them) yields
     /// the same messages in order through the streaming reader.
     #[test]

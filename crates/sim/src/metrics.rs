@@ -21,12 +21,19 @@
 //! least Δ wide). See `docs/PERFORMANCE.md` for the policy.
 
 use crate::workload::WorkloadConfig;
-use lumiere_types::{Duration, ProcessId, Time, TxId, View};
+use lumiere_types::{Duration, ProcessId, SlashEvidence, Time, TxId, View};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Number of histogram bins in [`CoverageFingerprint::qc_gap_bins`].
 pub const QC_GAP_BINS: usize = 8;
+
+/// Upper bound on the number of [`SlashEvidence`] records embedded in a
+/// [`SimReport`]. Long adversarial runs can witness an equivocation per
+/// view; the report keeps the first `SLASH_EVIDENCE_CAP` records of the
+/// canonical (sorted, deduplicated) list plus the exact total, so it stays
+/// bounded while remaining byte-identical across shard counts.
+pub const SLASH_EVIDENCE_CAP: usize = 64;
 
 /// Number of time bins in a [`CoverageFingerprint`] strategy-activation
 /// window bitmask.
@@ -217,6 +224,28 @@ pub struct SimReport {
     /// and shard counts); benches divide it by wall-clock for the
     /// events/sec throughput the perf gate tracks.
     pub events_processed: u64,
+    /// Authenticator bytes carried by honest point-to-point traffic over
+    /// the whole run with the aggregated certificate representation — each
+    /// message's signature/bitmap bytes, weighted by how many recipients it
+    /// was sent to (schema v7).
+    pub auth_bytes: u64,
+    /// Authenticator bytes the same traffic would have carried if
+    /// certificates were naive per-signer signature vectors (schema v7).
+    pub auth_bytes_naive: u64,
+    /// Signature verifications the recipients of that traffic perform with
+    /// aggregated certificates — one pairing-equivalent check per
+    /// certificate (schema v7).
+    pub verify_ops: u64,
+    /// Verifications the same traffic would cost with naive signature
+    /// vectors — one check per signer per certificate (schema v7).
+    pub verify_ops_naive: u64,
+    /// Canonical slashing evidence witnessed by honest engines:
+    /// deduplicated across processors, sorted, and capped at
+    /// [`SLASH_EVIDENCE_CAP`] records (schema v7).
+    pub slash_evidence: Vec<SlashEvidence>,
+    /// Exact number of distinct slashing-evidence records before the cap
+    /// (schema v7).
+    pub slash_evidence_total: u64,
 }
 
 impl SimReport {
@@ -343,6 +372,41 @@ impl SimReport {
         self.gst + self.delta_cap * (4 * self.n as i64)
     }
 
+    /// Average authenticator bytes per honest point-to-point message with
+    /// aggregated certificates — the paper's constant-size-certificate
+    /// axis: flat in `n` when aggregation works (0.0 when no messages).
+    pub fn auth_bytes_per_message(&self) -> f64 {
+        ratio(self.auth_bytes, self.total_messages() as u64)
+    }
+
+    /// Average authenticator bytes per message under naive signature
+    /// vectors — grows Θ(quorum) = Θ(n) per certificate-carrying message.
+    pub fn naive_auth_bytes_per_message(&self) -> f64 {
+        ratio(self.auth_bytes_naive, self.total_messages() as u64)
+    }
+
+    /// Authenticator bytes spent per certified view (honest-leader QC),
+    /// aggregated representation (0.0 when no honest QCs formed).
+    pub fn auth_bytes_per_view(&self) -> f64 {
+        ratio(self.auth_bytes, self.honest_qc_times().len() as u64)
+    }
+
+    /// Authenticator bytes per certified view under naive vectors.
+    pub fn naive_auth_bytes_per_view(&self) -> f64 {
+        ratio(self.auth_bytes_naive, self.honest_qc_times().len() as u64)
+    }
+
+    /// Signature verifications performed per consensus decision with
+    /// aggregated certificates (0.0 when nothing committed).
+    pub fn verify_ops_per_commit(&self) -> f64 {
+        ratio(self.verify_ops, self.decisions() as u64)
+    }
+
+    /// Verifications per decision under naive signature vectors.
+    pub fn naive_verify_ops_per_commit(&self) -> f64 {
+        ratio(self.verify_ops_naive, self.decisions() as u64)
+    }
+
     /// Goodput: distinct committed transactions per simulated second.
     pub fn goodput_tps(&self) -> f64 {
         let micros = self.end_time.as_micros();
@@ -350,6 +414,15 @@ impl SimReport {
             return 0.0;
         }
         self.txs_committed as f64 * 1_000_000.0 / micros as f64
+    }
+}
+
+/// `num / den` as `f64`, defined as `0.0` on an empty denominator.
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
     }
 }
 
@@ -419,6 +492,12 @@ pub struct MetricsCollector {
     txs_submitted: u64,
     txs_shed: u64,
     events_processed: u64,
+    auth_bytes: u64,
+    auth_bytes_naive: u64,
+    verify_ops: u64,
+    verify_ops_naive: u64,
+    slash_evidence: Vec<SlashEvidence>,
+    slash_evidence_total: u64,
 }
 
 impl MetricsCollector {
@@ -457,6 +536,12 @@ impl MetricsCollector {
             txs_submitted: 0,
             txs_shed: 0,
             events_processed: 0,
+            auth_bytes: 0,
+            auth_bytes_naive: 0,
+            verify_ops: 0,
+            verify_ops_naive: 0,
+            slash_evidence: Vec::new(),
+            slash_evidence_total: 0,
         }
     }
 
@@ -519,6 +604,36 @@ impl MetricsCollector {
         if heavy {
             push_rle(&mut self.heavy_msg_times, at, count as u64);
         }
+    }
+
+    /// Records the authenticator cost of one honest message put on the
+    /// wire in `copies` identical copies (1 for a point-to-point send,
+    /// `n−1` for a broadcast): bytes and verification counts under the
+    /// aggregated representation and under naive signature vectors
+    /// (schema v7). O(1) per call — the cost is computed analytically from
+    /// the message, not by serializing it.
+    pub fn record_auth_message(
+        &mut self,
+        copies: u64,
+        auth_bytes: u64,
+        naive_bytes: u64,
+        verify_ops: u64,
+        naive_verify_ops: u64,
+    ) {
+        self.auth_bytes += copies * auth_bytes;
+        self.auth_bytes_naive += copies * naive_bytes;
+        self.verify_ops += copies * verify_ops;
+        self.verify_ops_naive += copies * naive_verify_ops;
+    }
+
+    /// Sets the canonical slashing-evidence list (deduplicated and sorted
+    /// by the caller; recorded once at the end of the run). The report
+    /// embeds the first [`SLASH_EVIDENCE_CAP`] records plus the exact
+    /// total count (schema v7).
+    pub fn record_slash_evidence(&mut self, mut evidence: Vec<SlashEvidence>) {
+        self.slash_evidence_total = evidence.len() as u64;
+        evidence.truncate(SLASH_EVIDENCE_CAP);
+        self.slash_evidence = evidence;
     }
 
     /// Records a QC formed by `leader` at `now`.
@@ -664,6 +779,12 @@ impl MetricsCollector {
             tx_latency_p95: percentile(&latencies, 95),
             tx_latency_p99: percentile(&latencies, 99),
             events_processed: self.events_processed,
+            auth_bytes: self.auth_bytes,
+            auth_bytes_naive: self.auth_bytes_naive,
+            verify_ops: self.verify_ops,
+            verify_ops_naive: self.verify_ops_naive,
+            slash_evidence: self.slash_evidence,
+            slash_evidence_total: self.slash_evidence_total,
         }
     }
 }
@@ -888,6 +1009,73 @@ mod tests {
         assert_eq!(percentile(&ms, 50), Duration::from_millis(50));
         assert_eq!(percentile(&ms, 95), Duration::from_millis(95));
         assert_eq!(percentile(&ms, 99), Duration::from_millis(99));
+    }
+
+    #[test]
+    fn auth_traffic_accumulates_weighted_copies() {
+        let mut c = MetricsCollector::new(
+            "test".into(),
+            4,
+            1,
+            0,
+            Duration::from_millis(10),
+            Time::ZERO,
+        );
+        // A broadcast of a QC-carrying message to 3 recipients: 88 auth
+        // bytes aggregated vs 176 naive, 1 verification vs 3.
+        c.record_auth_message(3, 88, 176, 1, 3);
+        // A single targeted vote: 48 bytes either way, no cert to verify.
+        c.record_auth_message(1, 48, 48, 0, 0);
+        c.record_honest_sends(Time::from_millis(1), 3, false);
+        c.record_honest_sends(Time::from_millis(2), 1, false);
+        c.record_qc(Time::from_millis(3), View::new(0), ProcessId::new(0), true);
+        c.record_commit(Time::from_millis(4), 1);
+        let r = c.finish(Time::from_millis(10));
+        assert_eq!(r.auth_bytes, 3 * 88 + 48);
+        assert_eq!(r.auth_bytes_naive, 3 * 176 + 48);
+        assert_eq!(r.verify_ops, 3);
+        assert_eq!(r.verify_ops_naive, 9);
+        assert!((r.auth_bytes_per_message() - 312.0 / 4.0).abs() < 1e-9);
+        assert!((r.naive_auth_bytes_per_message() - 576.0 / 4.0).abs() < 1e-9);
+        assert!((r.auth_bytes_per_view() - 312.0).abs() < 1e-9);
+        assert!((r.verify_ops_per_commit() - 3.0).abs() < 1e-9);
+        assert!((r.naive_verify_ops_per_commit() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratios_are_zero_on_empty_denominators() {
+        let c = MetricsCollector::new(
+            "test".into(),
+            4,
+            1,
+            0,
+            Duration::from_millis(10),
+            Time::ZERO,
+        );
+        let r = c.finish(Time::from_millis(10));
+        assert_eq!(r.auth_bytes_per_message(), 0.0);
+        assert_eq!(r.auth_bytes_per_view(), 0.0);
+        assert_eq!(r.verify_ops_per_commit(), 0.0);
+    }
+
+    #[test]
+    fn slash_evidence_is_capped_with_exact_total() {
+        let mut c = MetricsCollector::new(
+            "test".into(),
+            4,
+            1,
+            1,
+            Duration::from_millis(10),
+            Time::ZERO,
+        );
+        let evidence: Vec<SlashEvidence> = (0..SLASH_EVIDENCE_CAP as i64 + 5)
+            .map(|v| SlashEvidence::new(View::new(v), ProcessId::new(0), 1, 2))
+            .collect();
+        c.record_slash_evidence(evidence);
+        let r = c.finish(Time::from_millis(10));
+        assert_eq!(r.slash_evidence.len(), SLASH_EVIDENCE_CAP);
+        assert_eq!(r.slash_evidence_total, SLASH_EVIDENCE_CAP as u64 + 5);
+        assert_eq!(r.slash_evidence[0].view, View::new(0));
     }
 
     #[test]

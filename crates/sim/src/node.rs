@@ -109,6 +109,12 @@ impl Node {
         self.host.locks_advanced()
     }
 
+    /// Slashing evidence this processor's engine accumulated (one canonical
+    /// record per conflicting proposal pair it witnessed).
+    pub fn slash_evidence(&self) -> &[lumiere_types::SlashEvidence] {
+        self.host.slash_evidence()
+    }
+
     /// The protocol name reported by the pacemaker.
     pub fn protocol_name(&self) -> &'static str {
         self.host.runtime().protocol_name()

@@ -306,6 +306,18 @@ impl Simulation {
         self.collector.record_shed(shed);
         self.collector
             .record_events_processed(self.events_processed);
+        // Slashing evidence is identical for every honest witness of the
+        // same conflict, so the canonical report list is the sorted dedup
+        // across processors — byte-identical for every shard count.
+        let mut slash: Vec<lumiere_types::SlashEvidence> = self
+            .nodes
+            .iter()
+            .filter(|n| n.is_honest())
+            .flat_map(|n| n.slash_evidence().iter().copied())
+            .collect();
+        slash.sort_unstable();
+        slash.dedup();
+        self.collector.record_slash_evidence(slash);
         let trace = std::mem::take(&mut self.trace);
         let mut report = self.collector.finish(self.now);
         report.safety_ok = safety_ok;
@@ -524,6 +536,7 @@ impl Simulation {
             if honest {
                 self.collector
                     .record_honest_sends(now, 1, msg.is_heavy_sync());
+                self.record_auth(&msg, 1);
             }
             let msg = Arc::new(msg);
             self.schedule_delivery(from, to, msg);
@@ -533,6 +546,7 @@ impl Simulation {
             if honest {
                 self.collector
                     .record_honest_sends(now, recipients, msg.is_heavy_sync());
+                self.record_auth(&msg, recipients as u64);
             }
             // One allocation per broadcast: every recipient shares the Arc.
             let msg = Arc::new(msg);
@@ -598,6 +612,21 @@ impl Simulation {
                 self.trace.push(now, from, TraceKind::EnteredView(view));
             }
         }
+    }
+
+    /// Records the authenticator cost of one honest outbound message in
+    /// `copies` copies: bytes and verification counts under the aggregated
+    /// certificate representation and under naive per-signer signature
+    /// vectors (both computed analytically from the same message, so one
+    /// run yields both curves).
+    fn record_auth(&mut self, msg: &SimMessage, copies: u64) {
+        self.collector.record_auth_message(
+            copies,
+            msg.auth_bytes() as u64,
+            msg.naive_auth_bytes() as u64,
+            msg.verify_ops(),
+            msg.naive_verify_ops(),
+        );
     }
 
     /// Schedules a delivery, letting the adversary schedule's per-edge delay

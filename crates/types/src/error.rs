@@ -28,6 +28,21 @@ pub enum Error {
         /// Number of distinct signers required.
         need: usize,
     },
+    /// A certificate tallied less stake than its threshold requires.
+    InsufficientStake {
+        /// Stake tallied over the distinct signers present.
+        got: u128,
+        /// Stake the threshold demands.
+        need: u128,
+    },
+    /// A certificate's threshold signature covers a different digest than
+    /// the one recomputed from the certificate's own claimed contents.
+    DigestMismatch {
+        /// Digest value the certificate's signature claims to cover.
+        claimed: u64,
+        /// Digest value recomputed from the certificate's fields.
+        computed: u64,
+    },
     /// A certificate was presented for the wrong view.
     ViewMismatch {
         /// View the certificate claims.
@@ -58,6 +73,15 @@ impl fmt::Display for Error {
             Error::InsufficientSigners { got, need } => {
                 write!(f, "certificate has {got} signers but needs {need}")
             }
+            Error::InsufficientStake { got, need } => {
+                write!(f, "certificate tallies {got} stake but needs {need}")
+            }
+            Error::DigestMismatch { claimed, computed } => {
+                write!(
+                    f,
+                    "certificate signature covers digest {claimed:#018x} but its contents hash to {computed:#018x}"
+                )
+            }
             Error::ViewMismatch { expected, found } => {
                 write!(
                     f,
@@ -86,6 +110,15 @@ mod tests {
         let e = Error::InsufficientSigners { got: 2, need: 5 };
         assert!(e.to_string().contains("2"));
         assert!(e.to_string().contains("5"));
+        let e = Error::InsufficientStake { got: 3, need: 10 };
+        assert!(e.to_string().contains("3 stake"));
+        assert!(e.to_string().contains("10"));
+        let e = Error::DigestMismatch {
+            claimed: 0xab,
+            computed: 0xcd,
+        };
+        assert!(e.to_string().contains("0x00000000000000ab"));
+        assert!(e.to_string().contains("0x00000000000000cd"));
         let e = Error::ViewMismatch {
             expected: View::new(4),
             found: View::new(3),

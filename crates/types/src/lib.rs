@@ -36,6 +36,8 @@
 pub mod error;
 pub mod id;
 pub mod params;
+pub mod slash;
+pub mod stake;
 pub mod time;
 pub mod tx;
 pub mod view;
@@ -43,6 +45,8 @@ pub mod view;
 pub use error::{Error, Result};
 pub use id::ProcessId;
 pub use params::{Params, DEFAULT_VIEW_ROUNDS};
+pub use slash::SlashEvidence;
+pub use stake::StakeTable;
 pub use time::{Duration, Time, TimeRange};
 pub use tx::{Batch, Transaction, TxId};
 pub use view::{Epoch, View};

@@ -1,5 +1,6 @@
 //! Protocol parameters.
 
+use crate::stake::StakeTable;
 use crate::time::Duration;
 use crate::view::EpochLayout;
 use serde::{Deserialize, Serialize};
@@ -89,6 +90,17 @@ impl Params {
         self.f + 1
     }
 
+    /// The stake table certificate tallies run against: uniform (one unit
+    /// per processor), which makes stake thresholds coincide with the
+    /// paper's processor-count thresholds. Allocation-free, so it is cheap
+    /// to call on every aggregation and verification.
+    ///
+    /// Hosts running weighted-stake experiments construct a
+    /// [`StakeTable::weighted`] directly and pass it to the crypto layer.
+    pub fn stakes(&self) -> StakeTable {
+        StakeTable::uniform(self.n)
+    }
+
     /// Lumiere's view duration `Γ = 2(x+2)·Δ` (Section 4).
     pub fn gamma(&self) -> Duration {
         self.delta_cap * (2 * (self.view_rounds as i64 + 2))
@@ -151,6 +163,20 @@ mod tests {
         let p = Params::new(10, Duration::from_millis(1));
         assert_eq!(p.quorum(), 7);
         assert_eq!(p.small_quorum(), 4);
+    }
+
+    #[test]
+    fn stake_table_is_uniform_over_n() {
+        let p = Params::new(10, Duration::from_millis(1));
+        let stakes = p.stakes();
+        assert!(stakes.is_uniform());
+        assert_eq!(stakes.n(), 10);
+        // Uniform stake thresholds coincide with processor-count quorums.
+        assert_eq!(stakes.threshold_stake(p.quorum()), p.quorum() as u128);
+        assert_eq!(
+            stakes.threshold_stake(p.small_quorum()),
+            p.small_quorum() as u128
+        );
     }
 
     #[test]
